@@ -1,0 +1,67 @@
+//! DSFA merge throughput per merge mode (paper §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_core::event::SensorGeometry;
+use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
+use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig};
+use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_edge::frame::SparseFrame;
+
+fn make_frames() -> Vec<SparseFrame> {
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(200));
+    let mut generator = StatisticalGenerator::new(
+        SensorGeometry::DAVIS346,
+        RateProfile::Constant(400_000.0),
+        SpatialModel::Blobs {
+            count: 12,
+            sigma: 10.0,
+            drift: 80.0,
+        },
+        3,
+    );
+    let events = generator.generate(window).expect("generation succeeds");
+    let intervals: Vec<TimeWindow> = (0..10)
+        .map(|k| {
+            TimeWindow::with_duration(
+                Timestamp::from_millis(k * 20),
+                TimeDelta::from_millis(20),
+            )
+        })
+        .collect();
+    E2sf::new(E2sfConfig::new(4))
+        .convert_intervals(&events, &intervals)
+        .expect("conversion succeeds")
+}
+
+fn bench_dsfa(c: &mut Criterion) {
+    let frames = make_frames();
+    let mut group = c.benchmark_group("dsfa");
+    group.sample_size(20);
+    for cmode in [CMode::CAdd, CMode::CAverage, CMode::CBatch] {
+        group.bench_with_input(
+            BenchmarkId::new("push_stream", format!("{cmode}")),
+            &frames,
+            |b, frames| {
+                b.iter(|| {
+                    let mut dsfa = Dsfa::new(DsfaConfig {
+                        cmode,
+                        ..DsfaConfig::default()
+                    })
+                    .expect("valid config");
+                    let mut batches = 0usize;
+                    for frame in frames {
+                        if dsfa.push(frame.clone()).expect("push succeeds").is_some() {
+                            batches += 1;
+                        }
+                    }
+                    batches
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsfa);
+criterion_main!(benches);

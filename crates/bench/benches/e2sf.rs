@@ -1,0 +1,48 @@
+//! E2SF throughput: direct events→sparse-frame conversion vs the dense-
+//! frame + post-hoc-encode path it replaces (paper §4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_core::event::SensorGeometry;
+use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
+use ev_core::{TimeWindow, Timestamp};
+use ev_edge::e2sf::{dense_frame_baseline, E2sf, E2sfConfig};
+
+fn bench_e2sf(c: &mut Criterion) {
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(20));
+    let mut group = c.benchmark_group("e2sf");
+    group.sample_size(20);
+    for &rate in &[50_000.0f64, 300_000.0, 1_000_000.0] {
+        let mut generator = StatisticalGenerator::new(
+            SensorGeometry::DAVIS346,
+            RateProfile::Constant(rate),
+            SpatialModel::Blobs {
+                count: 10,
+                sigma: 10.0,
+                drift: 60.0,
+            },
+            1,
+        );
+        let events = generator.generate(window).expect("generation succeeds");
+        let label = format!("{}k_evps", (rate / 1e3) as u64);
+
+        group.bench_with_input(
+            BenchmarkId::new("direct_sparse", &label),
+            &events,
+            |b, events| {
+                let e2sf = E2sf::new(E2sfConfig::new(4));
+                b.iter(|| e2sf.convert(events, window).expect("conversion succeeds"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_then_encode", &label),
+            &events,
+            |b, events| {
+                b.iter(|| dense_frame_baseline(events, window).expect("baseline succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2sf);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! NMP search throughput: candidate evaluations per second and a short
+//! end-to-end search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ev_edge::nmp::candidate::Candidate;
+use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
+use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
+use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+use ev_platform::pe::Platform;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn problem() -> MultiTaskProblem {
+    let cfg = ZooConfig::mvsec();
+    MultiTaskProblem::new(
+        Platform::xavier_agx(),
+        vec![
+            TaskSpec::new(
+                NetworkId::FusionFlowNet.build(&cfg).expect("buildable"),
+                NetworkId::FusionFlowNet.accuracy_model(),
+                0.07,
+            ),
+            TaskSpec::new(
+                NetworkId::Dotie.build(&cfg).expect("buildable"),
+                NetworkId::Dotie.accuracy_model(),
+                0.04,
+            ),
+        ],
+    )
+    .expect("valid problem")
+}
+
+fn bench_nmp(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("nmp");
+    group.sample_size(10);
+
+    group.bench_function("fitness_eval_uncached", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        b.iter(|| {
+            // Fresh evaluator each iteration → no cache reuse.
+            let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+            let candidate = Candidate::random(&p, &mut rng);
+            eval.evaluate(&candidate).expect("valid candidate")
+        });
+    });
+
+    group.bench_function("search_16x8", |b| {
+        b.iter(|| {
+            run_nmp(
+                &p,
+                NmpConfig {
+                    population: 16,
+                    generations: 8,
+                    seed: 3,
+                    ..NmpConfig::default()
+                },
+                FitnessConfig::default(),
+            )
+            .expect("search succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nmp);
+criterion_main!(benches);

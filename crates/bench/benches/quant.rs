@@ -1,0 +1,24 @@
+//! Quantize-dequantize kernel throughput per precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_nn::quant::{quantize_dequantize, Precision};
+use ev_sparse::dense::Tensor;
+
+fn bench_quant(c: &mut Criterion) {
+    let mut t = Tensor::zeros(&[64 * 64 * 16]);
+    t.fill_pseudorandom(7, 1.5);
+    let mut group = c.benchmark_group("quantize_dequantize_64k");
+    for precision in Precision::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{precision}")),
+            &t,
+            |b, t| {
+                b.iter(|| quantize_dequantize(t, precision));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Equation 3 list-scheduler throughput — the inner loop of every NMP
+//! candidate evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_core::TimeDelta;
+use ev_platform::schedule::{list_schedule, SchedNode};
+
+fn chain_with_transfers(layers: usize, queues: usize) -> Vec<SchedNode> {
+    let mut nodes = Vec::new();
+    for l in 0..layers {
+        let queue = l % queues;
+        if l > 0 {
+            // Transfer node on the last queue (memory).
+            let t = nodes.len();
+            nodes.push(SchedNode::new(
+                queues,
+                TimeDelta::from_micros(20),
+                vec![t - 1],
+            ));
+        }
+        let deps = if nodes.is_empty() {
+            vec![]
+        } else {
+            vec![nodes.len() - 1]
+        };
+        nodes.push(SchedNode::new(
+            queue,
+            TimeDelta::from_micros(100 + (l as i64 * 37) % 400),
+            deps,
+        ));
+    }
+    nodes
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    for &layers in &[16usize, 64, 256] {
+        let nodes = chain_with_transfers(layers, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layers),
+            &nodes,
+            |b, nodes| {
+                b.iter(|| list_schedule(nodes, 5).expect("valid graph"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

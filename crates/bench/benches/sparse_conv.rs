@@ -1,0 +1,63 @@
+//! Sparse vs dense convolution over an input-density sweep — the raw
+//! kernel-level benefit E2SF unlocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_sparse::coo::SparseTensor;
+use ev_sparse::dense::Tensor;
+use ev_sparse::ops::conv::{conv2d_dense, conv2d_sparse, conv2d_submanifold, Conv2dSpec};
+
+fn make_input(density: f64, seed: u64) -> (Tensor, SparseTensor) {
+    let (c, h, w) = (2usize, 64usize, 64usize);
+    let mut dense = Tensor::zeros(&[c, h, w]);
+    let total = c * h * w;
+    let nnz = (total as f64 * density) as usize;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    {
+        let data = dense.as_mut_slice();
+        for _ in 0..nnz {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let idx = (state as usize) % total;
+            data[idx] = 1.0;
+        }
+    }
+    let sparse = SparseTensor::from_dense(&dense, 0.0).expect("rank 3");
+    (dense, sparse)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut weight = Tensor::zeros(&[8, 2, 3, 3]);
+    weight.fill_pseudorandom(5, 0.2);
+    let spec = Conv2dSpec::same(3);
+    let mut group = c.benchmark_group("conv2d_64x64_c2_to_c8");
+    group.sample_size(20);
+    for &density in &[0.002f64, 0.02, 0.1, 0.3] {
+        let (dense, sparse) = make_input(density, 42);
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{density}")),
+            &dense,
+            |b, input| {
+                b.iter(|| conv2d_dense(input, &weight, None, spec).expect("valid"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_scatter", format!("{density}")),
+            &sparse,
+            |b, input| {
+                b.iter(|| conv2d_sparse(input, &weight, None, spec).expect("valid"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("submanifold", format!("{density}")),
+            &sparse,
+            |b, input| {
+                b.iter(|| conv2d_submanifold(input, &weight, None).expect("valid"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

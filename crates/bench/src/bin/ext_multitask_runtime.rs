@@ -1,0 +1,47 @@
+//! Extension experiment: the Figure 9 mixed configuration played forward
+//! in simulated time — periodic concurrent inputs, shared PE queues, and
+//! bounded inference queues with the §4.2 oldest-frame drop rule.
+
+use ev_bench::experiments::multitask_runtime;
+use ev_bench::report::{write_json, CommonArgs, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse();
+    let rows = multitask_runtime(args.quick)?;
+
+    println!("Extension — multi-task runtime (mixed SNN-ANN, periodic inputs)");
+    println!();
+    let mut table = TextTable::new([
+        "policy",
+        "worst mean latency",
+        "dropped",
+        "completed",
+        "mean PE util",
+    ]);
+    for row in &rows {
+        table.row([
+            row.policy.clone(),
+            format!("{:.2} ms", row.worst_mean_latency_ms),
+            row.dropped.to_string(),
+            row.completed.to_string(),
+            format!("{:.0}%", row.mean_utilization * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Finding: offline objectives do not transfer 1:1 to streaming execution.\n\
+         Under sustainable arrival rates, RR-Network's dedicated engines avoid\n\
+         cross-task interference entirely and drop nothing, while Equation 2's\n\
+         one-shot joint-latency optimum shares the fastest engine across tasks\n\
+         and pays for it in queueing. The schedulability (streaming) objective\n\
+         narrows the gap; closing it needs interference-aware fitness — a\n\
+         concrete future-work direction this reproduction surfaces."
+    );
+
+    if let Some(path) = args.json {
+        write_json(&path, &rows)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

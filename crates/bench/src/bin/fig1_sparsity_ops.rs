@@ -1,0 +1,53 @@
+//! Figure 1: average % of events per event frame and the operations
+//! expended for processing them — Adaptive-SpikeNet on `indoor_flying1`.
+
+use ev_bench::experiments::figure1;
+use ev_bench::report::{write_json, CommonArgs, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse();
+    let result = figure1(args.quick)?;
+
+    println!("Figure 1 — event sparsity vs operations (Adaptive-SpikeNet, indoor_flying1)");
+    println!();
+    let mut table = TextTable::new(["nB", "fill %", "actual MMACs", "dense MMACs", "wasted %"]);
+    for row in &result.rows {
+        table.row([
+            row.bins.to_string(),
+            format!("{:.2}", row.mean_fill_pct),
+            format!("{:.1}", row.actual_mmacs),
+            format!("{:.1}", row.dense_mmacs),
+            format!("{:.1}", row.wasted_pct),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Measured with real sparse kernels (reduced scale): {} of {} dense MACs → {:.1}% effectual",
+        result.measured.measured_macs,
+        result.measured.dense_macs,
+        result.measured.effectual_fraction * 100.0
+    );
+    println!();
+    println!(
+        "Paper's qualitative claim: event frames are extremely sparse, so fixed-size dense\n\
+         processing wastes the large majority of its operations. Reproduced: wasted work\n\
+         ranges {:.1}%–{:.1}% over the temporal-resolution sweep.",
+        result
+            .rows
+            .iter()
+            .map(|r| r.wasted_pct)
+            .fold(f64::INFINITY, f64::min),
+        result
+            .rows
+            .iter()
+            .map(|r| r.wasted_pct)
+            .fold(0.0f64, f64::max),
+    );
+
+    if let Some(path) = args.json {
+        write_json(&path, &result)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

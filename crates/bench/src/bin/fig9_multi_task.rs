@@ -1,0 +1,48 @@
+//! Figure 9: multi-task latency of NMP vs round-robin scheduling.
+//! Paper: 1.43×–1.81× over RR-Network, 1.24×–1.41× over RR-Layer;
+//! NMP-FP is 1.05×–1.22× slower than NMP.
+
+use ev_bench::experiments::figure9;
+use ev_bench::report::{write_json, CommonArgs, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse();
+    let rows = figure9(args.quick)?;
+
+    println!("Figure 9 — multi-task execution latency");
+    println!();
+    let mut table = TextTable::new([
+        "config",
+        "RR-Network ms",
+        "RR-Layer ms",
+        "NMP ms",
+        "NMP-FP ms",
+        "vs RR-Net",
+        "vs RR-Layer",
+        "FP slowdown",
+    ]);
+    for row in &rows {
+        table.row([
+            row.config.clone(),
+            format!("{:.2}", row.rr_network_ms),
+            format!("{:.2}", row.rr_layer_ms),
+            format!("{:.2}", row.nmp_ms),
+            format!("{:.2}", row.nmp_fp_ms),
+            format!("{:.2}x", row.speedup_vs_rr_network),
+            format!("{:.2}x", row.speedup_vs_rr_layer),
+            format!("{:.2}x", row.fp_slowdown),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Paper bands: NMP beats RR-Network by 1.43x-1.81x, RR-Layer by 1.24x-1.41x;\n\
+         NMP-FP (full precision only) trails NMP by 1.05x-1.22x but still beats both RRs."
+    );
+
+    if let Some(path) = args.json {
+        write_json(&path, &rows)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,976 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§6). Binaries print these; integration tests assert their
+//! qualitative shape.
+
+use ev_core::event::SensorGeometry;
+use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
+use ev_core::stats::{burstiness, temporal_density};
+use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::mvsec::SequenceId;
+use ev_datasets::representation::representation_for;
+use ev_edge::nmp::baseline;
+use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
+use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
+use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use ev_edge::nmp::random_search::run_random_search;
+use ev_edge::pipeline::{
+    run_single_task, PipelineOptions, PipelineSetup, PipelineVariant,
+};
+use ev_edge::{E2sf, E2sfConfig};
+use ev_nn::forward::{Activation, Executor};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+use ev_platform::latency::sparsity_work_factor;
+use ev_platform::pe::Platform;
+use serde::Serialize;
+use std::error::Error;
+
+/// The dataset sequence each network is evaluated on (paper §5: optical
+/// flow / segmentation / tracking on MVSEC, depth on DENSE Town 10).
+pub fn sequence_for(network: NetworkId) -> SequenceId {
+    match network {
+        NetworkId::SpikeFlowNet
+        | NetworkId::FusionFlowNet
+        | NetworkId::AdaptiveSpikeNet
+        | NetworkId::EvFlowNet => SequenceId::IndoorFlying1,
+        NetworkId::Halsie => SequenceId::OutdoorDay1,
+        NetworkId::E2Depth => SequenceId::DenseTown10,
+        NetworkId::Dotie => SequenceId::IndoorFlying2,
+    }
+}
+
+/// The ΔA threshold per network (the paper's Table 2 deltas).
+pub fn delta_a_for(network: NetworkId) -> f64 {
+    match network {
+        NetworkId::SpikeFlowNet => 0.03,
+        NetworkId::FusionFlowNet => 0.07,
+        NetworkId::AdaptiveSpikeNet => 0.09,
+        NetworkId::Halsie => 2.13,
+        NetworkId::E2Depth => 0.02,
+        NetworkId::Dotie => 0.04,
+        NetworkId::EvFlowNet => 0.04,
+    }
+}
+
+fn analysis_window(quick: bool) -> TimeWindow {
+    let ms = if quick { 100 } else { 250 };
+    TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(ms))
+}
+
+fn nmp_config(quick: bool) -> NmpConfig {
+    if quick {
+        NmpConfig {
+            population: 16,
+            generations: 10,
+            ..NmpConfig::default()
+        }
+    } else {
+        NmpConfig {
+            population: 32,
+            generations: 30,
+            ..NmpConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------
+
+/// One temporal-resolution point of Figure 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Event bins per frame interval (`nB`).
+    pub bins: usize,
+    /// Mean % of pixels with events per frame.
+    pub mean_fill_pct: f64,
+    /// Modeled MACs actually needed per inference (sparsity-aware), in
+    /// millions.
+    pub actual_mmacs: f64,
+    /// Dense MACs a fixed-size implementation performs, in millions.
+    pub dense_mmacs: f64,
+    /// % of dense operations wasted on zeros.
+    pub wasted_pct: f64,
+}
+
+/// Figure 1 companion: *measured* effectual work from real sparse
+/// execution at reduced scale.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Measured {
+    /// Real MACs executed by the sparse kernels.
+    pub measured_macs: u64,
+    /// MACs the dense equivalent performs.
+    pub dense_macs: u64,
+    /// Measured effectual fraction.
+    pub effectual_fraction: f64,
+}
+
+/// Figure 1 result: event sparsity vs operations for Adaptive-SpikeNet on
+/// `indoor_flying1`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Result {
+    /// Modeled rows over the `nB` sweep (MVSEC scale).
+    pub rows: Vec<Fig1Row>,
+    /// Ground measurement from real kernels (reduced scale).
+    pub measured: Fig1Measured,
+}
+
+/// Regenerates Figure 1.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn figure1(quick: bool) -> Result<Fig1Result, Box<dyn Error>> {
+    let network = NetworkId::AdaptiveSpikeNet;
+    let seq = sequence_for(network).sequence();
+    let window = analysis_window(quick);
+    let events = seq.generate(window)?;
+    let intervals = seq.frame_intervals(window);
+
+    // Modeled sweep at MVSEC scale.
+    let graph = network.build(&ZooConfig::mvsec())?;
+    let workloads = graph.workloads();
+    let dense_macs_total: u64 = workloads.iter().map(|w| w.macs).sum();
+    let mut rows = Vec::new();
+    for bins in [1usize, 2, 4, 8, 16, 32] {
+        let frames = E2sf::new(E2sfConfig::new(bins)).convert_intervals(&events, &intervals)?;
+        let mean_fill = frames
+            .iter()
+            .map(|f| f.spatial_density())
+            .sum::<f64>()
+            / frames.len().max(1) as f64;
+        // Sparsity-aware work: input layer scales with frame fill, deeper
+        // spiking layers with their spike density (ideal sparse hardware).
+        let mut actual = 0.0f64;
+        for (i, w) in workloads.iter().enumerate() {
+            let density = if i == 0 { mean_fill } else { 0.08 };
+            actual += w.macs as f64 * sparsity_work_factor(1.0, density);
+        }
+        rows.push(Fig1Row {
+            bins,
+            mean_fill_pct: mean_fill * 100.0,
+            actual_mmacs: actual / 1e6,
+            dense_mmacs: dense_macs_total as f64 / 1e6,
+            wasted_pct: 100.0 * (1.0 - actual / dense_macs_total as f64),
+        });
+    }
+
+    // Measured at reduced scale: real sparse kernels on real frames.
+    let zoo = ZooConfig::small();
+    let geometry = SensorGeometry::new(zoo.width as u32, zoo.height as u32);
+    let mut generator = StatisticalGenerator::new(
+        geometry,
+        RateProfile::Constant(80_000.0),
+        SpatialModel::Blobs {
+            count: 4,
+            sigma: 3.0,
+            drift: 50.0,
+        },
+        7,
+    );
+    let small_window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(40));
+    let small_events = generator.generate(small_window)?;
+    let frames = E2sf::new(E2sfConfig::new(4)).convert(&small_events, small_window)?;
+    let mut executor = Executor::new(network.build(&zoo)?, 11);
+    let mut measured = 0u64;
+    let mut dense = 0u64;
+    for frame in &frames {
+        let result = executor.run(&Activation::Sparse(frame.tensor().clone()))?;
+        measured += result.total_actual().macs;
+        dense += result.total_dense_equivalent().macs;
+    }
+    Ok(Fig1Result {
+        rows,
+        measured: Fig1Measured {
+            measured_macs: measured,
+            dense_macs: dense,
+            effectual_fraction: measured as f64 / dense.max(1) as f64,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------
+
+/// One network's event-frame fill ratio (Figure 3).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// Network name.
+    pub network: String,
+    /// Its input representation (`nB`).
+    pub bins_per_interval: usize,
+    /// Mean % of pixels with events per event frame.
+    pub mean_fill_pct: f64,
+}
+
+/// Regenerates Figure 3: average event-frame density per network. The
+/// paper reports a 0.15%–28.57% spread.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn figure3(quick: bool) -> Result<Vec<Fig3Row>, Box<dyn Error>> {
+    let window = analysis_window(quick);
+    let mut rows = Vec::new();
+    let mut networks = NetworkId::TABLE1.to_vec();
+    networks.push(NetworkId::EvFlowNet);
+    for network in networks {
+        let seq = sequence_for(network).sequence();
+        let events = seq.generate(window)?;
+        let rep = representation_for(network);
+        // EV-FlowNet-style representations accumulate several grayscale
+        // intervals into one input window.
+        let intervals: Vec<TimeWindow> = seq
+            .frame_intervals(window)
+            .chunks(rep.intervals_accumulated)
+            .map(|chunk| {
+                TimeWindow::new(
+                    chunk.first().expect("nonempty chunk").start(),
+                    chunk.last().expect("nonempty chunk").end(),
+                )
+            })
+            .collect();
+        let frames = E2sf::new(E2sfConfig::new(rep.bins_per_interval))
+            .convert_intervals(&events, &intervals)?;
+        let mean_fill = frames
+            .iter()
+            .map(|f| f.spatial_density())
+            .sum::<f64>()
+            / frames.len().max(1) as f64;
+        rows.push(Fig3Row {
+            network: network.name().to_string(),
+            bins_per_interval: rep.bins_per_interval,
+            mean_fill_pct: mean_fill * 100.0,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------
+
+/// One temporal-density bin of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Bin {
+    /// Bin start, milliseconds.
+    pub t_ms: f64,
+    /// Event rate over the bin, events/second.
+    pub rate: f64,
+}
+
+/// Figure 5 result: temporal event density of `indoor_flying2`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Result {
+    /// The density series.
+    pub bins: Vec<Fig5Bin>,
+    /// Peak-to-mean rate ratio.
+    pub burstiness: f64,
+}
+
+/// Regenerates Figure 5.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn figure5(quick: bool) -> Result<Fig5Result, Box<dyn Error>> {
+    let window = if quick {
+        TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(400))
+    } else {
+        TimeWindow::new(Timestamp::ZERO, Timestamp::from_secs(2))
+    };
+    let seq = SequenceId::IndoorFlying2.sequence();
+    let events = seq.generate(window)?;
+    let density = temporal_density(&events, window, TimeDelta::from_millis(10));
+    let b = burstiness(&density);
+    Ok(Fig5Result {
+        bins: density
+            .iter()
+            .map(|d| Fig5Bin {
+                t_ms: d.start.as_millis_f64(),
+                rate: d.rate,
+            })
+            .collect(),
+        burstiness: b,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 (+ Table 2)
+// ---------------------------------------------------------------------
+
+/// One network's single-task results (Figure 8 bar group + Table 2 row).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Network name.
+    pub network: String,
+    /// Dense all-GPU makespan, ms.
+    pub baseline_ms: f64,
+    /// +E2SF makespan, ms.
+    pub e2sf_ms: f64,
+    /// +E2SF+DSFA makespan, ms.
+    pub dsfa_ms: f64,
+    /// +E2SF+DSFA+NMP makespan, ms.
+    pub nmp_ms: f64,
+    /// Speedup after E2SF.
+    pub speedup_e2sf: f64,
+    /// Cumulative speedup after DSFA.
+    pub speedup_dsfa: f64,
+    /// Cumulative speedup after NMP (the Figure 8 headline).
+    pub speedup_nmp: f64,
+    /// Baseline energy / Ev-Edge energy.
+    pub energy_ratio: f64,
+    /// Metric at full precision (Table 2 "Baseline").
+    pub metric_baseline: f64,
+    /// Metric under Ev-Edge (Table 2 "Ev-Edge").
+    pub metric_evedge: f64,
+    /// Metric unit/direction label.
+    pub metric_name: String,
+}
+
+/// Regenerates Figure 8 (single-task speedups) and the data behind
+/// Table 2.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn figure8(quick: bool) -> Result<Vec<Fig8Row>, Box<dyn Error>> {
+    let mut rows = Vec::new();
+    for network in NetworkId::TABLE1 {
+        let setup = PipelineSetup {
+            platform: Platform::xavier_agx(),
+            network,
+            zoo: ZooConfig::mvsec(),
+            sequence: sequence_for(network).sequence(),
+            window: analysis_window(quick),
+        };
+        let mut reports = Vec::new();
+        for variant in PipelineVariant::FIGURE8 {
+            let mut options = PipelineOptions::for_variant(variant, network);
+            options.nmp = nmp_config(quick);
+            reports.push(run_single_task(&setup, &options)?);
+        }
+        let baseline = &reports[0];
+        let e2sf = &reports[1];
+        let dsfa = &reports[2];
+        let nmp = &reports[3];
+        let ms = |r: &ev_edge::PipelineReport| r.makespan.as_secs_f64() * 1e3;
+        let accuracy = network.accuracy_model();
+        rows.push(Fig8Row {
+            network: network.name().to_string(),
+            baseline_ms: ms(baseline),
+            e2sf_ms: ms(e2sf),
+            dsfa_ms: ms(dsfa),
+            nmp_ms: ms(nmp),
+            speedup_e2sf: ms(baseline) / ms(e2sf),
+            speedup_dsfa: ms(baseline) / ms(dsfa),
+            speedup_nmp: ms(baseline) / ms(nmp),
+            energy_ratio: baseline.energy.ratio(nmp.energy),
+            metric_baseline: accuracy.baseline(),
+            metric_evedge: nmp.metric,
+            metric_name: accuracy.metric().to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------
+
+/// The multi-task configurations of §5.
+pub fn multitask_configs() -> Vec<(&'static str, Vec<NetworkId>)> {
+    vec![
+        ("all-ANN", vec![NetworkId::EvFlowNet, NetworkId::E2Depth]),
+        (
+            "all-SNN",
+            vec![NetworkId::Dotie, NetworkId::AdaptiveSpikeNet],
+        ),
+        (
+            "mixed SNN-ANN",
+            vec![
+                NetworkId::FusionFlowNet,
+                NetworkId::Halsie,
+                NetworkId::Dotie,
+                NetworkId::E2Depth,
+            ],
+        ),
+    ]
+}
+
+/// Builds the mapping problem for a multi-task configuration.
+///
+/// # Errors
+///
+/// Propagates graph/profile construction errors.
+pub fn build_problem(networks: &[NetworkId]) -> Result<MultiTaskProblem, Box<dyn Error>> {
+    let zoo = ZooConfig::mvsec();
+    let tasks = networks
+        .iter()
+        .map(|&n| {
+            Ok(TaskSpec::new(
+                n.build(&zoo)?,
+                n.accuracy_model(),
+                delta_a_for(n),
+            ))
+        })
+        .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
+    Ok(MultiTaskProblem::new(Platform::xavier_agx(), tasks)?)
+}
+
+/// One multi-task configuration's results (Figure 9 bar group).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Configuration name.
+    pub config: String,
+    /// RR-Network latency, ms.
+    pub rr_network_ms: f64,
+    /// RR-Layer latency, ms.
+    pub rr_layer_ms: f64,
+    /// Ev-Edge-NMP latency, ms.
+    pub nmp_ms: f64,
+    /// Ev-Edge-NMP-FP latency, ms.
+    pub nmp_fp_ms: f64,
+    /// NMP speedup over RR-Network (paper: 1.43×–1.81×).
+    pub speedup_vs_rr_network: f64,
+    /// NMP speedup over RR-Layer (paper: 1.24×–1.41×).
+    pub speedup_vs_rr_layer: f64,
+    /// NMP-FP slowdown vs NMP (paper: 1.05×–1.22×).
+    pub fp_slowdown: f64,
+}
+
+/// Regenerates Figure 9 (multi-task latency comparisons).
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn figure9(quick: bool) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
+    let mut rows = Vec::new();
+    for (name, networks) in multitask_configs() {
+        let problem = build_problem(&networks)?;
+        let mut evaluator = FitnessEvaluator::new(&problem, FitnessConfig::default());
+        let rr_net = evaluator.evaluate(&baseline::rr_network(&problem))?;
+        let rr_layer = evaluator.evaluate(&baseline::rr_layer(&problem))?;
+        let nmp = run_nmp(&problem, nmp_config(quick), FitnessConfig::default())?;
+        let fp = run_nmp(
+            &problem,
+            NmpConfig {
+                fp_only: true,
+                ..nmp_config(quick)
+            },
+            FitnessConfig::default(),
+        )?;
+        let ms = |d: TimeDelta| d.as_secs_f64() * 1e3;
+        rows.push(Fig9Row {
+            config: name.to_string(),
+            rr_network_ms: ms(rr_net.max_latency),
+            rr_layer_ms: ms(rr_layer.max_latency),
+            nmp_ms: ms(nmp.report.max_latency),
+            nmp_fp_ms: ms(fp.report.max_latency),
+            speedup_vs_rr_network: ms(rr_net.max_latency) / ms(nmp.report.max_latency),
+            speedup_vs_rr_layer: ms(rr_layer.max_latency) / ms(nmp.report.max_latency),
+            fp_slowdown: ms(fp.report.max_latency) / ms(nmp.report.max_latency),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------
+
+/// One generation point of a search-convergence curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct GenPoint {
+    /// Generation index.
+    pub generation: usize,
+    /// Best fitness score in the generation.
+    pub best_score: f64,
+    /// Mean fitness score across the population.
+    pub mean_score: f64,
+}
+
+/// Figure 10 result: NMP convergence (a) and NMP vs random search (b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Result {
+    /// Evolutionary-search history.
+    pub nmp_history: Vec<GenPoint>,
+    /// Random-search best-so-far history.
+    pub random_history: Vec<GenPoint>,
+    /// NMP best mapping latency, ms.
+    pub nmp_best_ms: f64,
+    /// Random-search best mapping latency, ms.
+    pub random_best_ms: f64,
+    /// `random / nmp` latency ratio (paper: 1.42×).
+    pub improvement_over_random: f64,
+}
+
+/// Regenerates Figure 10 on the mixed SNN-ANN configuration.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn figure10(quick: bool) -> Result<Fig10Result, Box<dyn Error>> {
+    let networks = vec![
+        NetworkId::FusionFlowNet,
+        NetworkId::Halsie,
+        NetworkId::Dotie,
+        NetworkId::E2Depth,
+    ];
+    let problem = build_problem(&networks)?;
+    let config = nmp_config(quick);
+    let nmp = run_nmp(&problem, config, FitnessConfig::default())?;
+    // Random search with an identical evaluation budget but no baseline
+    // seeding (pure random sampling, as the paper compares against).
+    let random = run_random_search(&problem, config, FitnessConfig::default())?;
+    let to_points = |history: &[ev_edge::nmp::evolution::GenerationStat]| {
+        history
+            .iter()
+            .map(|g| GenPoint {
+                generation: g.generation,
+                best_score: g.best_score,
+                mean_score: g.mean_score,
+            })
+            .collect::<Vec<_>>()
+    };
+    let nmp_ms = nmp.report.max_latency.as_secs_f64() * 1e3;
+    let random_ms = random.report.max_latency.as_secs_f64() * 1e3;
+    Ok(Fig10Result {
+        nmp_history: to_points(&nmp.history),
+        random_history: to_points(&random.history),
+        nmp_best_ms: nmp_ms,
+        random_best_ms: random_ms,
+        improvement_over_random: random_ms / nmp_ms,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md)
+// ---------------------------------------------------------------------
+
+/// One DSFA configuration's outcome in the threshold ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct DsfaAblationRow {
+    /// Merge mode.
+    pub cmode: String,
+    /// Merge-bucket capacity.
+    pub mb_size: usize,
+    /// Time threshold, ms.
+    pub mt_th_ms: f64,
+    /// Density threshold.
+    pub md_th: f64,
+    /// Pipeline makespan, ms.
+    pub makespan_ms: f64,
+    /// Speedup over the dense all-GPU baseline.
+    pub speedup: f64,
+    /// Mean frames merged per output frame.
+    pub merge_factor: f64,
+    /// Resulting metric degradation.
+    pub degradation: f64,
+}
+
+/// DSFA threshold/mode ablation on SpikeFlowNet (paper §4.2: `MtTh` and
+/// `MdTh` need per-task tuning; `MBsize` trades accuracy for performance).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>> {
+    use ev_edge::dsfa::{CMode, DsfaConfig};
+    let network = NetworkId::SpikeFlowNet;
+    let setup = PipelineSetup {
+        platform: Platform::xavier_agx(),
+        network,
+        zoo: ZooConfig::mvsec(),
+        sequence: sequence_for(network).sequence(),
+        window: analysis_window(quick),
+    };
+    let baseline = run_single_task(
+        &setup,
+        &PipelineOptions::for_variant(PipelineVariant::DenseAllGpu, network),
+    )?;
+    let baseline_ms = baseline.makespan.as_secs_f64() * 1e3;
+
+    let mut rows = Vec::new();
+    let sweeps: Vec<DsfaConfig> = vec![
+        // MBsize sweep at fixed thresholds.
+        DsfaConfig { mb_size: 1, ebuf_size: 8, ..DsfaConfig::default() },
+        DsfaConfig { mb_size: 2, ebuf_size: 8, ..DsfaConfig::default() },
+        DsfaConfig { mb_size: 4, ebuf_size: 8, ..DsfaConfig::default() },
+        DsfaConfig { mb_size: 8, ebuf_size: 8, ..DsfaConfig::default() },
+        // MtTh sweep.
+        DsfaConfig {
+            mt_th: TimeDelta::from_millis(2),
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            mt_th: TimeDelta::from_millis(100),
+            ..DsfaConfig::default()
+        },
+        // MdTh sweep.
+        DsfaConfig { md_th: 0.05, ..DsfaConfig::default() },
+        DsfaConfig { md_th: 5.0, ..DsfaConfig::default() },
+        // Merge modes.
+        DsfaConfig { cmode: CMode::CAverage, ..DsfaConfig::default() },
+        DsfaConfig { cmode: CMode::CBatch, ..DsfaConfig::default() },
+    ];
+    for dsfa in sweeps {
+        let options = PipelineOptions {
+            dsfa,
+            ..PipelineOptions::for_variant(PipelineVariant::E2sfDsfa, network)
+        };
+        let report = run_single_task(&setup, &options)?;
+        let ms = report.makespan.as_secs_f64() * 1e3;
+        let merge_factor = if report.inferences == 0 {
+            0.0
+        } else {
+            report.frames as f64 / report.inferences as f64
+        };
+        rows.push(DsfaAblationRow {
+            cmode: format!("{}", dsfa.cmode),
+            mb_size: dsfa.mb_size,
+            mt_th_ms: dsfa.mt_th.as_millis_f64(),
+            md_th: dsfa.md_th,
+            makespan_ms: ms,
+            speedup: baseline_ms / ms,
+            merge_factor,
+            degradation: report.degradation,
+        });
+    }
+    Ok(rows)
+}
+
+/// One GA-hyperparameter point of the search ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct GaAblationRow {
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+    /// Mutated layers per child.
+    pub mutation_layers: usize,
+    /// Elite fraction.
+    pub elite_fraction: f64,
+    /// Best mapping latency found, ms.
+    pub best_ms: f64,
+    /// Fitness evaluations spent (cache misses).
+    pub evaluations: usize,
+    /// Cache hits.
+    pub cache_hits: usize,
+}
+
+/// GA hyper-parameter ablation on the mixed SNN-ANN configuration.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn ga_ablation(quick: bool) -> Result<Vec<GaAblationRow>, Box<dyn Error>> {
+    let networks = vec![
+        NetworkId::FusionFlowNet,
+        NetworkId::Halsie,
+        NetworkId::Dotie,
+        NetworkId::E2Depth,
+    ];
+    let problem = build_problem(&networks)?;
+    let base = nmp_config(quick);
+    let mut variants = vec![
+        NmpConfig { population: base.population / 2, ..base },
+        base,
+        NmpConfig { population: base.population * 2, generations: base.generations / 2, ..base },
+        NmpConfig { mutation_layers: 1, ..base },
+        NmpConfig { mutation_layers: 6, ..base },
+        NmpConfig { elite_fraction: 0.1, ..base },
+        NmpConfig { elite_fraction: 0.5, ..base },
+    ];
+    // Without baseline seeding: measures pure-search quality.
+    variants.push(NmpConfig {
+        seed_baselines: false,
+        ..base
+    });
+    let mut rows = Vec::new();
+    for config in variants {
+        let result = run_nmp(&problem, config, FitnessConfig::default())?;
+        rows.push(GaAblationRow {
+            population: config.population,
+            generations: config.generations,
+            mutation_layers: config.mutation_layers,
+            elite_fraction: config.elite_fraction,
+            best_ms: result.report.max_latency.as_secs_f64() * 1e3,
+            evaluations: result.evaluations,
+            cache_hits: result.cache_hits,
+        });
+    }
+    Ok(rows)
+}
+
+/// One mapping policy's runtime behaviour (extension experiment).
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeRow {
+    /// Policy name.
+    pub policy: String,
+    /// Worst per-task mean latency, ms.
+    pub worst_mean_latency_ms: f64,
+    /// Total inputs dropped by bounded inference queues.
+    pub dropped: u64,
+    /// Total inferences completed.
+    pub completed: u64,
+    /// Mean processing-element utilization.
+    pub mean_utilization: f64,
+}
+
+/// Extension: plays the Figure 9 mixed configuration forward in simulated
+/// time with periodic concurrent inputs and bounded inference queues (the
+/// §4.2 drop rule), comparing mapping policies at runtime.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>> {
+    use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
+    use ev_edge::nmp::candidate::Candidate;
+
+    let networks = vec![
+        NetworkId::FusionFlowNet,
+        NetworkId::Halsie,
+        NetworkId::Dotie,
+        NetworkId::E2Depth,
+    ];
+    let problem = build_problem(&networks)?;
+    // Input periods: one inference per network timestep, slowed 3× so the
+    // platform sits *near* saturation — good mappings keep up, bad ones
+    // drop (pure overload would make every policy drop alike).
+    let periods: Vec<TimeDelta> = networks
+        .iter()
+        .map(|&n| {
+            let seq = sequence_for(n).sequence();
+            let rep = representation_for(n);
+            TimeDelta::from_micros(
+                3 * seq.gray_frame_interval.as_micros() / rep.timesteps().max(1) as i64,
+            )
+        })
+        .collect();
+    let config = MultiTaskRuntimeConfig::new(analysis_window(quick));
+    let nmp = run_nmp(&problem, nmp_config(quick), FitnessConfig::default())?;
+    // Extension: the same search minimizing schedulability load (per-task
+    // latency/period and per-PE utilization) — the right objective under
+    // periodic streaming arrivals. The problem is rebuilt with periods.
+    let zoo = ZooConfig::mvsec();
+    let streaming_tasks = networks
+        .iter()
+        .zip(&periods)
+        .map(|(&n, &p)| {
+            Ok(TaskSpec::new(n.build(&zoo)?, n.accuracy_model(), delta_a_for(n))
+                .with_period(p))
+        })
+        .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
+    let streaming_problem =
+        MultiTaskProblem::new(Platform::xavier_agx(), streaming_tasks)?;
+    let nmp_streaming = run_nmp(
+        &streaming_problem,
+        nmp_config(quick),
+        FitnessConfig {
+            objective: ev_edge::nmp::fitness::Objective::Streaming,
+            ..FitnessConfig::default()
+        },
+    )?;
+    let policies: Vec<(&str, Candidate)> = vec![
+        ("RR-Network", baseline::rr_network(&problem)),
+        ("RR-Layer", baseline::rr_layer(&problem)),
+        ("NMP (latency obj.)", nmp.best),
+        ("NMP (streaming obj.)", nmp_streaming.best),
+    ];
+    let mut rows = Vec::new();
+    for (name, candidate) in policies {
+        let report = run_multi_task_runtime(&problem, &candidate, &periods, config)?;
+        let mean_util = report.utilization.iter().sum::<f64>()
+            / report.utilization.len().max(1) as f64;
+        rows.push(RuntimeRow {
+            policy: name.to_string(),
+            worst_mean_latency_ms: report.worst_mean_latency().as_secs_f64() * 1e3,
+            dropped: report.total_dropped(),
+            completed: report.per_task.iter().map(|t| t.completed).sum(),
+            mean_utilization: mean_util,
+        });
+    }
+    Ok(rows)
+}
+
+/// One platform's mapping outcome in the cross-platform extension.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossPlatformRow {
+    /// Platform name.
+    pub platform: String,
+    /// All-GPU FP32 joint latency, ms.
+    pub all_gpu_ms: f64,
+    /// NMP-searched joint latency, ms.
+    pub nmp_ms: f64,
+    /// NMP speedup over all-GPU.
+    pub speedup: f64,
+    /// Fraction of layers the search kept on the GPU.
+    pub gpu_share: f64,
+    /// Fraction of layers at reduced (non-FP32) precision.
+    pub reduced_precision_share: f64,
+}
+
+/// Extension: the same mixed workload mapped onto three platform classes
+/// (Nano-like, Xavier AGX, Orin-like), showing how NMP's choices adapt to
+/// the hardware.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn cross_platform(quick: bool) -> Result<Vec<CrossPlatformRow>, Box<dyn Error>> {
+    use ev_edge::nmp::fitness::FitnessEvaluator;
+    let zoo = ZooConfig::mvsec();
+    let networks = [NetworkId::SpikeFlowNet, NetworkId::Dotie];
+    let platforms = vec![
+        Platform::nano_like(),
+        Platform::xavier_agx(),
+        Platform::orin_like(),
+    ];
+    let mut rows = Vec::new();
+    for platform in platforms {
+        let tasks = networks
+            .iter()
+            .map(|&n| {
+                Ok(TaskSpec::new(
+                    n.build(&zoo)?,
+                    n.accuracy_model(),
+                    delta_a_for(n),
+                ))
+            })
+            .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
+        let name = platform.name().to_string();
+        let problem = MultiTaskProblem::new(platform, tasks)?;
+        let mut evaluator = FitnessEvaluator::new(&problem, FitnessConfig::default());
+        let all_gpu = evaluator.evaluate(&baseline::all_gpu(&problem)?)?;
+        let result = run_nmp(&problem, nmp_config(quick), FitnessConfig::default())?;
+        let gpu_id = problem.platform().id_by_name("gpu").expect("gpu exists");
+        let assignments = result.best.assignments();
+        let gpu_share = assignments.iter().filter(|a| a.pe == gpu_id).count() as f64
+            / assignments.len() as f64;
+        let reduced = assignments
+            .iter()
+            .filter(|a| a.precision != ev_nn::Precision::Fp32)
+            .count() as f64
+            / assignments.len() as f64;
+        let ms = |d: TimeDelta| d.as_secs_f64() * 1e3;
+        rows.push(CrossPlatformRow {
+            platform: name,
+            all_gpu_ms: ms(all_gpu.max_latency),
+            nmp_ms: ms(result.report.max_latency),
+            speedup: ms(all_gpu.max_latency) / ms(result.report.max_latency),
+            gpu_share,
+            reduced_precision_share: reduced,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// One network summary row (Table 1).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Network name.
+    pub network: String,
+    /// Task.
+    pub task: String,
+    /// Network type: SNN / ANN / SNN-ANN.
+    pub kind: String,
+    /// Total parametered layers.
+    pub layers: usize,
+    /// Spiking layers.
+    pub snn_layers: usize,
+    /// Analog layers.
+    pub ann_layers: usize,
+}
+
+/// Regenerates Table 1 from the zoo registry.
+///
+/// # Errors
+///
+/// Propagates graph construction errors.
+pub fn table1() -> Result<Vec<Table1Row>, Box<dyn Error>> {
+    let zoo = ZooConfig::small();
+    let mut rows = Vec::new();
+    for network in NetworkId::TABLE1 {
+        let graph = network.build(&zoo)?;
+        let (snn, ann) = ev_nn::zoo::counted_layers(&graph);
+        let kind = match (snn, ann) {
+            (0, _) => "ANN",
+            (_, 0) => "SNN",
+            _ => "SNN-ANN",
+        };
+        rows.push(Table1Row {
+            network: network.name().to_string(),
+            task: graph.task().to_string(),
+            kind: kind.to_string(),
+            layers: snn + ann,
+            snn_layers: snn,
+            ann_layers: ann,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_reproduces_density_spread() {
+        let rows = figure3(true).unwrap();
+        let min = rows
+            .iter()
+            .map(|r| r.mean_fill_pct)
+            .fold(f64::INFINITY, f64::min);
+        let max = rows
+            .iter()
+            .map(|r| r.mean_fill_pct)
+            .fold(0.0f64, f64::max);
+        // Paper: 0.15%–28.57% — we target the same order of spread.
+        assert!(min < 2.0, "sparsest network {min}% should be <2%");
+        assert!(max > 8.0, "densest network {max}% should be >8%");
+        assert!(max / min > 10.0, "spread {min}–{max} too narrow");
+    }
+
+    #[test]
+    fn figure5_is_bursty() {
+        let result = figure5(true).unwrap();
+        assert!(result.burstiness > 2.0);
+        assert!(!result.bins.is_empty());
+    }
+
+    #[test]
+    fn figure1_shows_wasted_work() {
+        let result = figure1(true).unwrap();
+        assert!(result.rows.len() == 6);
+        // Finer binning → sparser frames.
+        assert!(result.rows[0].mean_fill_pct > result.rows[5].mean_fill_pct);
+        // Dense work wastes most operations at any resolution.
+        for row in &result.rows {
+            assert!(row.wasted_pct > 50.0, "row {row:?}");
+        }
+        // Real kernels confirm: well under half the dense MACs needed.
+        assert!(result.measured.effectual_fraction < 0.5);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1().unwrap();
+        assert_eq!(rows.len(), 6);
+        let by_name = |n: &str| rows.iter().find(|r| r.network == n).unwrap();
+        assert_eq!(by_name("SpikeFlowNet").layers, 12);
+        assert_eq!(by_name("Fusion-FlowNet").layers, 29);
+        assert_eq!(by_name("Adaptive-SpikeNet").layers, 8);
+        assert_eq!(by_name("HALSIE").layers, 16);
+        assert_eq!(by_name("E2Depth").layers, 15);
+        assert_eq!(by_name("DOTIE").layers, 1);
+        assert_eq!(by_name("HALSIE").kind, "SNN-ANN");
+        assert_eq!(by_name("DOTIE").kind, "SNN");
+        assert_eq!(by_name("E2Depth").kind, "ANN");
+    }
+}

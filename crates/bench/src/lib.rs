@@ -1,0 +1,23 @@
+//! # ev-bench — benchmark harness for the Ev-Edge reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_sparsity_ops` | Figure 1 — event sparsity vs operations |
+//! | `fig3_frame_density` | Figure 3 — per-network frame density |
+//! | `fig5_temporal_density` | Figure 5 — temporal event density |
+//! | `fig8_single_task` | Figure 8 — single-task speedups |
+//! | `fig9_multi_task` | Figure 9 — multi-task mapping comparison |
+//! | `fig10_search` | Figure 10 — search convergence & vs random |
+//! | `table1_networks` | Table 1 — network summary |
+//! | `table2_accuracy` | Table 2 — accuracy baseline vs Ev-Edge |
+//!
+//! Each binary accepts `--quick` (reduced budget) and `--json <path>`
+//! (machine-readable artifact). Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

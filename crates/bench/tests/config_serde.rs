@@ -1,0 +1,80 @@
+//! Experiment configurations are serde round-trippable (C-SERDE): runs can
+//! be described, archived and replayed as JSON.
+
+use ev_core::TimeDelta;
+use ev_edge::dsfa::{CMode, DsfaConfig};
+use ev_edge::e2sf::{E2sfConfig, FrameRepresentation};
+use ev_edge::nmp::evolution::NmpConfig;
+use ev_edge::pipeline::PipelineVariant;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string_pretty(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn dsfa_config_round_trips() {
+    let config = DsfaConfig {
+        ebuf_size: 12,
+        mb_size: 3,
+        mt_th: TimeDelta::from_millis(7),
+        md_th: 0.35,
+        cmode: CMode::CAverage,
+    };
+    assert_eq!(round_trip(&config), config);
+}
+
+#[test]
+fn e2sf_config_round_trips() {
+    let config =
+        E2sfConfig::new(16).with_representation(FrameRepresentation::CountsAndTimestamps);
+    assert_eq!(round_trip(&config), config);
+}
+
+#[test]
+fn nmp_config_round_trips() {
+    let config = NmpConfig {
+        population: 48,
+        generations: 77,
+        mutation_layers: 3,
+        elite_fraction: 0.33,
+        seed: 1234,
+        fp_only: true,
+        seed_baselines: false,
+    };
+    assert_eq!(round_trip(&config), config);
+}
+
+#[test]
+fn pipeline_variant_round_trips() {
+    for variant in [
+        PipelineVariant::DenseAllGpu,
+        PipelineVariant::DenseEncodeSparse,
+        PipelineVariant::E2sf,
+        PipelineVariant::E2sfDsfa,
+        PipelineVariant::E2sfDsfaNmp,
+    ] {
+        assert_eq!(round_trip(&variant), variant);
+    }
+}
+
+#[test]
+fn event_types_round_trip() {
+    use ev_core::event::{Event, Polarity, SensorGeometry};
+    use ev_core::Timestamp;
+    let ev = Event::new(12, 34, Timestamp::from_micros(5678), Polarity::Off);
+    assert_eq!(round_trip(&ev), ev);
+    let g = SensorGeometry::DAVIS346;
+    assert_eq!(round_trip(&g), g);
+}
+
+#[test]
+fn zoo_config_round_trips() {
+    use ev_nn::zoo::{NetworkId, ZooConfig};
+    let cfg = ZooConfig::mvsec();
+    assert_eq!(round_trip(&cfg), cfg);
+    assert_eq!(round_trip(&NetworkId::Halsie), NetworkId::Halsie);
+}

@@ -1,0 +1,644 @@
+//! Concurrent multi-task runtime simulation.
+//!
+//! While [`crate::nmp::fitness`] scores a mapping by scheduling one joint
+//! inference (the paper's offline candidate evaluation), this module plays
+//! a mapping forward in simulated time: every task receives periodic
+//! inputs, inferences contend for the shared processing-element queues,
+//! and each task's bounded inference queue drops its oldest input under
+//! overload (§4.2). This is the runtime view of the Figure 9 scenario.
+
+use crate::nmp::candidate::Candidate;
+use crate::nmp::multitask::MultiTaskProblem;
+use crate::queue::InferenceQueue;
+use crate::EvEdgeError;
+use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_nn::LayerId;
+use ev_platform::energy::Energy;
+use ev_platform::latency::transfer_cost;
+use ev_platform::timeline::DeviceTimeline;
+
+/// Configuration of a runtime multi-task simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTaskRuntimeConfig {
+    /// Simulated duration.
+    pub window: TimeWindow,
+    /// Per-task inference-queue capacity (pending inputs before drops).
+    pub queue_capacity: usize,
+}
+
+impl MultiTaskRuntimeConfig {
+    /// A 100 ms window with depth-2 queues.
+    pub fn new(window: TimeWindow) -> Self {
+        MultiTaskRuntimeConfig {
+            window,
+            queue_capacity: 2,
+        }
+    }
+}
+
+/// Runtime statistics of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRuntimeReport {
+    /// Task name.
+    pub name: String,
+    /// Inputs that arrived.
+    pub arrivals: u64,
+    /// Inferences completed.
+    pub completed: u64,
+    /// Inputs dropped by the bounded queue.
+    pub dropped: u64,
+    /// Mean input-to-completion latency over completed inferences.
+    pub mean_latency: TimeDelta,
+    /// Worst input-to-completion latency.
+    pub max_latency: TimeDelta,
+}
+
+/// The outcome of a runtime simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTaskRuntimeReport {
+    /// Per-task statistics.
+    pub per_task: Vec<TaskRuntimeReport>,
+    /// Completion time of the last inference.
+    pub makespan: TimeDelta,
+    /// Total modeled energy.
+    pub energy: Energy,
+    /// Per-queue busy-time utilization over the makespan.
+    pub utilization: Vec<f64>,
+}
+
+impl MultiTaskRuntimeReport {
+    /// The highest per-task mean latency (the runtime analogue of
+    /// Equation 2's `max_i Latency(T_i)`).
+    pub fn worst_mean_latency(&self) -> TimeDelta {
+        self.per_task
+            .iter()
+            .map(|t| t.mean_latency)
+            .max()
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Total dropped inputs across tasks.
+    pub fn total_dropped(&self) -> u64 {
+        self.per_task.iter().map(|t| t.dropped).sum()
+    }
+}
+
+/// Simulates `candidate` executing the problem's tasks concurrently, with
+/// task `i` receiving a new input every `periods[i]`.
+///
+/// Execution model: arrivals enter per-task bounded queues; a task starts
+/// its next inference when its previous one finished and an input is
+/// pending; layers reserve their mapped processing-element queues in
+/// dependency order (cross-PE edges pay unified-memory transfers on the
+/// shared memory queue). First-come-first-served across tasks.
+///
+/// # Errors
+///
+/// Returns [`EvEdgeError`] for invalid candidates or period/task count
+/// mismatches.
+pub fn run_multi_task_runtime(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    periods: &[TimeDelta],
+    config: MultiTaskRuntimeConfig,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    let tasks = problem.tasks();
+    if periods.len() != tasks.len() {
+        return Err(EvEdgeError::PeriodCountMismatch {
+            tasks: tasks.len(),
+            periods: periods.len(),
+        });
+    }
+    for (i, p) in periods.iter().enumerate() {
+        if p.as_micros() <= 0 {
+            return Err(EvEdgeError::InvalidPeriod { task: i });
+        }
+    }
+    let platform = problem.platform();
+    let mut timeline = DeviceTimeline::new(platform.queue_count());
+
+    // Per-task state.
+    let mut queues: Vec<InferenceQueue<Timestamp>> = tasks
+        .iter()
+        .map(|_| InferenceQueue::new(config.queue_capacity))
+        .collect();
+    let mut next_arrival: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
+    let mut task_free: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
+    let mut arrivals = vec![0u64; tasks.len()];
+    let mut completed = vec![0u64; tasks.len()];
+    let mut latency_sum = vec![0i64; tasks.len()];
+    let mut latency_max = vec![TimeDelta::ZERO; tasks.len()];
+    let mut energy = Energy::ZERO;
+    let mut makespan_end = config.window.start();
+
+    // Event loop over arrivals in global time order.
+    #[allow(clippy::while_let_loop)]
+    loop {
+        // Deliver every arrival that happens before the next inference can
+        // be considered; pick the earliest pending event.
+        let (task, arrival) = match next_arrival
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t < config.window.end())
+            .min_by_key(|(_, t)| **t)
+        {
+            Some((i, t)) => (i, *t),
+            None => break,
+        };
+        next_arrival[task] = arrival + periods[task];
+        arrivals[task] += 1;
+        queues[task].push(arrival);
+
+        // Greedy: run as many pending inferences as possible for tasks
+        // whose previous inference has finished by this arrival.
+        for t in 0..tasks.len() {
+            while task_free[t] <= arrival {
+                let Some(input_time) = queues[t].pop() else {
+                    break;
+                };
+                let ready = input_time.max(task_free[t]);
+                let (end, job_energy) =
+                    schedule_inference(problem, candidate, t, ready, &mut timeline)?;
+                energy += job_energy;
+                task_free[t] = end;
+                makespan_end = makespan_end.max(end);
+                completed[t] += 1;
+                let latency = end - input_time;
+                latency_sum[t] += latency.as_micros();
+                latency_max[t] = latency_max[t].max(latency);
+            }
+        }
+    }
+    // Drain: finish everything still queued.
+    for t in 0..tasks.len() {
+        while let Some(input_time) = queues[t].pop() {
+            let ready = input_time.max(task_free[t]);
+            let (end, job_energy) =
+                schedule_inference(problem, candidate, t, ready, &mut timeline)?;
+            energy += job_energy;
+            task_free[t] = end;
+            makespan_end = makespan_end.max(end);
+            completed[t] += 1;
+            let latency = end - input_time;
+            latency_sum[t] += latency.as_micros();
+            latency_max[t] = latency_max[t].max(latency);
+        }
+    }
+
+    let makespan = makespan_end - config.window.start();
+    energy += Energy::from_joules(platform.static_power_w * makespan.as_secs_f64());
+    let per_task = tasks
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TaskRuntimeReport {
+            name: spec.name.clone(),
+            arrivals: arrivals[t],
+            completed: completed[t],
+            dropped: queues[t].dropped(),
+            mean_latency: if completed[t] == 0 {
+                TimeDelta::ZERO
+            } else {
+                TimeDelta::from_micros(latency_sum[t] / completed[t] as i64)
+            },
+            max_latency: latency_max[t],
+        })
+        .collect();
+    let utilization = (0..platform.queue_count())
+        .map(|q| timeline.utilization(q, makespan))
+        .collect();
+    Ok(MultiTaskRuntimeReport {
+        per_task,
+        makespan,
+        energy,
+        utilization,
+    })
+}
+
+/// Schedules one inference of `task` starting no earlier than `ready`,
+/// reserving PE queues layer by layer; returns its completion time and
+/// energy.
+fn schedule_inference(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    task: usize,
+    ready: Timestamp,
+    timeline: &mut DeviceTimeline,
+) -> Result<(Timestamp, Energy), EvEdgeError> {
+    let platform = problem.platform();
+    let graph = &problem.tasks()[task].graph;
+    let memory_queue = platform.memory_queue();
+    let mut end_of: Vec<Timestamp> = vec![ready; graph.len()];
+    let mut energy = Energy::ZERO;
+    let mut last_end = ready;
+    for layer in graph.layers() {
+        let l = layer.id.0;
+        let global = problem.global_index(task, l);
+        let a = candidate.assignment(global);
+        let cost = problem
+            .profile(task)
+            .layer(l)
+            .cost(a.pe, a.precision)
+            .ok_or(EvEdgeError::UnsupportedAssignment {
+                task,
+                layer: l,
+                pe: a.pe,
+                precision: a.precision,
+            })?;
+        energy += cost.energy;
+        let mut dep_ready = ready;
+        for pred in graph.predecessors(LayerId(l)) {
+            let pa = candidate.assignment(problem.global_index(task, pred.0));
+            let mut pred_end = end_of[pred.0];
+            if pa.pe != a.pe {
+                let bytes = problem.workload(task, pred.0).output_bytes;
+                let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
+                energy += tc.energy;
+                let t_start = timeline.earliest_start(memory_queue, pred_end)?;
+                pred_end = timeline.reserve(memory_queue, t_start, tc.latency)?;
+            }
+            dep_ready = dep_ready.max(pred_end);
+        }
+        let start = timeline.earliest_start(a.pe.0, dep_ready)?;
+        let end = timeline.reserve(a.pe.0, start, cost.latency)?;
+        end_of[l] = end;
+        last_end = last_end.max(end);
+    }
+    Ok((last_end, energy))
+}
+
+/// One task of a full streaming scenario: its own sequence, E2SF binning
+/// and DSFA aggregation feeding the shared platform.
+#[derive(Debug, Clone)]
+pub struct StreamTask {
+    /// The network (index into the problem's tasks must match).
+    pub sequence: ev_datasets::mvsec::Sequence,
+    /// Event bins per grayscale interval.
+    pub bins_per_interval: usize,
+    /// DSFA configuration for this task's frontend.
+    pub dsfa: crate::dsfa::DsfaConfig,
+}
+
+/// Plays the complete Figure 4 system with several concurrent tasks:
+/// every task's camera stream runs through its own E2SF + DSFA frontend;
+/// merged batches enter bounded inference queues; inferences contend for
+/// the shared processing elements under `candidate`'s mapping.
+///
+/// DSFA's hardware-availability rule uses the task's own execution state:
+/// a batch is flushed early whenever a frame arrives while the task has no
+/// inference in flight.
+///
+/// # Errors
+///
+/// Returns [`EvEdgeError`] on task-count mismatches or simulation errors.
+pub fn run_multi_task_streams(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    streams: &[StreamTask],
+    config: MultiTaskRuntimeConfig,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    use crate::e2sf::{E2sf, E2sfConfig};
+
+    let tasks = problem.tasks();
+    if streams.len() != tasks.len() {
+        return Err(EvEdgeError::PeriodCountMismatch {
+            tasks: tasks.len(),
+            periods: streams.len(),
+        });
+    }
+    let platform = problem.platform();
+    let mut timeline = DeviceTimeline::new(platform.queue_count());
+
+    // Frontend: per-task frame streams (precomputed — generation is
+    // deterministic and arrival times are data-independent).
+    let mut frame_streams: Vec<Vec<crate::frame::SparseFrame>> = Vec::with_capacity(streams.len());
+    for stream in streams {
+        let events = stream.sequence.generate(config.window)?;
+        let intervals = stream.sequence.frame_intervals(config.window);
+        let frames = E2sf::new(E2sfConfig::new(stream.bins_per_interval))
+            .convert_intervals(&events, &intervals)?;
+        frame_streams.push(frames);
+    }
+
+    // Global arrival order: (ready time, task, frame index).
+    let mut arrivals: Vec<(Timestamp, usize, usize)> = frame_streams
+        .iter()
+        .enumerate()
+        .flat_map(|(t, frames)| {
+            frames
+                .iter()
+                .enumerate()
+                .map(move |(i, f)| (f.ready_at(), t, i))
+        })
+        .collect();
+    arrivals.sort_by_key(|(ready, t, i)| (*ready, *t, *i));
+
+    let mut dsfas: Vec<crate::dsfa::Dsfa> = streams
+        .iter()
+        .map(|s| crate::dsfa::Dsfa::new(s.dsfa))
+        .collect::<Result<_, _>>()?;
+    let mut queues: Vec<InferenceQueue<Timestamp>> = tasks
+        .iter()
+        .map(|_| InferenceQueue::new(config.queue_capacity))
+        .collect();
+    let mut task_free: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
+    let mut arrivals_count = vec![0u64; tasks.len()];
+    let mut completed = vec![0u64; tasks.len()];
+    let mut latency_sum = vec![0i64; tasks.len()];
+    let mut latency_max = vec![TimeDelta::ZERO; tasks.len()];
+    let mut energy = Energy::ZERO;
+    let mut makespan_end = config.window.start();
+
+    let service = |t: usize,
+                   now: Timestamp,
+                   queues: &mut Vec<InferenceQueue<Timestamp>>,
+                       task_free: &mut Vec<Timestamp>,
+                       timeline: &mut DeviceTimeline,
+                       energy: &mut Energy,
+                       completed: &mut Vec<u64>,
+                       latency_sum: &mut Vec<i64>,
+                       latency_max: &mut Vec<TimeDelta>,
+                       makespan_end: &mut Timestamp|
+     -> Result<(), EvEdgeError> {
+        while task_free[t] <= now {
+            let Some(input_time) = queues[t].pop() else {
+                break;
+            };
+            let ready = input_time.max(task_free[t]);
+            let (end, job_energy) = schedule_inference(problem, candidate, t, ready, timeline)?;
+            *energy += job_energy;
+            task_free[t] = end;
+            *makespan_end = (*makespan_end).max(end);
+            completed[t] += 1;
+            let latency = end - input_time;
+            latency_sum[t] += latency.as_micros();
+            latency_max[t] = latency_max[t].max(latency);
+        }
+        Ok(())
+    };
+
+    for (ready, t, i) in arrivals {
+        let frame = frame_streams[t][i].clone();
+        arrivals_count[t] += 1;
+        // DSFA hardware-availability rule: task idle → flush early.
+        if task_free[t] <= ready {
+            if let Some(batch) = dsfas[t].flush(ready) {
+                queues[t].push(batch.emitted_at);
+            }
+        }
+        if let Some(batch) = dsfas[t].push(frame)? {
+            queues[t].push(batch.emitted_at);
+        }
+        // Serve every task that can make progress at this instant.
+        for task in 0..tasks.len() {
+            service(
+                task,
+                ready,
+                &mut queues,
+                &mut task_free,
+                &mut timeline,
+                &mut energy,
+                &mut completed,
+                &mut latency_sum,
+                &mut latency_max,
+                &mut makespan_end,
+            )?;
+        }
+    }
+    // Drain: flush frontends, then run every remaining queued input.
+    for t in 0..tasks.len() {
+        let tail = task_free[t].max(config.window.end());
+        if let Some(batch) = dsfas[t].flush(tail) {
+            queues[t].push(batch.emitted_at);
+        }
+        service(
+            t,
+            Timestamp::MAX,
+            &mut queues,
+            &mut task_free,
+            &mut timeline,
+            &mut energy,
+            &mut completed,
+            &mut latency_sum,
+            &mut latency_max,
+            &mut makespan_end,
+        )?;
+    }
+
+    let makespan = makespan_end - config.window.start();
+    energy += Energy::from_joules(platform.static_power_w * makespan.as_secs_f64());
+    let per_task = tasks
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TaskRuntimeReport {
+            name: spec.name.clone(),
+            arrivals: arrivals_count[t],
+            completed: completed[t],
+            dropped: queues[t].dropped(),
+            mean_latency: if completed[t] == 0 {
+                TimeDelta::ZERO
+            } else {
+                TimeDelta::from_micros(latency_sum[t] / completed[t] as i64)
+            },
+            max_latency: latency_max[t],
+        })
+        .collect();
+    let utilization = (0..platform.queue_count())
+        .map(|q| timeline.utilization(q, makespan))
+        .collect();
+    Ok(MultiTaskRuntimeReport {
+        per_task,
+        makespan,
+        energy,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmp::baseline;
+    use crate::nmp::evolution::{run_nmp, NmpConfig};
+    use crate::nmp::fitness::FitnessConfig;
+    use crate::nmp::multitask::TaskSpec;
+    use ev_nn::zoo::{NetworkId, ZooConfig};
+    use ev_platform::pe::Platform;
+
+    fn problem() -> MultiTaskProblem {
+        let cfg = ZooConfig::mvsec();
+        MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![
+                TaskSpec::new(
+                    NetworkId::Dotie.build(&cfg).unwrap(),
+                    NetworkId::Dotie.accuracy_model(),
+                    0.04,
+                ),
+                TaskSpec::new(
+                    NetworkId::E2Depth.build(&cfg).unwrap(),
+                    NetworkId::E2Depth.accuracy_model(),
+                    0.02,
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn window_ms(ms: u64) -> MultiTaskRuntimeConfig {
+        MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(ms),
+        ))
+    }
+
+    #[test]
+    fn runtime_executes_all_tasks() {
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let periods = [TimeDelta::from_millis(5), TimeDelta::from_millis(10)];
+        let report =
+            run_multi_task_runtime(&p, &candidate, &periods, window_ms(100)).unwrap();
+        assert_eq!(report.per_task.len(), 2);
+        for t in &report.per_task {
+            assert!(t.arrivals > 0);
+            assert!(t.completed > 0);
+            assert!(t.completed + t.dropped <= t.arrivals + 2);
+            assert!(t.mean_latency <= t.max_latency);
+        }
+        assert!(report.makespan > TimeDelta::ZERO);
+        assert!(report.utilization.iter().any(|u| *u > 0.0));
+    }
+
+    #[test]
+    fn overload_drops_oldest_inputs() {
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        // Absurdly fast arrivals: queues must drop.
+        let periods = [TimeDelta::from_micros(100), TimeDelta::from_micros(100)];
+        let report =
+            run_multi_task_runtime(&p, &candidate, &periods, window_ms(20)).unwrap();
+        assert!(report.total_dropped() > 0, "overload must drop inputs");
+        // Bounded queues bound latency: mean stays within a few periods of
+        // the service time, not proportional to the whole window.
+        for t in &report.per_task {
+            assert!(t.mean_latency < TimeDelta::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn nmp_mapping_beats_rr_at_runtime() {
+        let p = problem();
+        let nmp = run_nmp(
+            &p,
+            NmpConfig {
+                population: 16,
+                generations: 10,
+                seed: 3,
+                ..NmpConfig::default()
+            },
+            FitnessConfig::default(),
+        )
+        .unwrap();
+        let periods = [TimeDelta::from_millis(4), TimeDelta::from_millis(8)];
+        let rr = run_multi_task_runtime(
+            &p,
+            &baseline::rr_network(&p),
+            &periods,
+            window_ms(80),
+        )
+        .unwrap();
+        let opt =
+            run_multi_task_runtime(&p, &nmp.best, &periods, window_ms(80)).unwrap();
+        // The offline winner also wins at runtime (fewer drops or lower
+        // worst mean latency).
+        let rr_score = (rr.total_dropped(), rr.worst_mean_latency());
+        let opt_score = (opt.total_dropped(), opt.worst_mean_latency());
+        assert!(
+            opt_score <= rr_score,
+            "NMP at runtime {opt_score:?} vs RR {rr_score:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_frontends_drive_inference() {
+        use ev_datasets::mvsec::SequenceId;
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let streams = vec![
+            StreamTask {
+                sequence: SequenceId::IndoorFlying2.sequence(),
+                bins_per_interval: 8,
+                dsfa: crate::dsfa::DsfaConfig::default(),
+            },
+            StreamTask {
+                sequence: SequenceId::DenseTown10.sequence(),
+                bins_per_interval: 4,
+                dsfa: crate::dsfa::DsfaConfig {
+                    cmode: crate::dsfa::CMode::CBatch,
+                    mb_size: 1,
+                    ..crate::dsfa::DsfaConfig::default()
+                },
+            },
+        ];
+        let report =
+            run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
+        for t in &report.per_task {
+            assert!(t.arrivals > 0, "{}: frames arrived", t.name);
+            assert!(t.completed > 0, "{}: inferences ran", t.name);
+        }
+        assert!(report.makespan > TimeDelta::ZERO);
+        // Deterministic.
+        let again =
+            run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn streaming_task_count_validated() {
+        use ev_datasets::mvsec::SequenceId;
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let streams = vec![StreamTask {
+            sequence: SequenceId::IndoorFlying1.sequence(),
+            bins_per_interval: 4,
+            dsfa: crate::dsfa::DsfaConfig::default(),
+        }];
+        assert!(matches!(
+            run_multi_task_streams(&p, &candidate, &streams, window_ms(20)),
+            Err(EvEdgeError::PeriodCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn period_validation() {
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        assert!(matches!(
+            run_multi_task_runtime(
+                &p,
+                &candidate,
+                &[TimeDelta::from_millis(5)],
+                window_ms(10)
+            ),
+            Err(EvEdgeError::PeriodCountMismatch { .. })
+        ));
+        assert!(matches!(
+            run_multi_task_runtime(
+                &p,
+                &candidate,
+                &[TimeDelta::ZERO, TimeDelta::from_millis(5)],
+                window_ms(10)
+            ),
+            Err(EvEdgeError::InvalidPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_runtime() {
+        let p = problem();
+        let candidate = baseline::rr_layer(&p);
+        let periods = [TimeDelta::from_millis(6), TimeDelta::from_millis(9)];
+        let a = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
+        let b = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,382 @@
+//! Candidate fitness: Equation 2 objective via Equation 3 scheduling.
+//!
+//! Fitness of a mapping candidate = the critical-path latency of the
+//! multi-task graph under per-device FIFO queues (computed by the
+//! `ev-platform` list scheduler), with data-transfer nodes inserted on the
+//! unified-memory queue wherever a producer and consumer layer sit on
+//! different elements, penalized when any task's accuracy degradation
+//! exceeds its ΔA threshold. Reports are cached by candidate hash, as the
+//! paper does.
+
+use crate::nmp::candidate::Candidate;
+use crate::nmp::multitask::MultiTaskProblem;
+use crate::EvEdgeError;
+use ev_core::TimeDelta;
+use ev_platform::energy::Energy;
+use ev_platform::latency::transfer_cost;
+use ev_platform::schedule::{list_schedule, SchedNode};
+use std::collections::HashMap;
+
+/// What the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// The paper's Equation 2: critical-path latency of one joint
+    /// multi-task inference.
+    #[default]
+    JointLatency,
+    /// Extension: the busiest processing element's busy time per joint
+    /// inference — the reciprocal of the sustainable inference rate.
+    BottleneckLoad,
+    /// Extension: schedulability load under periodic streaming arrivals —
+    /// the maximum of each task's `latency / period` (tasks are serial:
+    /// an inference must finish before its successor starts) and each
+    /// processing element's utilization `Σ_t busy_t / period_t`. A load
+    /// below 1 means the mapping sustains every task's input rate (see
+    /// `ev_edge::multipipe`). Tasks without a period fall back to their
+    /// latency in seconds.
+    Streaming,
+}
+
+/// Fitness evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitnessConfig {
+    /// Multiplicative latency penalty per unit of relative ΔA violation.
+    pub violation_penalty: f64,
+    /// The quantity being minimized.
+    pub objective: Objective,
+}
+
+impl Default for FitnessConfig {
+    fn default() -> Self {
+        FitnessConfig {
+            violation_penalty: 10.0,
+            objective: Objective::JointLatency,
+        }
+    }
+}
+
+/// The evaluated fitness of one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitnessReport {
+    /// Per-task critical-path latency.
+    pub per_task_latency: Vec<TimeDelta>,
+    /// The Equation 2 objective: `max_i Latency(T_i)`.
+    pub max_latency: TimeDelta,
+    /// Per-task accuracy degradation (metric units).
+    pub per_task_degradation: Vec<f64>,
+    /// Whether every task respects its ΔA threshold.
+    pub feasible: bool,
+    /// Total energy of one multi-task inference.
+    pub energy: Energy,
+    /// Busy time of the most-loaded processing element during one joint
+    /// inference (the throughput bottleneck).
+    pub bottleneck: TimeDelta,
+    /// Scalar score (lower is better): the objective in seconds, inflated
+    /// by constraint violations.
+    pub score: f64,
+}
+
+/// Caching fitness evaluator.
+#[derive(Debug)]
+pub struct FitnessEvaluator<'a> {
+    problem: &'a MultiTaskProblem,
+    config: FitnessConfig,
+    cache: HashMap<u64, FitnessReport>,
+    evaluations: usize,
+    cache_hits: usize,
+}
+
+impl<'a> FitnessEvaluator<'a> {
+    /// Creates an evaluator over a problem.
+    pub fn new(problem: &'a MultiTaskProblem, config: FitnessConfig) -> Self {
+        FitnessEvaluator {
+            problem,
+            config,
+            cache: HashMap::new(),
+            evaluations: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Evaluations performed (excluding cache hits).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Cache hits (candidates re-emerging across generations).
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Evaluates a candidate (cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvEdgeError::UnsupportedAssignment`] if the candidate maps
+    /// a layer to a (PE, precision) pair the platform cannot execute, and
+    /// propagates scheduling errors.
+    pub fn evaluate(&mut self, candidate: &Candidate) -> Result<FitnessReport, EvEdgeError> {
+        let key = candidate.cache_key();
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        let report = self.evaluate_uncached(candidate)?;
+        self.cache.insert(key, report.clone());
+        self.evaluations += 1;
+        Ok(report)
+    }
+
+    fn evaluate_uncached(&self, candidate: &Candidate) -> Result<FitnessReport, EvEdgeError> {
+        let problem = self.problem;
+        let platform = problem.platform();
+        let memory_queue = platform.memory_queue();
+
+        let mut nodes: Vec<SchedNode> = Vec::with_capacity(problem.node_count() * 2);
+        let mut energy = Energy::ZERO;
+        // compute_node[global] = scheduler node index of the layer.
+        let mut compute_node = vec![usize::MAX; problem.node_count()];
+        // Per-task node index lists to extract per-task latency.
+        let mut task_nodes: Vec<Vec<usize>> = vec![Vec::new(); problem.tasks().len()];
+        // Busy seconds per (PE, task) for the streaming objective.
+        let mut pe_task_busy =
+            vec![vec![0.0f64; problem.tasks().len()]; platform.elements().len()];
+
+        for global in 0..problem.node_count() {
+            let (t, l) = problem.node(global);
+            let a = candidate.assignment(global);
+            let cost = problem
+                .profile(t)
+                .layer(l)
+                .cost(a.pe, a.precision)
+                .ok_or(EvEdgeError::UnsupportedAssignment {
+                    task: t,
+                    layer: l,
+                    pe: a.pe,
+                    precision: a.precision,
+                })?;
+            energy += cost.energy;
+
+            let graph = &problem.tasks()[t].graph;
+            let mut deps = Vec::new();
+            for pred in graph.predecessors(ev_nn::LayerId(l)) {
+                let pred_global = problem.global_index(t, pred.0);
+                let pred_assignment = candidate.assignment(pred_global);
+                let pred_node = compute_node[pred_global];
+                debug_assert_ne!(pred_node, usize::MAX, "layers visit in topo order");
+                if pred_assignment.pe == a.pe {
+                    deps.push(pred_node);
+                } else {
+                    // Cross-PE edge: insert a transfer node on the unified-
+                    // memory queue (paper Figure 7a "data transfer nodes").
+                    let bytes = problem.workload(t, pred.0).output_bytes;
+                    let tc = transfer_cost(
+                        platform,
+                        pred_assignment.pe,
+                        a.pe,
+                        bytes,
+                        pred_assignment.precision,
+                    );
+                    energy += tc.energy;
+                    let transfer_idx = nodes.len();
+                    nodes.push(SchedNode::new(memory_queue, tc.latency, vec![pred_node]));
+                    deps.push(transfer_idx);
+                }
+            }
+            let idx = nodes.len();
+            nodes.push(SchedNode::new(a.pe.0, cost.latency, deps));
+            compute_node[global] = idx;
+            task_nodes[t].push(idx);
+            pe_task_busy[a.pe.0][t] += cost.latency.as_secs_f64();
+        }
+
+        let schedule = list_schedule(&nodes, platform.queue_count())?;
+        let per_task_latency: Vec<TimeDelta> = task_nodes
+            .iter()
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| schedule.timings[i].end)
+                    .max()
+                    .map(|end| end - ev_core::Timestamp::ZERO)
+                    .unwrap_or(TimeDelta::ZERO)
+            })
+            .collect();
+        let max_latency = per_task_latency
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(TimeDelta::ZERO);
+
+        let mut per_task_degradation = Vec::with_capacity(problem.tasks().len());
+        let mut violation = 0.0f64;
+        for (t, task) in problem.tasks().iter().enumerate() {
+            let precisions = candidate.task_precisions(problem, t);
+            let degradation =
+                task.accuracy
+                    .degradation(problem.shares(t), &precisions, task.aggregation);
+            if degradation > task.max_degradation && task.max_degradation > 0.0 {
+                violation += (degradation - task.max_degradation) / task.max_degradation;
+            }
+            per_task_degradation.push(degradation);
+        }
+        let feasible = violation == 0.0;
+        // Bottleneck: the busiest PE queue (the memory queue is excluded —
+        // transfers overlap with compute in steady state).
+        let bottleneck = (0..platform.elements().len())
+            .map(|q| schedule.queue_busy[q])
+            .max()
+            .unwrap_or(TimeDelta::ZERO);
+        let objective_secs = match self.config.objective {
+            Objective::JointLatency => max_latency.as_secs_f64(),
+            Objective::BottleneckLoad => bottleneck.as_secs_f64(),
+            Objective::Streaming => {
+                let mut load = 0.0f64;
+                for (t, task) in problem.tasks().iter().enumerate() {
+                    let latency_s = per_task_latency[t].as_secs_f64();
+                    load = load.max(match task.arrival_period {
+                        Some(p) => latency_s / p.as_secs_f64(),
+                        None => latency_s,
+                    });
+                }
+                for pe_busy in &pe_task_busy {
+                    let mut util = 0.0;
+                    for (t, busy) in pe_busy.iter().enumerate() {
+                        if let Some(p) = problem.tasks()[t].arrival_period {
+                            util += busy / p.as_secs_f64();
+                        }
+                    }
+                    load = load.max(util);
+                }
+                load
+            }
+        };
+        let score = objective_secs * (1.0 + self.config.violation_penalty * violation);
+        Ok(FitnessReport {
+            per_task_latency,
+            max_latency,
+            per_task_degradation,
+            feasible,
+            energy,
+            bottleneck,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmp::baseline;
+    use crate::nmp::multitask::TaskSpec;
+    use ev_nn::zoo::{NetworkId, ZooConfig};
+    use ev_nn::Precision;
+    use ev_platform::pe::Platform;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem() -> MultiTaskProblem {
+        let cfg = ZooConfig::small();
+        MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![
+                TaskSpec::new(
+                    NetworkId::Dotie.build(&cfg).unwrap(),
+                    NetworkId::Dotie.accuracy_model(),
+                    0.04,
+                ),
+                TaskSpec::new(
+                    NetworkId::E2Depth.build(&cfg).unwrap(),
+                    NetworkId::E2Depth.accuracy_model(),
+                    0.02,
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_gpu_candidate_evaluates() {
+        let p = problem();
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let c = baseline::all_gpu(&p).unwrap();
+        let report = eval.evaluate(&c).unwrap();
+        assert!(report.max_latency > TimeDelta::ZERO);
+        assert_eq!(report.per_task_latency.len(), 2);
+        assert!(report.feasible, "full precision has zero degradation");
+        assert!(report.energy > Energy::ZERO);
+        assert!(
+            report.max_latency >= *report.per_task_latency.iter().min().unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_hits_on_reevaluation() {
+        let p = problem();
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let c = baseline::all_gpu(&p).unwrap();
+        let a = eval.evaluate(&c).unwrap();
+        let b = eval.evaluate(&c).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(eval.evaluations(), 1);
+        assert_eq!(eval.cache_hits(), 1);
+    }
+
+    #[test]
+    fn int8_everywhere_violates_delta_a() {
+        let p = problem();
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        // All-GPU INT8: fast but exceeds each task's ΔA (anchored at 1.2Δ).
+        let assignments = (0..p.node_count())
+            .map(|_| crate::nmp::candidate::Assignment {
+                pe: p.platform().id_by_name("gpu").unwrap(),
+                precision: Precision::Int8,
+            })
+            .collect();
+        let c = Candidate::from_assignments(assignments);
+        let report = eval.evaluate(&c).unwrap();
+        assert!(!report.feasible);
+        // Penalty inflates the score above the raw latency.
+        assert!(report.score > report.max_latency.as_secs_f64());
+    }
+
+    #[test]
+    fn random_candidates_all_evaluate() {
+        let p = problem();
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..20 {
+            let c = Candidate::random(&p, &mut rng);
+            let report = eval.evaluate(&c).unwrap();
+            assert!(report.max_latency > TimeDelta::ZERO);
+        }
+    }
+
+    #[test]
+    fn cross_pe_mapping_pays_transfers() {
+        let p = problem();
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        // Everything on GPU FP16 vs alternating GPU/DLA FP16: the
+        // alternating one must pay unified-memory transfers.
+        let gpu = p.platform().id_by_name("gpu").unwrap();
+        let dla = p.platform().id_by_name("dla0").unwrap();
+        let same: Vec<_> = (0..p.node_count())
+            .map(|_| crate::nmp::candidate::Assignment {
+                pe: gpu,
+                precision: Precision::Fp16,
+            })
+            .collect();
+        let alternating: Vec<_> = (0..p.node_count())
+            .map(|i| crate::nmp::candidate::Assignment {
+                pe: if i % 2 == 0 { gpu } else { dla },
+                precision: Precision::Fp16,
+            })
+            .collect();
+        let same_report = eval.evaluate(&Candidate::from_assignments(same)).unwrap();
+        let alt_report = eval
+            .evaluate(&Candidate::from_assignments(alternating))
+            .unwrap();
+        // Alternating pays a unified-memory transfer on every edge plus the
+        // DLA's higher dispatch overhead: it must be slower.
+        assert!(alt_report.max_latency > same_report.max_latency);
+    }
+}

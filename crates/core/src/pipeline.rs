@@ -1,0 +1,617 @@
+//! The integrated single-task runtime pipeline (paper Figure 4).
+//!
+//! Simulates a camera stream being processed end-to-end — E2SF binning,
+//! optional DSFA aggregation, inference on the modeled platform — in
+//! simulated time, with FIFO job execution and hardware-availability-
+//! driven early dispatch. Variants peel the optimizations apart exactly as
+//! the paper's Figure 8 does: dense all-GPU baseline, +E2SF, +DSFA, +NMP.
+//!
+//! Modeling notes (see `DESIGN.md`): one inference job occupies the
+//! platform for its scheduled critical-path duration (candidate mappings
+//! may spread layers over several elements); energy counts busy energy.
+//! The inference-queue drop rule of §4.2 affects which frames contribute
+//! to accuracy, not the latency results, and is reflected through the
+//! DSFA aggregation term of the accuracy model.
+
+use crate::dsfa::{Dsfa, DsfaConfig};
+use crate::e2sf::{E2sf, E2sfConfig};
+use crate::nmp::candidate::{Assignment, Candidate};
+use crate::nmp::evolution::{run_nmp, NmpConfig};
+use crate::nmp::fitness::FitnessConfig;
+use crate::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use crate::EvEdgeError;
+use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::mvsec::Sequence;
+use ev_datasets::representation::representation_for;
+use ev_nn::graph::{LayerWorkload, NetworkGraph};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+use ev_nn::{Domain, Precision};
+use ev_platform::energy::Energy;
+use ev_platform::latency::{default_domain_density, layer_cost, transfer_cost, LayerContext};
+use ev_platform::pe::Platform;
+use ev_platform::schedule::{list_schedule, SchedNode};
+use std::collections::HashMap;
+
+/// Modeled throughput of dense-frame→sparse encoding on the GPU,
+/// elements/second (the overhead the dense+encode ablation pays).
+pub const ENCODE_THROUGHPUT: f64 = 2.0e9;
+
+/// Which optimizations are active (cumulative, as in Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PipelineVariant {
+    /// Dense event frames on the GPU at FP32 — the paper's baseline.
+    DenseAllGpu,
+    /// Dense frames, post-hoc sparse encoding, sparse execution — the
+    /// "sparse libraries on dense frames" ablation whose encode overhead
+    /// E2SF eliminates.
+    DenseEncodeSparse,
+    /// E2SF sparse frames, FIFO dispatch, all-GPU FP32.
+    E2sf,
+    /// E2SF + DSFA aggregation, all-GPU FP32.
+    E2sfDsfa,
+    /// E2SF + DSFA + NMP mapping and precision.
+    E2sfDsfaNmp,
+}
+
+impl PipelineVariant {
+    /// The cumulative variants of Figure 8, in presentation order.
+    pub const FIGURE8: [PipelineVariant; 4] = [
+        PipelineVariant::DenseAllGpu,
+        PipelineVariant::E2sf,
+        PipelineVariant::E2sfDsfa,
+        PipelineVariant::E2sfDsfaNmp,
+    ];
+
+    /// Whether DSFA is active.
+    pub fn uses_dsfa(self) -> bool {
+        matches!(
+            self,
+            PipelineVariant::E2sfDsfa | PipelineVariant::E2sfDsfaNmp
+        )
+    }
+
+    /// Whether inference consumes sparse frames.
+    pub fn sparse_execution(self) -> bool {
+        !matches!(self, PipelineVariant::DenseAllGpu)
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineVariant::DenseAllGpu => "all-GPU (dense)",
+            PipelineVariant::DenseEncodeSparse => "dense+encode+sparse",
+            PipelineVariant::E2sf => "+E2SF",
+            PipelineVariant::E2sfDsfa => "+E2SF+DSFA",
+            PipelineVariant::E2sfDsfaNmp => "+E2SF+DSFA+NMP",
+        }
+    }
+}
+
+/// The fixed scenario a pipeline run simulates.
+#[derive(Debug, Clone)]
+pub struct PipelineSetup {
+    /// The platform model.
+    pub platform: Platform,
+    /// The network under test.
+    pub network: NetworkId,
+    /// Network scale.
+    pub zoo: ZooConfig,
+    /// The input sequence.
+    pub sequence: Sequence,
+    /// Simulated capture window.
+    pub window: TimeWindow,
+}
+
+/// Per-run options.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// The optimization level.
+    pub variant: PipelineVariant,
+    /// Event bins per grayscale interval (`None` = the network's
+    /// representation default).
+    pub bins_per_interval: Option<usize>,
+    /// DSFA configuration (used by DSFA variants).
+    pub dsfa: DsfaConfig,
+    /// NMP search configuration (used by the NMP variant).
+    pub nmp: NmpConfig,
+    /// ΔA threshold for the NMP variant (metric units).
+    pub max_degradation: f64,
+}
+
+impl PipelineOptions {
+    /// Options for a variant with defaults tuned per task (cBatch for
+    /// tracking, conservative merging for segmentation, per paper §4.2/§6).
+    pub fn for_variant(variant: PipelineVariant, network: NetworkId) -> Self {
+        use crate::dsfa::CMode;
+        let dsfa = match network {
+            NetworkId::Dotie => DsfaConfig {
+                cmode: CMode::CBatch,
+                ebuf_size: 8,
+                mb_size: 1,
+                ..DsfaConfig::default()
+            },
+            NetworkId::Halsie => DsfaConfig {
+                // Pixel-accuracy-sensitive: merge conservatively.
+                ebuf_size: 4,
+                mb_size: 2,
+                md_th: 0.2,
+                ..DsfaConfig::default()
+            },
+            _ => DsfaConfig::default(),
+        };
+        let max_degradation = match network {
+            NetworkId::SpikeFlowNet => 0.03,
+            NetworkId::FusionFlowNet => 0.07,
+            NetworkId::AdaptiveSpikeNet => 0.09,
+            NetworkId::Halsie => 2.13,
+            NetworkId::E2Depth => 0.02,
+            NetworkId::Dotie => 0.04,
+            NetworkId::EvFlowNet => 0.04,
+        };
+        PipelineOptions {
+            variant,
+            bins_per_interval: None,
+            dsfa,
+            nmp: NmpConfig {
+                population: 24,
+                generations: 16,
+                ..NmpConfig::default()
+            },
+            max_degradation,
+        }
+    }
+}
+
+/// One executed inference job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// When the job's input was ready.
+    pub ready: Timestamp,
+    /// Execution start.
+    pub start: Timestamp,
+    /// Completion.
+    pub end: Timestamp,
+    /// Batched frames in the job.
+    pub batch: usize,
+    /// Mean input density.
+    pub density: f64,
+    /// Raw events covered.
+    pub events: usize,
+}
+
+/// The outcome of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The variant that ran.
+    pub variant: PipelineVariant,
+    /// Frames produced by the converter.
+    pub frames: usize,
+    /// Inference jobs executed.
+    pub inferences: usize,
+    /// Raw events processed.
+    pub events: usize,
+    /// Time from window start until the last job completed.
+    pub makespan: TimeDelta,
+    /// Total device busy time.
+    pub busy_time: TimeDelta,
+    /// Busy energy over the run.
+    pub energy: Energy,
+    /// Mean event-to-prediction latency over jobs.
+    pub mean_latency: TimeDelta,
+    /// Estimated metric degradation (quantization + aggregation).
+    pub degradation: f64,
+    /// The resulting metric value (Table 2 style).
+    pub metric: f64,
+    /// Executed jobs (for distribution analysis).
+    pub jobs: Vec<JobRecord>,
+}
+
+impl PipelineReport {
+    /// Throughput in processed events per second of makespan.
+    pub fn event_throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+}
+
+/// Runs the single-task pipeline.
+///
+/// # Errors
+///
+/// Propagates conversion, aggregation, search and scheduling errors.
+pub fn run_single_task(
+    setup: &PipelineSetup,
+    options: &PipelineOptions,
+) -> Result<PipelineReport, EvEdgeError> {
+    let graph = setup.network.build(&setup.zoo)?;
+    let workloads = graph.workloads();
+    let accuracy = setup.network.accuracy_model();
+
+    // 1. Capture and convert.
+    let events = setup.sequence.generate(setup.window)?;
+    let intervals = setup.sequence.frame_intervals(setup.window);
+    let bins = options
+        .bins_per_interval
+        .unwrap_or_else(|| representation_for(setup.network).bins_per_interval);
+    let e2sf = E2sf::new(E2sfConfig::new(bins));
+    let frames = e2sf.convert_intervals(&events, &intervals)?;
+    let frame_count = frames.len();
+    let event_count = events.len();
+
+    // 2. Choose the mapping.
+    let candidate = match options.variant {
+        PipelineVariant::E2sfDsfaNmp => {
+            // Reserve accuracy budget for DSFA: the search assumes the
+            // worst-case aggregation (buckets always merged to capacity),
+            // so quantization + whatever DSFA actually does stays within
+            // ΔA (Equation 2 holds end to end).
+            let worst_case_aggregation = if options.dsfa.mb_size > 1 { 1.0 } else { 0.0 };
+            let problem = MultiTaskProblem::new(
+                setup.platform.clone(),
+                vec![TaskSpec::new(
+                    graph.clone(),
+                    accuracy,
+                    options.max_degradation,
+                )
+                .with_aggregation(worst_case_aggregation)],
+            )?;
+            run_nmp(&problem, options.nmp, FitnessConfig::default())?.best
+        }
+        _ => {
+            let gpu = setup
+                .platform
+                .id_by_name("gpu")
+                .ok_or(EvEdgeError::MissingPe { name: "gpu" })?;
+            Candidate::from_assignments(
+                (0..graph.len())
+                    .map(|_| Assignment {
+                        pe: gpu,
+                        precision: Precision::Fp32,
+                    })
+                    .collect(),
+            )
+        }
+    };
+
+    // 3. Execute jobs over simulated time.
+    let mut cost_cache: HashMap<(u16, u16), (TimeDelta, Energy)> = HashMap::new();
+    let mut job_cost = |density: f64, batch: usize| -> Result<(TimeDelta, Energy), EvEdgeError> {
+        let key = ((density * 1000.0).round() as u16, batch as u16);
+        if let Some(hit) = cost_cache.get(&key) {
+            return Ok(*hit);
+        }
+        let cost = inference_cost(
+            &setup.platform,
+            &graph,
+            &workloads,
+            &candidate,
+            density,
+            batch,
+            options.variant,
+        )?;
+        cost_cache.insert(key, cost);
+        Ok(cost)
+    };
+
+    let mut device_free = setup.window.start();
+    let mut jobs: Vec<JobRecord> = Vec::new();
+    let mut energy = Energy::ZERO;
+    let mut busy = TimeDelta::ZERO;
+    let mut run_job = |ready: Timestamp,
+                       batch: usize,
+                       density: f64,
+                       events: usize,
+                       device_free: &mut Timestamp,
+                       energy: &mut Energy,
+                       busy: &mut TimeDelta,
+                       jobs: &mut Vec<JobRecord>|
+     -> Result<(), EvEdgeError> {
+        let (duration, e) = job_cost(density, batch)?;
+        let start = ready.max(*device_free);
+        let end = start + duration;
+        *device_free = end;
+        *energy += e;
+        *busy += duration;
+        jobs.push(JobRecord {
+            ready,
+            start,
+            end,
+            batch,
+            density,
+            events,
+        });
+        Ok(())
+    };
+
+    let mut aggregation = 0.0f64;
+    if options.variant.uses_dsfa() {
+        let mut dsfa = Dsfa::new(options.dsfa)?;
+        for frame in frames {
+            let ready = frame.ready_at();
+            // Early dispatch when the hardware is already idle (§4.2).
+            if device_free <= ready {
+                if let Some(batch) = dsfa.flush(ready) {
+                    let density = batch.mean_density();
+                    let events = batch.event_count();
+                    run_job(
+                        batch.emitted_at,
+                        batch.batch_size(),
+                        density,
+                        events,
+                        &mut device_free,
+                        &mut energy,
+                        &mut busy,
+                        &mut jobs,
+                    )?;
+                }
+            }
+            if let Some(batch) = dsfa.push(frame)? {
+                let density = batch.mean_density();
+                let events = batch.event_count();
+                run_job(
+                    batch.emitted_at,
+                    batch.batch_size(),
+                    density,
+                    events,
+                    &mut device_free,
+                    &mut energy,
+                    &mut busy,
+                    &mut jobs,
+                )?;
+            }
+        }
+        let tail = device_free.max(setup.window.end());
+        if let Some(batch) = dsfa.flush(tail) {
+            let density = batch.mean_density();
+            let events = batch.event_count();
+            run_job(
+                batch.emitted_at,
+                batch.batch_size(),
+                density,
+                events,
+                &mut device_free,
+                &mut energy,
+                &mut busy,
+                &mut jobs,
+            )?;
+        }
+        aggregation = dsfa.aggregation_aggressiveness();
+    } else {
+        for frame in frames {
+            let density = frame.spatial_density();
+            let events = frame.event_count();
+            run_job(
+                frame.ready_at(),
+                1,
+                density,
+                events,
+                &mut device_free,
+                &mut energy,
+                &mut busy,
+                &mut jobs,
+            )?;
+        }
+    }
+
+    // 4. Accuracy estimate.
+    let shares = ev_nn::accuracy::shares_from_macs(
+        &workloads.iter().map(|w| w.macs).collect::<Vec<_>>(),
+    );
+    let precisions: Vec<Precision> = candidate
+        .assignments()
+        .iter()
+        .map(|a| a.precision)
+        .collect();
+    let degradation = accuracy.degradation(&shares, &precisions, aggregation);
+    let metric = accuracy.degraded_metric(degradation);
+
+    let makespan = device_free - setup.window.start();
+    // Always-on module power over the whole run (what Tegrastats sees).
+    energy += Energy::from_joules(setup.platform.static_power_w * makespan.as_secs_f64());
+    let mean_latency = if jobs.is_empty() {
+        TimeDelta::ZERO
+    } else {
+        let total: i64 = jobs.iter().map(|j| (j.end - j.ready).as_micros()).sum();
+        TimeDelta::from_micros(total / jobs.len() as i64)
+    };
+    Ok(PipelineReport {
+        variant: options.variant,
+        frames: frame_count,
+        inferences: jobs.len(),
+        events: event_count,
+        makespan,
+        busy_time: busy,
+        energy,
+        mean_latency,
+        degradation,
+        metric,
+        jobs,
+    })
+}
+
+/// Models one inference job under a mapping: per-layer roofline costs,
+/// cross-PE transfer nodes, Equation 3 scheduling → critical-path duration
+/// plus total energy.
+fn inference_cost(
+    platform: &Platform,
+    graph: &NetworkGraph,
+    workloads: &[LayerWorkload],
+    candidate: &Candidate,
+    input_density: f64,
+    batch: usize,
+    variant: PipelineVariant,
+) -> Result<(TimeDelta, Energy), EvEdgeError> {
+    let memory_queue = platform.memory_queue();
+    let mut nodes: Vec<SchedNode> = Vec::with_capacity(graph.len() * 2);
+    let mut node_of_layer = vec![usize::MAX; graph.len()];
+    let mut energy = Energy::ZERO;
+    for layer in graph.layers() {
+        let l = layer.id.0;
+        let a = candidate.assignment(l);
+        let density = if !variant.sparse_execution() {
+            1.0
+        } else if graph.predecessors(layer.id).is_empty() {
+            input_density.clamp(0.0, 1.0)
+        } else {
+            match workloads[l].domain {
+                Domain::Snn => default_domain_density(Domain::Snn),
+                Domain::Ann => 1.0,
+            }
+        };
+        let ctx = LayerContext::default()
+            .with_precision(a.precision)
+            .with_density(density)
+            .with_batch(batch.max(1));
+        let cost = layer_cost(platform, a.pe, &workloads[l], ctx)?;
+        energy += cost.energy;
+        let mut deps = Vec::new();
+        for pred in graph.predecessors(layer.id) {
+            let pa = candidate.assignment(pred.0);
+            let pred_node = node_of_layer[pred.0];
+            if pa.pe == a.pe {
+                deps.push(pred_node);
+            } else {
+                let bytes = workloads[pred.0].output_bytes * batch.max(1) as u64;
+                let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
+                energy += tc.energy;
+                let t_idx = nodes.len();
+                nodes.push(SchedNode::new(memory_queue, tc.latency, vec![pred_node]));
+                deps.push(t_idx);
+            }
+        }
+        let idx = nodes.len();
+        nodes.push(SchedNode::new(a.pe.0, cost.latency, deps));
+        node_of_layer[l] = idx;
+    }
+    let schedule = list_schedule(&nodes, platform.queue_count())?;
+    let mut duration = schedule.makespan;
+    if variant == PipelineVariant::DenseEncodeSparse {
+        // Post-hoc dense→sparse encoding before every inference.
+        let elements = workloads
+            .first()
+            .map(|w| w.input_bytes / 4)
+            .unwrap_or(0) as f64
+            * batch.max(1) as f64;
+        duration += TimeDelta::from_secs_f64(elements / ENCODE_THROUGHPUT);
+    }
+    Ok((duration, energy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_datasets::mvsec::SequenceId;
+
+    fn setup(network: NetworkId) -> PipelineSetup {
+        PipelineSetup {
+            platform: Platform::xavier_agx(),
+            network,
+            zoo: ZooConfig::mvsec(),
+            sequence: SequenceId::IndoorFlying1.sequence(),
+            window: TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(200)),
+        }
+    }
+
+    fn run(network: NetworkId, variant: PipelineVariant) -> PipelineReport {
+        let mut options = PipelineOptions::for_variant(variant, network);
+        // Keep the NMP search quick in unit tests.
+        options.nmp = NmpConfig {
+            population: 12,
+            generations: 8,
+            seed: 5,
+            ..NmpConfig::default()
+        };
+        run_single_task(&setup(network), &options).unwrap()
+    }
+
+    #[test]
+    fn pipeline_executes_jobs() {
+        let report = run(NetworkId::SpikeFlowNet, PipelineVariant::DenseAllGpu);
+        assert!(report.frames > 0);
+        assert!(report.inferences > 0);
+        assert!(report.makespan > TimeDelta::ZERO);
+        assert!(report.energy > Energy::ZERO);
+        assert_eq!(report.jobs.len(), report.inferences);
+    }
+
+    #[test]
+    fn e2sf_beats_dense_baseline() {
+        let dense = run(NetworkId::SpikeFlowNet, PipelineVariant::DenseAllGpu);
+        let sparse = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sf);
+        assert!(
+            sparse.makespan < dense.makespan,
+            "E2SF {:?} should beat dense {:?}",
+            sparse.makespan,
+            dense.makespan
+        );
+        assert!(sparse.energy < dense.energy);
+    }
+
+    #[test]
+    fn dsfa_batches_jobs() {
+        let plain = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sf);
+        let dsfa = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sfDsfa);
+        assert!(
+            dsfa.inferences <= plain.inferences,
+            "DSFA merges frames into fewer jobs"
+        );
+        assert!(dsfa.makespan <= plain.makespan);
+    }
+
+    #[test]
+    fn nmp_improves_over_dsfa_alone() {
+        let dsfa = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sfDsfa);
+        let nmp = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sfDsfaNmp);
+        assert!(
+            nmp.makespan <= dsfa.makespan,
+            "NMP {:?} vs DSFA {:?}",
+            nmp.makespan,
+            dsfa.makespan
+        );
+        // NMP may trade precision for speed within ΔA.
+        assert!(nmp.degradation <= 0.03 + 1e-9);
+    }
+
+    #[test]
+    fn accuracy_degradation_stays_anchored() {
+        let report = run(NetworkId::SpikeFlowNet, PipelineVariant::E2sfDsfaNmp);
+        // The metric moved from the baseline but by a bounded amount.
+        assert!(report.metric >= 0.93);
+        assert!(report.metric < 1.1);
+    }
+
+    #[test]
+    fn report_throughput_and_job_accounting() {
+        let report = run(NetworkId::Dotie, PipelineVariant::E2sf);
+        assert!(report.event_throughput() > 0.0);
+        // Jobs never start before their input is ready and never overlap.
+        let mut prev_end = Timestamp::ZERO;
+        for job in &report.jobs {
+            assert!(job.start >= job.ready);
+            assert!(job.start >= prev_end);
+            assert!(job.end > job.start);
+            prev_end = job.end;
+        }
+        // All frames were executed (no DSFA → one job per frame).
+        assert_eq!(report.inferences, report.frames);
+        let job_events: usize = report.jobs.iter().map(|j| j.events).sum();
+        assert_eq!(job_events, report.events);
+    }
+
+    #[test]
+    fn encode_ablation_pays_overhead() {
+        let sparse = run(NetworkId::Dotie, PipelineVariant::E2sf);
+        let encode = run(NetworkId::Dotie, PipelineVariant::DenseEncodeSparse);
+        assert!(
+            encode.makespan > sparse.makespan,
+            "encode overhead {:?} must exceed direct sparse {:?}",
+            encode.makespan,
+            sparse.makespan
+        );
+    }
+}

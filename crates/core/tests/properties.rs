@@ -1,0 +1,156 @@
+//! Property-based tests for E2SF and DSFA invariants.
+
+use ev_core::event::{Event, Polarity, SensorGeometry};
+use ev_core::stream::EventSlice;
+use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
+use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig};
+use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_edge::frame::SparseFrame;
+use proptest::prelude::*;
+
+const W: u16 = 24;
+const H: u16 = 20;
+
+fn arb_events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..W, 0..H, 0u64..20_000, any::<bool>()).prop_map(|(x, y, t, p)| {
+            Event::new(x, y, Timestamp::from_micros(t), Polarity::from_bit(p))
+        }),
+        0..max,
+    )
+}
+
+fn make_slice(events: Vec<Event>) -> EventSlice {
+    EventSlice::from_unsorted(SensorGeometry::new(W as u32, H as u32), events)
+        .expect("bounded events")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equation 1 conservation: every in-window event lands in exactly one
+    /// bin, and per-pixel polarity counts survive the conversion.
+    #[test]
+    fn e2sf_conserves_events(events in arb_events(300), bins in 1usize..16) {
+        let slice = make_slice(events);
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_micros(20_000));
+        let frames = E2sf::new(E2sfConfig::new(bins))
+            .convert(&slice, window)
+            .expect("interval long enough");
+        prop_assert_eq!(frames.len(), bins);
+        let total: usize = frames.iter().map(|f| f.event_count()).sum();
+        prop_assert_eq!(total, slice.len());
+        // Value conservation: summed ON (channel 0) values equal ON count.
+        let on_total: f32 = frames
+            .iter()
+            .flat_map(|f| f.tensor().iter())
+            .filter(|e| e.channel == 0)
+            .map(|e| e.value)
+            .sum();
+        let (on_events, _) = slice.polarity_counts();
+        prop_assert!((on_total - on_events as f32).abs() < 1e-3);
+    }
+
+    /// Frame windows tile the interval exactly, in order.
+    #[test]
+    fn e2sf_windows_tile(bins in 1usize..12, span_ms in 2i64..40) {
+        let slice = make_slice(vec![]);
+        let window = TimeWindow::new(
+            Timestamp::from_millis(3),
+            Timestamp::from_millis(3) + TimeDelta::from_millis(span_ms),
+        );
+        let frames = E2sf::new(E2sfConfig::new(bins))
+            .convert(&slice, window)
+            .expect("interval long enough");
+        prop_assert_eq!(frames[0].window().start(), window.start());
+        prop_assert_eq!(frames.last().expect("nonempty").window().end(), window.end());
+        for pair in frames.windows(2) {
+            prop_assert_eq!(pair[0].window().end(), pair[1].window().start());
+        }
+    }
+
+    /// DSFA never loses or duplicates an event, whatever the thresholds.
+    #[test]
+    fn dsfa_conserves_events(
+        events in arb_events(400),
+        mb_size in 1usize..6,
+        mt_ms in 1i64..30,
+        md in 0.01f64..4.0,
+        mode in 0usize..3,
+    ) {
+        let slice = make_slice(events);
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_micros(20_000));
+        let frames = E2sf::new(E2sfConfig::new(8))
+            .convert(&slice, window)
+            .expect("interval long enough");
+        let cmode = [CMode::CAdd, CMode::CAverage, CMode::CBatch][mode];
+        let config = DsfaConfig {
+            ebuf_size: mb_size * 2,
+            mb_size,
+            mt_th: TimeDelta::from_millis(mt_ms),
+            md_th: md,
+            cmode,
+        };
+        let mut dsfa = Dsfa::new(config).expect("valid config");
+        let mut merged: Vec<SparseFrame> = Vec::new();
+        for frame in frames {
+            if let Some(batch) = dsfa.push(frame).expect("push succeeds") {
+                merged.extend(batch.frames.into_iter().map(|m| m.frame));
+            }
+        }
+        if let Some(batch) = dsfa.flush(window.end()) {
+            merged.extend(batch.frames.into_iter().map(|m| m.frame));
+        }
+        let total: usize = merged.iter().map(|f| f.event_count()).sum();
+        prop_assert_eq!(total, slice.len(), "event count conserved");
+        prop_assert_eq!(dsfa.occupancy(), 0, "everything dispatched");
+        // cAdd conserves summed values too.
+        if cmode == CMode::CAdd {
+            let merged_sum: f32 = merged
+                .iter()
+                .flat_map(|f| f.tensor().iter())
+                .map(|e| e.value)
+                .sum();
+            prop_assert!((merged_sum - slice.len() as f32).abs() < 1e-2);
+        }
+    }
+
+    /// Merged frame windows cover their constituent frames and never
+    /// exceed the configured time threshold + one frame duration.
+    #[test]
+    fn dsfa_bucket_time_bound(events in arb_events(300), mt_ms in 1i64..10) {
+        let slice = make_slice(events);
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_micros(20_000));
+        let frames = E2sf::new(E2sfConfig::new(10))
+            .convert(&slice, window)
+            .expect("interval long enough");
+        let frame_duration = frames[0].window().duration();
+        let config = DsfaConfig {
+            ebuf_size: 16,
+            mb_size: 8,
+            mt_th: TimeDelta::from_millis(mt_ms),
+            md_th: 100.0, // density never closes buckets
+            cmode: CMode::CAdd,
+        };
+        let mut dsfa = Dsfa::new(config).expect("valid config");
+        let mut merged = Vec::new();
+        for frame in frames {
+            if let Some(batch) = dsfa.push(frame).expect("push succeeds") {
+                merged.extend(batch.frames);
+            }
+        }
+        if let Some(batch) = dsfa.flush(window.end()) {
+            merged.extend(batch.frames);
+        }
+        for m in &merged {
+            // A bucket accepts frames whose start is within MtTh of its
+            // earliest start, so its window spans at most MtTh + one frame.
+            let span = m.frame.window().duration();
+            let bound = TimeDelta::from_millis(mt_ms) + frame_duration;
+            prop_assert!(
+                span <= bound,
+                "merged span {span} exceeds bound {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Task metrics: AEE, mIoU, average depth error, bounding-box IoU.
+//!
+//! Real implementations of the metrics in the paper's Table 2.
+
+use crate::DatasetError;
+use core::fmt;
+
+/// A dense 2-D optical-flow field (pixels/second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowField {
+    width: usize,
+    height: usize,
+    vx: Vec<f32>,
+    vy: Vec<f32>,
+}
+
+impl FlowField {
+    /// Builds a field from per-pixel components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BufferSize`] if buffer lengths differ from
+    /// `width * height`.
+    pub fn new(width: usize, height: usize, vx: Vec<f32>, vy: Vec<f32>) -> Result<Self, DatasetError> {
+        if vx.len() != width * height || vy.len() != width * height {
+            return Err(DatasetError::BufferSize {
+                expected: width * height,
+                actual: vx.len().min(vy.len()),
+            });
+        }
+        Ok(FlowField {
+            width,
+            height,
+            vx,
+            vy,
+        })
+    }
+
+    /// A zero-flow field.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        FlowField {
+            width,
+            height,
+            vx: vec![0.0; width * height],
+            vy: vec![0.0; width * height],
+        }
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Flow at `(x, y)` as `(vx, vy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> (f32, f32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        (self.vx[y * self.width + x], self.vy[y * self.width + x])
+    }
+
+    /// Sets the flow at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, vx: f32, vy: f32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.vx[y * self.width + x] = vx;
+        self.vy[y * self.width + x] = vy;
+    }
+
+    /// Average endpoint error against `reference` (Table 2's AEE↓).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::DimensionMismatch`] when sizes differ.
+    pub fn aee(&self, reference: &FlowField) -> Result<f64, DatasetError> {
+        if self.width != reference.width || self.height != reference.height {
+            return Err(DatasetError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: (reference.width, reference.height),
+            });
+        }
+        let n = self.vx.len();
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let dx = (self.vx[i] - reference.vx[i]) as f64;
+            let dy = (self.vy[i] - reference.vy[i]) as f64;
+            total += (dx * dx + dy * dy).sqrt();
+        }
+        Ok(total / n as f64)
+    }
+}
+
+impl fmt::Display for FlowField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlowField {}x{}", self.width, self.height)
+    }
+}
+
+/// A per-pixel semantic label map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelMap {
+    width: usize,
+    height: usize,
+    labels: Vec<u32>,
+}
+
+impl LabelMap {
+    /// Builds a map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BufferSize`] on length mismatch.
+    pub fn new(width: usize, height: usize, labels: Vec<u32>) -> Result<Self, DatasetError> {
+        if labels.len() != width * height {
+            return Err(DatasetError::BufferSize {
+                expected: width * height,
+                actual: labels.len(),
+            });
+        }
+        Ok(LabelMap {
+            width,
+            height,
+            labels,
+        })
+    }
+
+    /// Map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Label at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> u32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.labels[y * self.width + x]
+    }
+
+    /// Mean intersection-over-union against `reference` over the classes
+    /// present in either map (Table 2's mIOU↑), in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::DimensionMismatch`] when sizes differ.
+    pub fn mean_iou(&self, reference: &LabelMap) -> Result<f64, DatasetError> {
+        if self.width != reference.width || self.height != reference.height {
+            return Err(DatasetError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: (reference.width, reference.height),
+            });
+        }
+        let mut classes: Vec<u32> = self
+            .labels
+            .iter()
+            .chain(reference.labels.iter())
+            .copied()
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let mut total = 0.0;
+        for &c in &classes {
+            let mut inter = 0usize;
+            let mut union = 0usize;
+            for (a, b) in self.labels.iter().zip(&reference.labels) {
+                let in_a = *a == c;
+                let in_b = *b == c;
+                if in_a && in_b {
+                    inter += 1;
+                }
+                if in_a || in_b {
+                    union += 1;
+                }
+            }
+            if union > 0 {
+                total += inter as f64 / union as f64;
+            }
+        }
+        Ok(total / classes.len() as f64)
+    }
+}
+
+/// A per-pixel depth map (metres).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthMap {
+    width: usize,
+    height: usize,
+    depth: Vec<f32>,
+}
+
+impl DepthMap {
+    /// Builds a map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BufferSize`] on length mismatch.
+    pub fn new(width: usize, height: usize, depth: Vec<f32>) -> Result<Self, DatasetError> {
+        if depth.len() != width * height {
+            return Err(DatasetError::BufferSize {
+                expected: width * height,
+                actual: depth.len(),
+            });
+        }
+        Ok(DepthMap {
+            width,
+            height,
+            depth,
+        })
+    }
+
+    /// Depth at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.depth[y * self.width + x]
+    }
+
+    /// Mean absolute error in normalized log-depth against `reference`
+    /// (Table 2's "Avg Error↓" for depth estimation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::DimensionMismatch`] when sizes differ.
+    pub fn avg_abs_error(&self, reference: &DepthMap) -> Result<f64, DatasetError> {
+        if self.width != reference.width || self.height != reference.height {
+            return Err(DatasetError::DimensionMismatch {
+                left: (self.width, self.height),
+                right: (reference.width, reference.height),
+            });
+        }
+        let n = self.depth.len();
+        let mut total = 0.0f64;
+        for (a, b) in self.depth.iter().zip(&reference.depth) {
+            let la = (a.max(1e-3) as f64).ln();
+            let lb = (b.max(1e-3) as f64).ln();
+            total += (la - lb).abs();
+        }
+        Ok(total / n as f64)
+    }
+}
+
+/// An axis-aligned bounding box (inclusive pixel bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub x0: u32,
+    /// Top edge.
+    pub y0: u32,
+    /// Right edge (inclusive).
+    pub x1: u32,
+    /// Bottom edge (inclusive).
+    pub y1: u32,
+}
+
+impl BoundingBox {
+    /// Creates a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is inverted.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "inverted bounding box");
+        BoundingBox { x0, y0, x1, y1 }
+    }
+
+    /// The tight box around a set of points, or `None` when empty.
+    pub fn around(points: &[(u32, u32)]) -> Option<BoundingBox> {
+        let first = points.first()?;
+        let mut bb = BoundingBox::new(first.0, first.1, first.0, first.1);
+        for &(x, y) in &points[1..] {
+            bb.x0 = bb.x0.min(x);
+            bb.y0 = bb.y0.min(y);
+            bb.x1 = bb.x1.max(x);
+            bb.y1 = bb.y1.max(y);
+        }
+        Some(bb)
+    }
+
+    /// Box area in pixels.
+    pub fn area(&self) -> u64 {
+        (self.x1 - self.x0 + 1) as u64 * (self.y1 - self.y0 + 1) as u64
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]` (the tracking
+    /// metric Table 2 reports for DOTIE).
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let ix0 = self.x0.max(other.x0);
+        let iy0 = self.y0.max(other.y0);
+        let ix1 = self.x1.min(other.x1);
+        let iy1 = self.y1.min(other.y1);
+        if ix1 < ix0 || iy1 < iy0 {
+            return 0.0;
+        }
+        let inter = (ix1 - ix0 + 1) as u64 * (iy1 - iy0 + 1) as u64;
+        let union = self.area() + other.area() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aee_of_identical_fields_is_zero() {
+        let f = FlowField::zeros(4, 4);
+        assert_eq!(f.aee(&f).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn aee_measures_offset() {
+        let gt = FlowField::zeros(2, 2);
+        let mut est = FlowField::zeros(2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                est.set(x, y, 3.0, 4.0);
+            }
+        }
+        assert!((est.aee(&gt).unwrap() - 5.0).abs() < 1e-9);
+        let wrong = FlowField::zeros(3, 3);
+        assert!(est.aee(&wrong).is_err());
+    }
+
+    #[test]
+    fn miou_perfect_and_disjoint() {
+        let a = LabelMap::new(2, 2, vec![0, 1, 1, 0]).unwrap();
+        assert!((a.mean_iou(&a).unwrap() - 1.0).abs() < 1e-12);
+        let b = LabelMap::new(2, 2, vec![1, 0, 0, 1]).unwrap();
+        assert_eq!(a.mean_iou(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn miou_partial_overlap() {
+        let a = LabelMap::new(4, 1, vec![1, 1, 0, 0]).unwrap();
+        let b = LabelMap::new(4, 1, vec![1, 0, 0, 0]).unwrap();
+        // Class 1: inter 1, union 2 → 0.5. Class 0: inter 2, union 3 → 2/3.
+        let expect = (0.5 + 2.0 / 3.0) / 2.0;
+        assert!((a.mean_iou(&b).unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_error_on_log_scale() {
+        let gt = DepthMap::new(2, 1, vec![1.0, 10.0]).unwrap();
+        let est = DepthMap::new(2, 1, vec![f32::exp(1.0), 10.0]).unwrap();
+        // First pixel off by exactly 1 in log space, second exact.
+        assert!((est.avg_abs_error(&gt).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou() {
+        let a = BoundingBox::new(0, 0, 9, 9); // 100 px
+        let b = BoundingBox::new(5, 5, 14, 14); // 100 px, 25 overlap
+        assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-9);
+        let c = BoundingBox::new(20, 20, 21, 21);
+        assert_eq!(a.iou(&c), 0.0);
+        assert_eq!(a.iou(&a), 1.0);
+    }
+
+    #[test]
+    fn bbox_around_points() {
+        let bb = BoundingBox::around(&[(3, 4), (1, 9), (5, 2)]).unwrap();
+        assert_eq!(bb, BoundingBox::new(1, 2, 5, 9));
+        assert!(BoundingBox::around(&[]).is_none());
+    }
+
+    #[test]
+    fn buffer_validation() {
+        assert!(FlowField::new(2, 2, vec![0.0; 3], vec![0.0; 4]).is_err());
+        assert!(LabelMap::new(2, 2, vec![0; 5]).is_err());
+        assert!(DepthMap::new(2, 2, vec![0.0; 2]).is_err());
+    }
+}

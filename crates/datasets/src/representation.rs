@@ -1,0 +1,116 @@
+//! Per-network input representations.
+//!
+//! Different networks discretize the events between two grayscale frames
+//! into different numbers of event bins (paper §2, Figure 2), which is why
+//! the average event-frame fill ratio in Figure 3 spans 0.15%–28.57%
+//! across networks: finer temporal binning → fewer events per frame →
+//! sparser frames.
+
+use ev_nn::zoo::NetworkId;
+
+/// How a network consumes the events of one grayscale-frame interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputRepresentation {
+    /// Number of event bins per frame interval (`nB` in Equation 1).
+    pub bins_per_interval: usize,
+    /// Number of consecutive bins concatenated into one network input
+    /// (`k` in §2: frames presented over `B/k` timesteps).
+    pub bins_per_timestep: usize,
+    /// Grayscale-frame intervals fully accumulated into one input
+    /// (EV-FlowNet's `dt=4` evaluation accumulates across four frames;
+    /// everything else uses 1).
+    pub intervals_accumulated: usize,
+}
+
+impl InputRepresentation {
+    /// Creates a representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or `bins_per_timestep` does not
+    /// divide `bins_per_interval`.
+    pub fn new(bins_per_interval: usize, bins_per_timestep: usize) -> Self {
+        assert!(
+            bins_per_interval > 0 && bins_per_timestep > 0,
+            "bin counts must be nonzero"
+        );
+        assert!(
+            bins_per_interval.is_multiple_of(bins_per_timestep),
+            "bins per timestep must divide bins per interval"
+        );
+        InputRepresentation {
+            bins_per_interval,
+            bins_per_timestep,
+            intervals_accumulated: 1,
+        }
+    }
+
+    /// Accumulates `n` consecutive grayscale intervals into each input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_accumulated_intervals(mut self, n: usize) -> Self {
+        assert!(n > 0, "interval count must be nonzero");
+        self.intervals_accumulated = n;
+        self
+    }
+
+    /// Timesteps per frame interval (`B / k`).
+    pub fn timesteps(&self) -> usize {
+        self.bins_per_interval / self.bins_per_timestep
+    }
+
+    /// Input channels per timestep (2 polarities × k bins).
+    pub fn channels(&self) -> usize {
+        2 * self.bins_per_timestep
+    }
+}
+
+/// The representation each zoo network uses (calibrated so the resulting
+/// frame fill ratios reproduce the Figure 3 spread).
+pub fn representation_for(network: NetworkId) -> InputRepresentation {
+    match network {
+        // Full accumulation across four frame intervals (EV-FlowNet's
+        // dt=4 evaluation): the densest representation.
+        NetworkId::EvFlowNet => {
+            InputRepresentation::new(1, 1).with_accumulated_intervals(4)
+        }
+        // Moderate discretization.
+        NetworkId::FusionFlowNet => InputRepresentation::new(4, 2),
+        NetworkId::E2Depth => InputRepresentation::new(6, 6),
+        NetworkId::SpikeFlowNet => InputRepresentation::new(8, 2),
+        NetworkId::Halsie => InputRepresentation::new(8, 4),
+        // Fine temporal resolution: sparsest frames (temporal isolation is
+        // DOTIE's working principle).
+        NetworkId::Dotie => InputRepresentation::new(24, 1),
+        NetworkId::AdaptiveSpikeNet => InputRepresentation::new(32, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representations_are_consistent() {
+        for id in NetworkId::TABLE1 {
+            let rep = representation_for(id);
+            assert_eq!(rep.timesteps() * rep.bins_per_timestep, rep.bins_per_interval);
+            assert!(rep.channels() >= 2);
+        }
+    }
+
+    #[test]
+    fn adaptive_spikenet_is_finest() {
+        let fine = representation_for(NetworkId::AdaptiveSpikeNet);
+        let coarse = representation_for(NetworkId::EvFlowNet);
+        assert!(fine.bins_per_interval > 8 * coarse.bins_per_interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn invalid_grouping_rejected() {
+        let _ = InputRepresentation::new(5, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the task metrics.
+
+use ev_datasets::metrics::{BoundingBox, DepthMap, FlowField, LabelMap};
+use proptest::prelude::*;
+
+const W: usize = 12;
+const H: usize = 10;
+
+fn arb_flow() -> impl Strategy<Value = FlowField> {
+    prop::collection::vec(-10.0f32..10.0, W * H * 2).prop_map(|v| {
+        let (vx, vy) = v.split_at(W * H);
+        FlowField::new(W, H, vx.to_vec(), vy.to_vec()).expect("matching sizes")
+    })
+}
+
+fn arb_labels() -> impl Strategy<Value = LabelMap> {
+    prop::collection::vec(0u32..4, W * H)
+        .prop_map(|l| LabelMap::new(W, H, l).expect("matching sizes"))
+}
+
+fn arb_depth() -> impl Strategy<Value = DepthMap> {
+    prop::collection::vec(0.5f32..50.0, W * H)
+        .prop_map(|d| DepthMap::new(W, H, d).expect("matching sizes"))
+}
+
+fn arb_bbox() -> impl Strategy<Value = BoundingBox> {
+    (0u32..20, 0u32..20, 0u32..10, 0u32..10)
+        .prop_map(|(x0, y0, dw, dh)| BoundingBox::new(x0, y0, x0 + dw, y0 + dh))
+}
+
+proptest! {
+    #[test]
+    fn aee_is_a_metric(a in arb_flow(), b in arb_flow()) {
+        let ab = a.aee(&b).expect("same dims");
+        let ba = b.aee(&a).expect("same dims");
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(ab >= 0.0, "non-negativity");
+        prop_assert_eq!(a.aee(&a).expect("same dims"), 0.0);
+    }
+
+    #[test]
+    fn aee_triangle_inequality(a in arb_flow(), b in arb_flow(), c in arb_flow()) {
+        let ac = a.aee(&c).expect("same dims");
+        let ab = a.aee(&b).expect("same dims");
+        let bc = b.aee(&c).expect("same dims");
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn miou_is_bounded_and_symmetric(a in arb_labels(), b in arb_labels()) {
+        let ab = a.mean_iou(&b).expect("same dims");
+        let ba = b.mean_iou(&a).expect("same dims");
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.mean_iou(&a).expect("same dims") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_error_properties(a in arb_depth(), b in arb_depth()) {
+        let ab = a.avg_abs_error(&b).expect("same dims");
+        let ba = b.avg_abs_error(&a).expect("same dims");
+        prop_assert!((ab - ba).abs() < 1e-9, "log-space symmetry");
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(a.avg_abs_error(&a).expect("same dims"), 0.0);
+    }
+
+    #[test]
+    fn bbox_iou_properties(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(&b);
+        prop_assert!((ab - b.iou(&a)).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(a.iou(&a), 1.0);
+        // Disjoint boxes score zero.
+        let far = BoundingBox::new(1000, 1000, 1001, 1001);
+        prop_assert_eq!(a.iou(&far), 0.0);
+    }
+
+    #[test]
+    fn bbox_around_is_tight(points in prop::collection::vec((0u32..50, 0u32..50), 1..20)) {
+        let bb = BoundingBox::around(&points).expect("nonempty");
+        for &(x, y) in &points {
+            prop_assert!(bb.x0 <= x && x <= bb.x1);
+            prop_assert!(bb.y0 <= y && y <= bb.y1);
+        }
+        // Tightness: each edge touches a point.
+        prop_assert!(points.iter().any(|&(x, _)| x == bb.x0));
+        prop_assert!(points.iter().any(|&(x, _)| x == bb.x1));
+        prop_assert!(points.iter().any(|&(_, y)| y == bb.y0));
+        prop_assert!(points.iter().any(|&(_, y)| y == bb.y1));
+    }
+}

@@ -1,0 +1,447 @@
+//! Procedural scenes that drive the DVS camera model.
+//!
+//! A [`Scene`] maps `(x, y, t)` to a linear intensity in `(0, 1]`. Moving
+//! scenes also expose the analytic motion field ([`Scene::flow`]), per-pixel
+//! object labels ([`Scene::label`]) and depth ([`Scene::depth`]) so that the
+//! dataset crate can derive exact ground truth for optical flow, semantic
+//! segmentation, tracking and depth estimation — the four tasks evaluated in
+//! the paper (Table 1).
+
+use crate::time::Timestamp;
+
+/// Minimum intensity returned by well-behaved scenes, keeping `log(I)`
+/// finite for the camera model.
+pub const MIN_INTENSITY: f64 = 1e-3;
+
+/// A time-varying intensity field with analytic ground truth.
+///
+/// Implementations must return intensities in `[MIN_INTENSITY, 1]`.
+pub trait Scene {
+    /// Linear intensity at pixel centre `(x, y)` at time `t`.
+    fn intensity(&self, x: f64, y: f64, t: Timestamp) -> f64;
+
+    /// Image-plane motion at `(x, y, t)` in pixels/second, `(vx, vy)`.
+    ///
+    /// The default is a static scene (zero flow).
+    fn flow(&self, _x: f64, _y: f64, _t: Timestamp) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    /// Semantic/instance label at `(x, y, t)`; `0` is background.
+    fn label(&self, _x: f64, _y: f64, _t: Timestamp) -> u32 {
+        0
+    }
+
+    /// Scene depth at `(x, y, t)` in metres.
+    ///
+    /// The default is a fronto-parallel plane at 10 m.
+    fn depth(&self, _x: f64, _y: f64, _t: Timestamp) -> f64 {
+        10.0
+    }
+}
+
+fn clamp_intensity(v: f64) -> f64 {
+    v.clamp(MIN_INTENSITY, 1.0)
+}
+
+/// A constant-intensity scene. Produces no events; useful as a control.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::scene::{Scene, UniformScene};
+/// use ev_core::time::Timestamp;
+///
+/// let s = UniformScene::new(0.5);
+/// assert_eq!(s.intensity(3.0, 4.0, Timestamp::ZERO), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformScene {
+    level: f64,
+}
+
+impl UniformScene {
+    /// Creates a uniform scene at `level` (clamped to `[MIN_INTENSITY, 1]`).
+    pub fn new(level: f64) -> Self {
+        UniformScene {
+            level: clamp_intensity(level),
+        }
+    }
+}
+
+impl Scene for UniformScene {
+    fn intensity(&self, _x: f64, _y: f64, _t: Timestamp) -> f64 {
+        self.level
+    }
+}
+
+/// A vertical step edge translating horizontally at constant speed.
+///
+/// The canonical "moving edge" stimulus: pixels the edge sweeps across see a
+/// step change in log intensity and fire events, everything else is silent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingEdge {
+    /// Edge position at `t = 0`, in pixels.
+    pub x0: f64,
+    /// Edge speed in pixels/second (positive = rightward).
+    pub speed: f64,
+    /// Intensity on the left of the edge.
+    pub left: f64,
+    /// Intensity on the right of the edge.
+    pub right: f64,
+    /// Transition half-width in pixels (soft edge avoids aliasing).
+    pub half_width: f64,
+}
+
+impl MovingEdge {
+    /// Creates a rightward-moving bright-to-dark edge with sensible defaults.
+    pub fn new(x0: f64, speed: f64) -> Self {
+        MovingEdge {
+            x0,
+            speed,
+            left: 0.9,
+            right: 0.1,
+            half_width: 1.0,
+        }
+    }
+
+    fn edge_position(&self, t: Timestamp) -> f64 {
+        self.x0 + self.speed * t.as_secs_f64()
+    }
+}
+
+impl Scene for MovingEdge {
+    fn intensity(&self, x: f64, _y: f64, t: Timestamp) -> f64 {
+        let pos = self.edge_position(t);
+        // Smoothstep across the transition band.
+        let u = ((x - pos) / (2.0 * self.half_width) + 0.5).clamp(0.0, 1.0);
+        let s = u * u * (3.0 - 2.0 * u);
+        clamp_intensity(self.left + (self.right - self.left) * s)
+    }
+
+    fn flow(&self, x: f64, _y: f64, t: Timestamp) -> (f64, f64) {
+        // Only pixels inside the transition band observe motion.
+        let pos = self.edge_position(t);
+        if (x - pos).abs() <= self.half_width * 2.0 {
+            (self.speed, 0.0)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+}
+
+/// A rotating disk with a bright sector — the classic DVS test stimulus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotatingDisk {
+    /// Disk centre (pixels).
+    pub cx: f64,
+    /// Disk centre (pixels).
+    pub cy: f64,
+    /// Disk radius (pixels).
+    pub radius: f64,
+    /// Angular velocity in radians/second.
+    pub omega: f64,
+    /// Angular width of the bright sector in radians.
+    pub sector: f64,
+}
+
+impl RotatingDisk {
+    /// Creates a disk with a 90° bright sector.
+    pub fn new(cx: f64, cy: f64, radius: f64, omega: f64) -> Self {
+        RotatingDisk {
+            cx,
+            cy,
+            radius,
+            omega,
+            sector: core::f64::consts::FRAC_PI_2,
+        }
+    }
+}
+
+impl Scene for RotatingDisk {
+    fn intensity(&self, x: f64, y: f64, t: Timestamp) -> f64 {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r > self.radius {
+            return 0.35;
+        }
+        let phase = self.omega * t.as_secs_f64();
+        let ang = (dy.atan2(dx) - phase).rem_euclid(core::f64::consts::TAU);
+        if ang < self.sector {
+            0.95
+        } else {
+            0.15
+        }
+    }
+
+    fn flow(&self, x: f64, y: f64, _t: Timestamp) -> (f64, f64) {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        if (dx * dx + dy * dy).sqrt() > self.radius {
+            (0.0, 0.0)
+        } else {
+            // Rigid rotation: v = ω × r.
+            (-self.omega * dy, self.omega * dx)
+        }
+    }
+
+    fn label(&self, x: f64, y: f64, _t: Timestamp) -> u32 {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        if (dx * dx + dy * dy).sqrt() <= self.radius {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// A sinusoidal plaid texture translating at constant velocity.
+///
+/// Every textured pixel observes the same flow, making this the reference
+/// stimulus for dense optical-flow ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranslatingTexture {
+    /// Horizontal velocity, pixels/second.
+    pub vx: f64,
+    /// Vertical velocity, pixels/second.
+    pub vy: f64,
+    /// Spatial period of the texture, pixels.
+    pub period: f64,
+    /// Contrast in `[0, 1]`.
+    pub contrast: f64,
+}
+
+impl TranslatingTexture {
+    /// Creates a texture with period 8 px and contrast 0.8.
+    pub fn new(vx: f64, vy: f64) -> Self {
+        TranslatingTexture {
+            vx,
+            vy,
+            period: 8.0,
+            contrast: 0.8,
+        }
+    }
+}
+
+impl Scene for TranslatingTexture {
+    fn intensity(&self, x: f64, y: f64, t: Timestamp) -> f64 {
+        let dt = t.as_secs_f64();
+        let u = (x - self.vx * dt) / self.period * core::f64::consts::TAU;
+        let v = (y - self.vy * dt) / self.period * core::f64::consts::TAU;
+        let plaid = 0.5 + 0.25 * self.contrast * (u.sin() + v.sin());
+        clamp_intensity(plaid)
+    }
+
+    fn flow(&self, _x: f64, _y: f64, _t: Timestamp) -> (f64, f64) {
+        (self.vx, self.vy)
+    }
+}
+
+/// A single moving circular object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingObject {
+    /// Centre at `t = 0` (pixels).
+    pub x0: f64,
+    /// Centre at `t = 0` (pixels).
+    pub y0: f64,
+    /// Velocity, pixels/second.
+    pub vx: f64,
+    /// Velocity, pixels/second.
+    pub vy: f64,
+    /// Radius, pixels.
+    pub radius: f64,
+    /// Object intensity.
+    pub intensity: f64,
+    /// Object depth in metres (for depth ground truth).
+    pub depth: f64,
+}
+
+impl MovingObject {
+    fn centre(&self, t: Timestamp) -> (f64, f64) {
+        let dt = t.as_secs_f64();
+        (self.x0 + self.vx * dt, self.y0 + self.vy * dt)
+    }
+
+    fn covers(&self, x: f64, y: f64, t: Timestamp) -> bool {
+        let (cx, cy) = self.centre(t);
+        let dx = x - cx;
+        let dy = y - cy;
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+}
+
+/// Several bright circles moving over a dark background.
+///
+/// Drives the tracking (DOTIE), segmentation (HALSIE) and depth (E2Depth)
+/// ground-truth generators: each object carries a label (its 1-based index)
+/// and a depth.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiObjectScene {
+    objects: Vec<MovingObject>,
+    background: f64,
+}
+
+impl MultiObjectScene {
+    /// Creates a scene with the given objects over a 0.2-intensity background.
+    pub fn new(objects: Vec<MovingObject>) -> Self {
+        MultiObjectScene {
+            objects,
+            background: 0.2,
+        }
+    }
+
+    /// The objects in the scene.
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// Adds an object, returning its 1-based label.
+    pub fn push(&mut self, object: MovingObject) -> u32 {
+        self.objects.push(object);
+        self.objects.len() as u32
+    }
+
+    fn top_object(&self, x: f64, y: f64, t: Timestamp) -> Option<(usize, &MovingObject)> {
+        // Nearer (smaller depth) objects occlude farther ones.
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.covers(x, y, t))
+            .min_by(|a, b| a.1.depth.partial_cmp(&b.1.depth).expect("finite depth"))
+    }
+}
+
+impl Scene for MultiObjectScene {
+    fn intensity(&self, x: f64, y: f64, t: Timestamp) -> f64 {
+        match self.top_object(x, y, t) {
+            Some((_, o)) => clamp_intensity(o.intensity),
+            None => clamp_intensity(self.background),
+        }
+    }
+
+    fn flow(&self, x: f64, y: f64, t: Timestamp) -> (f64, f64) {
+        match self.top_object(x, y, t) {
+            Some((_, o)) => (o.vx, o.vy),
+            None => (0.0, 0.0),
+        }
+    }
+
+    fn label(&self, x: f64, y: f64, t: Timestamp) -> u32 {
+        match self.top_object(x, y, t) {
+            Some((i, _)) => i as u32 + 1,
+            None => 0,
+        }
+    }
+
+    fn depth(&self, x: f64, y: f64, t: Timestamp) -> f64 {
+        match self.top_object(x, y, t) {
+            Some((_, o)) => o.depth,
+            None => 50.0, // background plane
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn uniform_scene_is_constant_and_clamped() {
+        let s = UniformScene::new(5.0);
+        assert_eq!(s.intensity(0.0, 0.0, ts(0)), 1.0);
+        assert_eq!(s.flow(1.0, 1.0, ts(5)), (0.0, 0.0));
+        let s2 = UniformScene::new(-1.0);
+        assert_eq!(s2.intensity(0.0, 0.0, ts(0)), MIN_INTENSITY);
+    }
+
+    #[test]
+    fn moving_edge_translates() {
+        let s = MovingEdge::new(10.0, 100.0); // 100 px/s
+        let before = s.intensity(5.0, 0.0, ts(0));
+        let after = s.intensity(5.0, 0.0, ts(100)); // edge now at x=20
+        assert!(before > 0.5, "left of edge should be bright");
+        assert!(after > 0.5, "still left of edge");
+        // A pixel the edge has swept past takes the left (bright) intensity.
+        let swept = s.intensity(15.0, 0.0, ts(100));
+        assert!(swept > 0.7, "swept pixel should be bright, got {swept}");
+        // Ahead of the edge it is still dark.
+        let ahead = s.intensity(30.0, 0.0, ts(100));
+        assert!(ahead < 0.3, "pixel ahead of edge should be dark, got {ahead}");
+    }
+
+    #[test]
+    fn moving_edge_flow_is_local() {
+        let s = MovingEdge::new(10.0, 50.0);
+        assert_eq!(s.flow(10.5, 3.0, ts(0)), (50.0, 0.0));
+        assert_eq!(s.flow(100.0, 3.0, ts(0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rotating_disk_flow_is_tangential() {
+        let s = RotatingDisk::new(32.0, 32.0, 20.0, 2.0);
+        let (vx, vy) = s.flow(42.0, 32.0, ts(0)); // 10 px right of centre
+        assert!((vx - 0.0).abs() < 1e-9);
+        assert!((vy - 20.0).abs() < 1e-9); // ω * r = 2 * 10
+        assert_eq!(s.flow(60.0, 32.0, ts(0)), (0.0, 0.0)); // outside disk
+        assert_eq!(s.label(32.0, 32.0, ts(0)), 1);
+        assert_eq!(s.label(60.0, 32.0, ts(0)), 0);
+    }
+
+    #[test]
+    fn rotating_disk_sector_rotates() {
+        let s = RotatingDisk::new(0.0, 0.0, 10.0, core::f64::consts::PI); // half turn per second
+        let p0 = s.intensity(5.0, 1.0, ts(0));
+        let p1 = s.intensity(5.0, 1.0, ts(1000)); // half a turn later
+        assert!(p0 > 0.5 && p1 < 0.5);
+    }
+
+    #[test]
+    fn translating_texture_has_uniform_flow() {
+        let s = TranslatingTexture::new(30.0, -10.0);
+        assert_eq!(s.flow(0.0, 0.0, ts(0)), (30.0, -10.0));
+        assert_eq!(s.flow(100.0, 55.0, ts(777)), (30.0, -10.0));
+        // Intensity pattern advects with the velocity.
+        let a = s.intensity(10.0, 10.0, ts(0));
+        let b = s.intensity(10.0 + 30.0 * 0.1, 10.0 - 10.0 * 0.1, ts(100));
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_object_occlusion_prefers_nearer() {
+        let mut scene = MultiObjectScene::default();
+        let far = MovingObject {
+            x0: 10.0,
+            y0: 10.0,
+            vx: 0.0,
+            vy: 0.0,
+            radius: 5.0,
+            intensity: 0.9,
+            depth: 20.0,
+        };
+        let near = MovingObject {
+            x0: 10.0,
+            y0: 10.0,
+            vx: 5.0,
+            vy: 0.0,
+            radius: 3.0,
+            intensity: 0.6,
+            depth: 5.0,
+        };
+        assert_eq!(scene.push(far), 1);
+        assert_eq!(scene.push(near), 2);
+        assert_eq!(scene.label(10.0, 10.0, ts(0)), 2);
+        assert_eq!(scene.depth(10.0, 10.0, ts(0)), 5.0);
+        assert_eq!(scene.flow(10.0, 10.0, ts(0)), (5.0, 0.0));
+        // Outside the near object but inside the far one.
+        assert_eq!(scene.label(14.0, 10.0, ts(0)), 1);
+        // Background.
+        assert_eq!(scene.label(30.0, 30.0, ts(0)), 0);
+        assert_eq!(scene.depth(30.0, 30.0, ts(0)), 50.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Event-stream preprocessing transforms.
+//!
+//! Standard preprocessing for real event-camera data: hot-pixel removal,
+//! per-pixel refractory filtering, spatial downsampling/cropping, and
+//! geometric augmentation. Every transform preserves the time ordering
+//! invariant of [`EventSlice`].
+
+use crate::event::{Event, SensorGeometry};
+use crate::stream::EventSlice;
+use crate::time::{TimeDelta, Timestamp};
+use crate::EventError;
+use std::collections::HashMap;
+
+/// Removes "hot" pixels: pixels whose event count exceeds
+/// `multiple × median` of the per-active-pixel counts (stuck or noisy
+/// pixels dominate real DVS recordings).
+///
+/// Returns the filtered slice and the number of pixels removed.
+///
+/// # Panics
+///
+/// Panics if `multiple` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::event::{Event, Polarity, SensorGeometry};
+/// use ev_core::stream::EventSlice;
+/// use ev_core::time::Timestamp;
+/// use ev_core::transforms::hot_pixel_filter;
+///
+/// # fn main() -> Result<(), ev_core::EventError> {
+/// let g = SensorGeometry::new(8, 8);
+/// let mut events = Vec::new();
+/// // One pixel fires 100 times, three pixels once each.
+/// for k in 0..100u64 {
+///     events.push(Event::new(0, 0, Timestamp::from_micros(k * 10), Polarity::On));
+/// }
+/// for (i, &(x, y)) in [(1u16, 1u16), (2, 2), (3, 3)].iter().enumerate() {
+///     events.push(Event::new(x, y, Timestamp::from_micros(1000 + i as u64), Polarity::On));
+/// }
+/// let slice = EventSlice::from_unsorted(g, events)?;
+/// let (filtered, removed) = hot_pixel_filter(&slice, 10.0);
+/// assert_eq!(removed, 1);
+/// assert_eq!(filtered.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hot_pixel_filter(slice: &EventSlice, multiple: f64) -> (EventSlice, usize) {
+    assert!(
+        multiple.is_finite() && multiple > 0.0,
+        "hot-pixel multiple must be positive"
+    );
+    let geometry = slice.geometry();
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for ev in slice.iter() {
+        *counts.entry(ev.pixel_index(geometry)).or_insert(0) += 1;
+    }
+    if counts.is_empty() {
+        return (slice.clone(), 0);
+    }
+    let mut sorted: Vec<usize> = counts.values().copied().collect();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2] as f64;
+    let threshold = (median * multiple).max(1.0);
+    let hot: std::collections::HashSet<usize> = counts
+        .iter()
+        .filter(|(_, c)| **c as f64 > threshold)
+        .map(|(p, _)| *p)
+        .collect();
+    let events: Vec<Event> = slice
+        .iter()
+        .copied()
+        .filter(|e| !hot.contains(&e.pixel_index(geometry)))
+        .collect();
+    (
+        EventSlice::new(geometry, events).expect("filtering preserves order and bounds"),
+        hot.len(),
+    )
+}
+
+/// Applies a per-pixel refractory period: after a pixel fires, subsequent
+/// events from the same pixel within `period` are dropped (standard DVS
+/// denoising).
+pub fn refractory_filter(slice: &EventSlice, period: TimeDelta) -> EventSlice {
+    let geometry = slice.geometry();
+    let mut last_fire: HashMap<usize, Timestamp> = HashMap::new();
+    let mut events = Vec::with_capacity(slice.len());
+    for ev in slice.iter() {
+        let idx = ev.pixel_index(geometry);
+        let keep = match last_fire.get(&idx) {
+            Some(prev) => ev.t.saturating_since(*prev) >= period,
+            None => true,
+        };
+        if keep {
+            last_fire.insert(idx, ev.t);
+            events.push(*ev);
+        }
+    }
+    EventSlice::new(geometry, events).expect("filtering preserves order and bounds")
+}
+
+/// Spatially downsamples by an integer factor: coordinates divide by
+/// `factor`, the geometry shrinks accordingly. Multiple source events
+/// mapping to one target pixel all survive (accumulation happens later in
+/// E2SF binning).
+///
+/// # Errors
+///
+/// Returns [`EventError::MalformedAer`]-free; construction errors cannot
+/// occur, but the signature stays fallible for future validation.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn downsample(slice: &EventSlice, factor: u32) -> Result<EventSlice, EventError> {
+    assert!(factor > 0, "downsample factor must be nonzero");
+    let g = slice.geometry();
+    let new_geometry = g.downscaled(factor);
+    let events: Vec<Event> = slice
+        .iter()
+        .map(|e| Event {
+            x: (u32::from(e.x) / factor).min(new_geometry.width - 1) as u16,
+            y: (u32::from(e.y) / factor).min(new_geometry.height - 1) as u16,
+            ..*e
+        })
+        .collect();
+    EventSlice::new(new_geometry, events)
+}
+
+/// Crops to the rectangle `[x0, x0+width) × [y0, y0+height)`, rebasing
+/// coordinates to the crop origin.
+///
+/// # Errors
+///
+/// Returns [`EventError::OutOfBounds`] if the crop rectangle exceeds the
+/// sensor.
+pub fn crop(
+    slice: &EventSlice,
+    x0: u32,
+    y0: u32,
+    width: u32,
+    height: u32,
+) -> Result<EventSlice, EventError> {
+    let g = slice.geometry();
+    if x0 + width > g.width || y0 + height > g.height {
+        return Err(EventError::OutOfBounds {
+            x: (x0 + width).min(u16::MAX as u32) as u16,
+            y: (y0 + height).min(u16::MAX as u32) as u16,
+            geometry: g,
+        });
+    }
+    let new_geometry = SensorGeometry::new(width, height);
+    let events: Vec<Event> = slice
+        .iter()
+        .filter(|e| {
+            u32::from(e.x) >= x0
+                && u32::from(e.x) < x0 + width
+                && u32::from(e.y) >= y0
+                && u32::from(e.y) < y0 + height
+        })
+        .map(|e| Event {
+            x: (u32::from(e.x) - x0) as u16,
+            y: (u32::from(e.y) - y0) as u16,
+            ..*e
+        })
+        .collect();
+    EventSlice::new(new_geometry, events)
+}
+
+/// Mirrors the stream horizontally (augmentation).
+pub fn flip_horizontal(slice: &EventSlice) -> EventSlice {
+    let g = slice.geometry();
+    let events: Vec<Event> = slice
+        .iter()
+        .map(|e| Event {
+            x: (g.width - 1 - u32::from(e.x)) as u16,
+            ..*e
+        })
+        .collect();
+    EventSlice::new(g, events).expect("mirroring preserves order and bounds")
+}
+
+/// Mirrors the stream vertically (augmentation).
+pub fn flip_vertical(slice: &EventSlice) -> EventSlice {
+    let g = slice.geometry();
+    let events: Vec<Event> = slice
+        .iter()
+        .map(|e| Event {
+            y: (g.height - 1 - u32::from(e.y)) as u16,
+            ..*e
+        })
+        .collect();
+    EventSlice::new(g, events).expect("mirroring preserves order and bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Polarity;
+
+    fn ev(x: u16, y: u16, t: u64) -> Event {
+        Event::new(x, y, Timestamp::from_micros(t), Polarity::On)
+    }
+
+    fn slice(events: Vec<Event>) -> EventSlice {
+        EventSlice::from_unsorted(SensorGeometry::new(16, 16), events).unwrap()
+    }
+
+    #[test]
+    fn refractory_drops_rapid_repeats() {
+        let s = slice(vec![
+            ev(1, 1, 0),
+            ev(1, 1, 50),   // within 100 µs: dropped
+            ev(1, 1, 150),  // 150 µs after last kept: kept
+            ev(2, 2, 60),   // different pixel: kept
+        ]);
+        let filtered = refractory_filter(&s, TimeDelta::from_micros(100));
+        assert_eq!(filtered.len(), 3);
+        let ts: Vec<u64> = filtered.iter().map(|e| e.t.as_micros()).collect();
+        assert_eq!(ts, vec![0, 60, 150]);
+    }
+
+    #[test]
+    fn refractory_zero_period_keeps_all() {
+        let s = slice(vec![ev(1, 1, 0), ev(1, 1, 1)]);
+        assert_eq!(refractory_filter(&s, TimeDelta::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn hot_pixel_keeps_normal_pixels() {
+        let mut events = Vec::new();
+        for k in 0..60u64 {
+            events.push(ev(0, 0, k));
+        }
+        for k in 0..3u64 {
+            events.push(ev(5, 5, 100 + k));
+            events.push(ev(6, 6, 200 + k));
+        }
+        let (filtered, removed) = hot_pixel_filter(&slice(events), 5.0);
+        assert_eq!(removed, 1);
+        assert_eq!(filtered.len(), 6);
+        assert!(filtered.iter().all(|e| e.x != 0));
+    }
+
+    #[test]
+    fn hot_pixel_on_empty_slice() {
+        let s = EventSlice::empty(SensorGeometry::new(4, 4));
+        let (filtered, removed) = hot_pixel_filter(&s, 3.0);
+        assert!(filtered.is_empty());
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn downsample_halves_coordinates() {
+        let s = slice(vec![ev(7, 5, 0), ev(15, 15, 1)]);
+        let d = downsample(&s, 2).unwrap();
+        assert_eq!(d.geometry(), SensorGeometry::new(8, 8));
+        assert_eq!((d.as_events()[0].x, d.as_events()[0].y), (3, 2));
+        assert_eq!((d.as_events()[1].x, d.as_events()[1].y), (7, 7));
+    }
+
+    #[test]
+    fn crop_rebases_and_filters() {
+        let s = slice(vec![ev(4, 4, 0), ev(9, 9, 1), ev(12, 12, 2)]);
+        let c = crop(&s, 4, 4, 8, 8).unwrap();
+        assert_eq!(c.geometry(), SensorGeometry::new(8, 8));
+        assert_eq!(c.len(), 2);
+        assert_eq!((c.as_events()[0].x, c.as_events()[0].y), (0, 0));
+        assert_eq!((c.as_events()[1].x, c.as_events()[1].y), (5, 5));
+        assert!(crop(&s, 10, 10, 8, 8).is_err());
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let s = slice(vec![ev(3, 4, 0), ev(10, 2, 5)]);
+        assert_eq!(flip_horizontal(&flip_horizontal(&s)), s);
+        assert_eq!(flip_vertical(&flip_vertical(&s)), s);
+        let h = flip_horizontal(&s);
+        assert_eq!(h.as_events()[0].x, 12); // 16-1-3
+        let v = flip_vertical(&s);
+        assert_eq!(v.as_events()[0].y, 11); // 16-1-4
+    }
+
+    #[test]
+    fn transforms_preserve_time_order() {
+        let events: Vec<Event> = (0..200)
+            .map(|k| ev((k % 16) as u16, ((k * 3) % 16) as u16, k as u64))
+            .collect();
+        let s = slice(events);
+        // Each transform yields a valid (ordered) slice by construction;
+        // verify via span monotonicity on a chained application.
+        let chained = flip_vertical(&flip_horizontal(
+            &refractory_filter(&downsample(&s, 2).unwrap(), TimeDelta::from_micros(2)),
+        ));
+        let ts: Vec<u64> = chained.iter().map(|e| e.t.as_micros()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+}

@@ -1,0 +1,356 @@
+//! Layer definitions for the network IR.
+//!
+//! A [`Layer`] is a node of a [`crate::graph::NetworkGraph`]. Layers carry
+//! everything the rest of the stack needs: configuration for real forward
+//! execution ([`crate::forward`]), shape inference, and the compute/memory
+//! workload description consumed by the platform model and the Network
+//! Mapper.
+
+use core::fmt;
+
+/// Execution domain of a layer (paper Table 1 distinguishes SNN and ANN
+/// layers; hybrid networks mix both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Spiking (event-driven, binary activations, stateful membranes).
+    Snn,
+    /// Conventional artificial neural network layer.
+    Ann,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Snn => f.write_str("SNN"),
+            Domain::Ann => f.write_str("ANN"),
+        }
+    }
+}
+
+/// Configuration of a (possibly strided/padded) 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dCfg {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+}
+
+impl Conv2dCfg {
+    /// A stride-1 "same" convolution.
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Conv2dCfg {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// A stride-2 downsampling convolution with "same"-style padding.
+    pub fn down(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Conv2dCfg {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 2,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel + self.out_channels
+    }
+}
+
+/// Configuration of a transposed convolution (decoder upsampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvT2dCfg {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (upsampling factor).
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+}
+
+impl ConvT2dCfg {
+    /// The common 2× upsampling block (`k=4, s=2, p=1`).
+    pub fn up2(in_channels: usize, out_channels: usize) -> Self {
+        ConvT2dCfg {
+            in_channels,
+            out_channels,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+        }
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.in_channels * self.out_channels * self.kernel * self.kernel + self.out_channels
+    }
+}
+
+/// Leaky integrate-and-fire neuron configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifCfg {
+    /// Membrane leak factor per timestep, in `(0, 1]` (1 = no leak / IF).
+    pub leak: f32,
+    /// Firing threshold.
+    pub threshold: f32,
+    /// Whether the membrane resets to zero (`true`) or subtracts the
+    /// threshold (`false`) on a spike.
+    pub reset_to_zero: bool,
+}
+
+impl Default for LifCfg {
+    fn default() -> Self {
+        LifCfg {
+            leak: 0.85,
+            threshold: 1.0,
+            reset_to_zero: false,
+        }
+    }
+}
+
+/// The operation a layer performs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// Dense ANN convolution (+ implicit ReLU in the zoo networks).
+    Conv2d(Conv2dCfg),
+    /// Spiking convolution: conv over input spikes feeding LIF neurons.
+    SpikingConv2d {
+        /// Convolution configuration.
+        conv: Conv2dCfg,
+        /// Neuron dynamics.
+        lif: LifCfg,
+    },
+    /// Transposed convolution (decoder upsampling).
+    ConvTranspose2d(ConvT2dCfg),
+    /// Non-overlapping max pooling.
+    MaxPool2d {
+        /// Window/stride size.
+        kernel: usize,
+    },
+    /// Fully-connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Channel-wise concatenation of all predecessor outputs (skip links).
+    Concat,
+    /// Prediction head: 1×1 convolution producing the task output channels.
+    Head {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels (e.g. 2 for optical flow, classes for
+        /// segmentation, 1 for depth).
+        out_channels: usize,
+    },
+}
+
+impl LayerKind {
+    /// The execution domain this kind belongs to.
+    pub fn domain(&self) -> Domain {
+        match self {
+            LayerKind::SpikingConv2d { .. } => Domain::Snn,
+            _ => Domain::Ann,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            LayerKind::Conv2d(c) | LayerKind::SpikingConv2d { conv: c, .. } => c.param_count(),
+            LayerKind::ConvTranspose2d(c) => c.param_count(),
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => in_features * out_features + out_features,
+            LayerKind::Head {
+                in_channels,
+                out_channels,
+            } => in_channels * out_channels + out_channels,
+            LayerKind::MaxPool2d { .. } | LayerKind::Concat => 0,
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            LayerKind::Conv2d(c) => format!(
+                "Conv {}→{} k{} s{}",
+                c.in_channels, c.out_channels, c.kernel, c.stride
+            ),
+            LayerKind::SpikingConv2d { conv: c, .. } => format!(
+                "SpikingConv {}→{} k{} s{}",
+                c.in_channels, c.out_channels, c.kernel, c.stride
+            ),
+            LayerKind::ConvTranspose2d(c) => format!(
+                "ConvT {}→{} k{} s{}",
+                c.in_channels, c.out_channels, c.kernel, c.stride
+            ),
+            LayerKind::MaxPool2d { kernel } => format!("MaxPool k{kernel}"),
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => format!("Linear {in_features}→{out_features}"),
+            LayerKind::Concat => "Concat".to_string(),
+            LayerKind::Head {
+                in_channels,
+                out_channels,
+            } => format!("Head {in_channels}→{out_channels}"),
+        }
+    }
+}
+
+/// Identifier of a layer inside one network graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub usize);
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A named node of a network graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Identifier (index into the graph's layer vector).
+    pub id: LayerId,
+    /// Human-readable name (unique within a network).
+    pub name: String,
+    /// Operation.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// The layer's execution domain.
+    pub fn domain(&self) -> Domain {
+        self.kind.domain()
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}: {}]", self.id, self.name, self.kind.describe())
+    }
+}
+
+/// Tensor shape flowing along a graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A `[C, H, W]` feature map.
+    Chw {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// A flat feature vector.
+    Flat {
+        /// Feature count.
+        n: usize,
+    },
+}
+
+impl Shape {
+    /// Total element count.
+    pub fn elements(&self) -> usize {
+        match self {
+            Shape::Chw { c, h, w } => c * h * w,
+            Shape::Flat { n } => *n,
+        }
+    }
+
+    /// Size in bytes at 4 bytes/element (fp32).
+    pub fn bytes_fp32(&self) -> u64 {
+        (self.elements() * 4) as u64
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Chw { c, h, w } => write!(f, "[{c}, {h}, {w}]"),
+            Shape::Flat { n } => write!(f, "[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains() {
+        let snn = LayerKind::SpikingConv2d {
+            conv: Conv2dCfg::same(2, 4, 3),
+            lif: LifCfg::default(),
+        };
+        assert_eq!(snn.domain(), Domain::Snn);
+        assert_eq!(LayerKind::Concat.domain(), Domain::Ann);
+    }
+
+    #[test]
+    fn param_counts() {
+        let conv = LayerKind::Conv2d(Conv2dCfg::same(2, 4, 3));
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+        let lin = LayerKind::Linear {
+            in_features: 10,
+            out_features: 5,
+        };
+        assert_eq!(lin.param_count(), 55);
+        assert_eq!(LayerKind::MaxPool2d { kernel: 2 }.param_count(), 0);
+        let head = LayerKind::Head {
+            in_channels: 8,
+            out_channels: 2,
+        };
+        assert_eq!(head.param_count(), 18);
+        let up = LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8, 4));
+        assert_eq!(up.param_count(), 8 * 4 * 16 + 4);
+    }
+
+    #[test]
+    fn cfg_helpers() {
+        let d = Conv2dCfg::down(2, 8, 3);
+        assert_eq!(d.stride, 2);
+        assert_eq!(d.padding, 1);
+        let u = ConvT2dCfg::up2(8, 4);
+        assert_eq!((u.kernel, u.stride, u.padding), (4, 2, 1));
+    }
+
+    #[test]
+    fn shape_sizes() {
+        let s = Shape::Chw { c: 2, h: 4, w: 8 };
+        assert_eq!(s.elements(), 64);
+        assert_eq!(s.bytes_fp32(), 256);
+        assert_eq!(Shape::Flat { n: 10 }.elements(), 10);
+        assert_eq!(s.to_string(), "[2, 4, 8]");
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let k = LayerKind::Conv2d(Conv2dCfg::down(2, 16, 3));
+        assert!(k.describe().contains("2→16"));
+    }
+}

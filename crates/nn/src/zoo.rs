@@ -1,0 +1,596 @@
+//! Model zoo: the networks of the paper's Table 1 (plus EV-FlowNet, used in
+//! the multi-task all-ANN configuration).
+//!
+//! Each builder reconstructs the network's *architecture* — layer counts
+//! and types exactly matching Table 1, encoder-decoder shapes following the
+//! cited papers — with deterministic synthetic weights (substitution for
+//! pretrained checkpoints, see `DESIGN.md`). "Layers" counts parametered
+//! layers (convolutions, transposed convolutions, heads); pooling and
+//! concatenation nodes are plumbing and not counted, matching how the
+//! papers count layers.
+
+use crate::accuracy::{AccuracyModel, MetricKind};
+use crate::graph::{GraphBuilder, NetworkGraph};
+use crate::layer::{Conv2dCfg, ConvT2dCfg, LayerKind, LifCfg, Shape};
+use crate::{NnError, Task};
+use core::fmt;
+
+/// Shared parameters of zoo builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ZooConfig {
+    /// Input height (must be divisible by 16 for the encoder-decoders).
+    pub height: usize,
+    /// Input width (must be divisible by 16).
+    pub width: usize,
+    /// Input channels (2 × event bins per presented frame).
+    pub input_channels: usize,
+    /// Base channel width of the first encoder stage.
+    pub base_width: usize,
+    /// SNN timesteps per inference.
+    pub timesteps: usize,
+    /// Segmentation classes (HALSIE head).
+    pub seg_classes: usize,
+}
+
+impl ZooConfig {
+    /// Minimal config for fast unit tests (16×16).
+    pub fn tiny() -> Self {
+        ZooConfig {
+            height: 16,
+            width: 16,
+            input_channels: 2,
+            base_width: 4,
+            timesteps: 2,
+            seg_classes: 4,
+        }
+    }
+
+    /// Small config for examples and integration tests (32×32).
+    pub fn small() -> Self {
+        ZooConfig {
+            height: 32,
+            width: 32,
+            input_channels: 2,
+            base_width: 8,
+            timesteps: 4,
+            seg_classes: 6,
+        }
+    }
+
+    /// MVSEC-scale config (256×256 crop of the DAVIS 346 frame, as the
+    /// cited optical-flow papers use): drives realistic workload numbers
+    /// for the platform model. Not intended for real forward execution.
+    pub fn mvsec() -> Self {
+        ZooConfig {
+            height: 256,
+            width: 256,
+            input_channels: 4, // 2 polarities × 2 grouped bins
+            base_width: 16,
+            timesteps: 4,
+            seg_classes: 6,
+        }
+    }
+
+    fn input_shape(&self) -> Shape {
+        Shape::Chw {
+            c: self.input_channels,
+            h: self.height,
+            w: self.width,
+        }
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if !self.height.is_multiple_of(16) || !self.width.is_multiple_of(16) {
+            return Err(NnError::IncompatibleShape {
+                layer: "input".to_string(),
+                reason: format!(
+                    "zoo networks need 16-divisible input, got {}x{}",
+                    self.height, self.width
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig::small()
+    }
+}
+
+/// Default LIF dynamics used by the spiking layers of the zoo.
+fn zoo_lif() -> LifCfg {
+    LifCfg {
+        leak: 0.9,
+        threshold: 0.75,
+        reset_to_zero: false,
+    }
+}
+
+fn spiking(conv: Conv2dCfg) -> LayerKind {
+    LayerKind::SpikingConv2d {
+        conv,
+        lif: zoo_lif(),
+    }
+}
+
+/// Spike-FlowNet (Lee et al. 2020): hybrid optical flow, 4 SNN encoder
+/// layers + 8 ANN layers (Table 1: 12 layers).
+pub fn spike_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let mut b = GraphBuilder::new("SpikeFlowNet", Task::OpticalFlow, cfg.input_shape());
+    // SNN encoder (4).
+    let s1 = b.layer("s1", spiking(Conv2dCfg::down(cfg.input_channels, w, 3)), &[])?;
+    let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
+    let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
+    let s4 = b.layer("s4", spiking(Conv2dCfg::down(4 * w, 8 * w, 3)), &[s3])?;
+    // ANN residual bottleneck (2).
+    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[s4])?;
+    let r2 = b.layer("r2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[r1])?;
+    // ANN decoder with skip concatenations (4 transposed convs).
+    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r2])?;
+    let c1 = b.layer("cat1", LayerKind::Concat, &[u1, s3])?;
+    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)), &[c1])?;
+    let c2 = b.layer("cat2", LayerKind::Concat, &[u2, s2])?;
+    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)), &[c2])?;
+    let c3 = b.layer("cat3", LayerKind::Concat, &[u3, s1])?;
+    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[c3])?;
+    // Refinement + flow head (2).
+    let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
+    let _head = b.layer(
+        "flow",
+        LayerKind::Head {
+            in_channels: w,
+            out_channels: 2,
+        },
+        &[f1],
+    )?;
+    b.finish()
+}
+
+/// Fusion-FlowNet (Lee et al. 2022): sensor-fusion optical flow, 10 SNN +
+/// 19 ANN layers (Table 1: 29 layers).
+pub fn fusion_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let ic = cfg.input_channels;
+    let mut b = GraphBuilder::new("Fusion-FlowNet", Task::OpticalFlow, cfg.input_shape());
+    // Spiking event encoder: 4 downsampling + 6 residual (10 SNN).
+    let s1 = b.layer("s1", spiking(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
+    let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
+    let s4 = b.layer("s4", spiking(Conv2dCfg::down(4 * w, 8 * w, 3)), &[s3])?;
+    let mut s_prev = s4;
+    for k in 5..=10 {
+        s_prev = b.layer(
+            format!("s{k}"),
+            spiking(Conv2dCfg::same(8 * w, 8 * w, 3)),
+            &[s_prev],
+        )?;
+    }
+    // Analog frame encoder: 4 downsampling + 2 residual (6 ANN).
+    let a1 = b.layer("a1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let a2 = b.layer("a2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[a1])?;
+    let a3 = b.layer("a3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[a2])?;
+    let a4 = b.layer("a4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[a3])?;
+    let a5 = b.layer("a5", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[a4])?;
+    let a6 = b.layer("a6", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[a5])?;
+    // Fusion.
+    let fuse = b.layer("fuse", LayerKind::Concat, &[s_prev, a6])?;
+    // Fused decoder (8 ANN: 4 convs + 4 transposed convs).
+    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(16 * w, 8 * w, 3)), &[fuse])?;
+    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[d1])?;
+    let k1 = b.layer("k1", LayerKind::Concat, &[u1, a3])?;
+    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[k1])?;
+    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d2])?;
+    let k2 = b.layer("k2", LayerKind::Concat, &[u2, a2])?;
+    let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)), &[k2])?;
+    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d3])?;
+    let k3 = b.layer("k3", LayerKind::Concat, &[u3, a1])?;
+    let d4 = b.layer("d4", LayerKind::Conv2d(Conv2dCfg::same(2 * w, w, 3)), &[k3])?;
+    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d4])?;
+    // Refinement chain + head (5 ANN).
+    let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
+    let f2 = b.layer("f2", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f1])?;
+    let f3 = b.layer("f3", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f2])?;
+    let f4 = b.layer("f4", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f3])?;
+    let _head = b.layer(
+        "flow",
+        LayerKind::Head {
+            in_channels: w,
+            out_channels: 2,
+        },
+        &[f4],
+    )?;
+    b.finish()
+}
+
+/// Adaptive-SpikeNet (Kosta et al. 2023): fully spiking optical flow with
+/// learnable neuronal dynamics, 8 SNN layers (Table 1).
+///
+/// Flow is decoded from the spike rates of the final layer (no analog
+/// head, keeping the network all-SNN as Table 1 classifies it).
+pub fn adaptive_spikenet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let mut b = GraphBuilder::new("Adaptive-SpikeNet", Task::OpticalFlow, cfg.input_shape());
+    let s1 = b.layer("s1", spiking(Conv2dCfg::down(cfg.input_channels, w, 3)), &[])?;
+    let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
+    let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
+    let s4 = b.layer("s4", spiking(Conv2dCfg::down(4 * w, 8 * w, 3)), &[s3])?;
+    // Learnable-dynamics residual stack: per-layer leak/threshold variants.
+    let leaks = [0.95f32, 0.9, 0.85, 0.8];
+    let mut prev = s4;
+    for (k, leak) in (5..=8).zip(leaks) {
+        prev = b.layer(
+            format!("s{k}"),
+            LayerKind::SpikingConv2d {
+                conv: Conv2dCfg::same(8 * w, 8 * w, 3),
+                lif: LifCfg {
+                    leak,
+                    threshold: 0.75,
+                    reset_to_zero: false,
+                },
+            },
+            &[prev],
+        )?;
+    }
+    b.finish()
+}
+
+/// HALSIE (Biswas et al. 2023): hybrid dual-branch semantic segmentation,
+/// 3 SNN + 13 ANN layers (Table 1: 16 layers).
+pub fn halsie(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let ic = cfg.input_channels;
+    let mut b = GraphBuilder::new("HALSIE", Task::SemanticSegmentation, cfg.input_shape());
+    // Spiking event branch (3 SNN).
+    let s1 = b.layer("s1", spiking(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
+    let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
+    // Analog image branch (4 ANN).
+    let a1 = b.layer("a1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let a2 = b.layer("a2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[a1])?;
+    let a3 = b.layer("a3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[a2])?;
+    let a4 = b.layer("a4", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 4 * w, 3)), &[a3])?;
+    // Fusion of the two h/8 embeddings.
+    let fuse = b.layer("fuse", LayerKind::Concat, &[s3, a4])?;
+    // Decoder (6 ANN) + refinement (2) + head (1).
+    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[fuse])?;
+    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d1])?;
+    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(2 * w, 2 * w, 3)), &[u1])?;
+    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d2])?;
+    let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u2])?;
+    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d3])?;
+    let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u3])?;
+    let f2 = b.layer("f2", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f1])?;
+    let _head = b.layer(
+        "seg",
+        LayerKind::Head {
+            in_channels: w,
+            out_channels: cfg.seg_classes,
+        },
+        &[f2],
+    )?;
+    b.finish()
+}
+
+/// Monocular dense depth from events (Hidalgo-Carrió et al. 2020,
+/// "E2Depth"): recurrent-UNet-style ANN, 15 layers (Table 1).
+pub fn e2depth(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let ic = cfg.input_channels;
+    let mut b = GraphBuilder::new("E2Depth", Task::DepthEstimation, cfg.input_shape());
+    let e1 = b.layer("e1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let e2 = b.layer("e2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[e1])?;
+    let e3 = b.layer("e3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[e2])?;
+    let e4 = b.layer("e4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[e3])?;
+    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[e4])?;
+    let r2 = b.layer("r2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[r1])?;
+    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r2])?;
+    let c1 = b.layer("c1", LayerKind::Concat, &[u1, e3])?;
+    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[c1])?;
+    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d1])?;
+    let c2 = b.layer("c2", LayerKind::Concat, &[u2, e2])?;
+    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)), &[c2])?;
+    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d2])?;
+    let c3 = b.layer("c3", LayerKind::Concat, &[u3, e1])?;
+    let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(2 * w, w, 3)), &[c3])?;
+    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d3])?;
+    let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
+    let _head = b.layer(
+        "depth",
+        LayerKind::Head {
+            in_channels: w,
+            out_channels: 1,
+        },
+        &[f1],
+    )?;
+    b.finish()
+}
+
+/// DOTIE (Nagaraj et al. 2022): object detection/tracking through temporal
+/// isolation with a single spiking layer (Table 1: 1 layer).
+pub fn dotie(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let mut b = GraphBuilder::new("DOTIE", Task::ObjectTracking, cfg.input_shape());
+    // A single wide spiking layer: DOTIE's whole capacity lives in one
+    // temporal-isolation convolution, so it is wider than an encoder stage.
+    let _s1 = b.layer(
+        "s1",
+        LayerKind::SpikingConv2d {
+            conv: Conv2dCfg::same(cfg.input_channels, 5 * cfg.base_width / 2, 5),
+            lif: LifCfg {
+                leak: 0.8,
+                threshold: 0.5,
+                reset_to_zero: true,
+            },
+        },
+        &[],
+    )?;
+    b.finish()
+}
+
+/// EV-FlowNet (Zhu et al. 2018): the all-ANN optical-flow baseline used in
+/// the multi-task all-ANN configuration (11 layers).
+pub fn ev_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let w = cfg.base_width;
+    let ic = cfg.input_channels;
+    let mut b = GraphBuilder::new("EV-FlowNet", Task::OpticalFlow, cfg.input_shape());
+    let e1 = b.layer("e1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
+    let e2 = b.layer("e2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[e1])?;
+    let e3 = b.layer("e3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[e2])?;
+    let e4 = b.layer("e4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[e3])?;
+    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[e4])?;
+    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r1])?;
+    let c1 = b.layer("c1", LayerKind::Concat, &[u1, e3])?;
+    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)), &[c1])?;
+    let c2 = b.layer("c2", LayerKind::Concat, &[u2, e2])?;
+    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)), &[c2])?;
+    let c3 = b.layer("c3", LayerKind::Concat, &[u3, e1])?;
+    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[c3])?;
+    let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
+    let _head = b.layer(
+        "flow",
+        LayerKind::Head {
+            in_channels: w,
+            out_channels: 2,
+        },
+        &[f1],
+    )?;
+    b.finish()
+}
+
+/// Identifier of a zoo network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NetworkId {
+    /// Spike-FlowNet — hybrid optical flow.
+    SpikeFlowNet,
+    /// Fusion-FlowNet — hybrid sensor-fusion optical flow.
+    FusionFlowNet,
+    /// Adaptive-SpikeNet — fully spiking optical flow.
+    AdaptiveSpikeNet,
+    /// HALSIE — hybrid semantic segmentation.
+    Halsie,
+    /// E2Depth (Hidalgo-Carrió et al.) — ANN depth estimation.
+    E2Depth,
+    /// DOTIE — single-layer SNN object tracking.
+    Dotie,
+    /// EV-FlowNet — ANN optical flow (multi-task configurations).
+    EvFlowNet,
+}
+
+impl NetworkId {
+    /// The six Table 1 networks, in the paper's order.
+    pub const TABLE1: [NetworkId; 6] = [
+        NetworkId::SpikeFlowNet,
+        NetworkId::FusionFlowNet,
+        NetworkId::AdaptiveSpikeNet,
+        NetworkId::Halsie,
+        NetworkId::E2Depth,
+        NetworkId::Dotie,
+    ];
+
+    /// Canonical network name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkId::SpikeFlowNet => "SpikeFlowNet",
+            NetworkId::FusionFlowNet => "Fusion-FlowNet",
+            NetworkId::AdaptiveSpikeNet => "Adaptive-SpikeNet",
+            NetworkId::Halsie => "HALSIE",
+            NetworkId::E2Depth => "E2Depth",
+            NetworkId::Dotie => "DOTIE",
+            NetworkId::EvFlowNet => "EV-FlowNet",
+        }
+    }
+
+    /// Builds the network graph for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (e.g. non-16-divisible input).
+    pub fn build(self, cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+        match self {
+            NetworkId::SpikeFlowNet => spike_flownet(cfg),
+            NetworkId::FusionFlowNet => fusion_flownet(cfg),
+            NetworkId::AdaptiveSpikeNet => adaptive_spikenet(cfg),
+            NetworkId::Halsie => halsie(cfg),
+            NetworkId::E2Depth => e2depth(cfg),
+            NetworkId::Dotie => dotie(cfg),
+            NetworkId::EvFlowNet => ev_flownet(cfg),
+        }
+    }
+
+    /// The accuracy model anchored to the paper's Table 2.
+    ///
+    /// Anchors: baseline = Table 2 "Baseline"; the reported Ev-Edge
+    /// degradation Δ is split so that the all-INT8 anchor is `1.2·Δ` and
+    /// the full-aggregation anchor is `0.4·Δ` — a typical NMP-selected
+    /// mixed-precision configuration with moderate DSFA merging then lands
+    /// near the reported Ev-Edge metric.
+    pub fn accuracy_model(self) -> AccuracyModel {
+        let (metric, baseline, delta) = match self {
+            NetworkId::SpikeFlowNet => (MetricKind::Aee, 0.93, 0.03),
+            NetworkId::FusionFlowNet => (MetricKind::Aee, 0.72, 0.07),
+            NetworkId::AdaptiveSpikeNet => (MetricKind::Aee, 1.27, 0.09),
+            NetworkId::Halsie => (MetricKind::MIou, 66.31, 2.13),
+            NetworkId::E2Depth => (MetricKind::AvgError, 0.61, 0.02),
+            NetworkId::Dotie => (MetricKind::MIou, 0.86, 0.04),
+            // EV-FlowNet is not in Table 2; use SpikeFlowNet-like anchors.
+            NetworkId::EvFlowNet => (MetricKind::Aee, 0.95, 0.04),
+        };
+        AccuracyModel::new(metric, baseline, delta * 1.2, delta * 0.4)
+    }
+
+    /// Expected (SNN, ANN) parametered-layer counts per Table 1.
+    pub fn expected_layer_counts(self) -> (usize, usize) {
+        match self {
+            NetworkId::SpikeFlowNet => (4, 8),
+            NetworkId::FusionFlowNet => (10, 19),
+            NetworkId::AdaptiveSpikeNet => (8, 0),
+            NetworkId::Halsie => (3, 13),
+            NetworkId::E2Depth => (0, 15),
+            NetworkId::Dotie => (1, 0),
+            NetworkId::EvFlowNet => (0, 11),
+        }
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts parametered layers per domain, `(snn, ann)` — the Table 1
+/// convention (plumbing nodes like `Concat` are not layers).
+pub fn counted_layers(graph: &NetworkGraph) -> (usize, usize) {
+    let mut snn = 0;
+    let mut ann = 0;
+    for l in graph.layers() {
+        if l.kind.param_count() == 0 {
+            continue;
+        }
+        match l.domain() {
+            crate::layer::Domain::Snn => snn += 1,
+            crate::layer::Domain::Ann => ann += 1,
+        }
+    }
+    (snn, ann)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_layer_counts_match_paper() {
+        let cfg = ZooConfig::small();
+        for id in NetworkId::TABLE1 {
+            let g = id.build(&cfg).expect("buildable");
+            let (snn, ann) = counted_layers(&g);
+            let (esnn, eann) = id.expected_layer_counts();
+            assert_eq!(
+                (snn, ann),
+                (esnn, eann),
+                "{id}: got {snn} SNN + {ann} ANN, expected {esnn} + {eann}"
+            );
+        }
+    }
+
+    #[test]
+    fn ev_flownet_counts() {
+        let g = ev_flownet(&ZooConfig::small()).unwrap();
+        assert_eq!(counted_layers(&g), (0, 11));
+    }
+
+    #[test]
+    fn tasks_match_table1() {
+        let cfg = ZooConfig::small();
+        assert_eq!(spike_flownet(&cfg).unwrap().task(), Task::OpticalFlow);
+        assert_eq!(halsie(&cfg).unwrap().task(), Task::SemanticSegmentation);
+        assert_eq!(e2depth(&cfg).unwrap().task(), Task::DepthEstimation);
+        assert_eq!(dotie(&cfg).unwrap().task(), Task::ObjectTracking);
+    }
+
+    #[test]
+    fn decoder_restores_full_resolution() {
+        let cfg = ZooConfig::small();
+        for id in [
+            NetworkId::SpikeFlowNet,
+            NetworkId::FusionFlowNet,
+            NetworkId::Halsie,
+            NetworkId::E2Depth,
+            NetworkId::EvFlowNet,
+        ] {
+            let g = id.build(&cfg).unwrap();
+            let out = g.outputs()[0];
+            match g.output_shape(out) {
+                Shape::Chw { h, w, .. } => {
+                    assert_eq!((h, w), (cfg.height, cfg.width), "{id} output resolution");
+                }
+                other => panic!("{id}: unexpected output shape {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_rejects_bad_input_size() {
+        let cfg = ZooConfig {
+            height: 30,
+            ..ZooConfig::small()
+        };
+        assert!(spike_flownet(&cfg).is_err());
+    }
+
+    #[test]
+    fn accuracy_models_are_anchored() {
+        use crate::accuracy::uniform_shares;
+        use crate::quant::Precision;
+        for id in NetworkId::TABLE1 {
+            let m = id.accuracy_model();
+            let shares = uniform_shares(8);
+            let d_int8 = m.degradation(&shares, &[Precision::Int8; 8], 0.0);
+            // Typical Ev-Edge operating point: mixed precision + moderate
+            // aggregation lands within 2x of the paper's reported delta.
+            let mixed: Vec<Precision> = (0..8)
+                .map(|k| if k % 2 == 0 { Precision::Int8 } else { Precision::Fp16 })
+                .collect();
+            let d_mixed = m.degradation(&shares, &mixed, 0.5);
+            let (_, baseline, delta) = match id {
+                NetworkId::Halsie => (MetricKind::MIou, 66.31, 2.13),
+                NetworkId::SpikeFlowNet => (MetricKind::Aee, 0.93, 0.03),
+                _ => continue,
+            };
+            let _ = baseline;
+            assert!(d_mixed > 0.0 && d_mixed < 2.0 * delta + 1e-9, "{id}: {d_mixed}");
+            assert!(d_int8 > d_mixed * 0.5, "{id}: int8 {d_int8} vs mixed {d_mixed}");
+        }
+    }
+
+    #[test]
+    fn workloads_nonzero_for_all_layers_with_params() {
+        let g = fusion_flownet(&ZooConfig::small()).unwrap();
+        let wl = g.workloads();
+        for (layer, w) in g.layers().iter().zip(&wl) {
+            if layer.kind.param_count() > 0 {
+                assert!(w.macs > 0, "layer {} has zero MACs", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mvsec_config_scales_compute() {
+        let small = spike_flownet(&ZooConfig::small()).unwrap();
+        let big = spike_flownet(&ZooConfig::mvsec()).unwrap();
+        let macs = |g: &NetworkGraph| g.workloads().iter().map(|w| w.macs).sum::<u64>();
+        assert!(macs(&big) > 50 * macs(&small));
+    }
+}

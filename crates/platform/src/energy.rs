@@ -1,0 +1,118 @@
+//! Energy accounting.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+/// An energy amount in joules.
+///
+/// # Examples
+///
+/// ```
+/// use ev_platform::energy::Energy;
+///
+/// let e = Energy::from_millijoules(1.5) + Energy::from_joules(0.001);
+/// assert!((e.as_millijoules() - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite.
+    pub fn from_joules(joules: f64) -> Self {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be finite and non-negative, got {joules}"
+        );
+        Energy(joules)
+    }
+
+    /// Creates an energy from millijoules.
+    pub fn from_millijoules(mj: f64) -> Self {
+        Energy::from_joules(mj / 1e3)
+    }
+
+    /// This energy in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// This energy in millijoules.
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Ratio `self / other` (∞ when `other` is zero).
+    pub fn ratio(self, other: Energy) -> f64 {
+        if other.0 == 0.0 {
+            f64::INFINITY
+        } else {
+            self.0 / other.0
+        }
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} J", self.0)
+        } else {
+            write!(f, "{:.3} mJ", self.as_millijoules())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let e = Energy::from_millijoules(250.0);
+        assert!((e.as_joules() - 0.25).abs() < 1e-12);
+        assert_eq!(format!("{e}"), "250.000 mJ");
+        assert_eq!(format!("{}", Energy::from_joules(2.0)), "2.000 J");
+    }
+
+    #[test]
+    fn sums_and_ratios() {
+        let total: Energy = [Energy::from_joules(1.0), Energy::from_joules(2.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_joules(), 3.0);
+        assert_eq!(total.ratio(Energy::from_joules(1.5)), 2.0);
+        assert!(Energy::from_joules(1.0).ratio(Energy::ZERO).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        let _ = Energy::from_joules(-1.0);
+    }
+}

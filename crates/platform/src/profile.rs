@@ -1,0 +1,210 @@
+//! Pre-recorded layer cost tables.
+//!
+//! The paper measures per-layer execution times at each precision with
+//! TensorRT "before the search process begins" (§4.3.2 and §5). A
+//! [`NetworkProfile`] is that recorded table: every (layer, PE, precision)
+//! combination the platform supports, evaluated once through the latency
+//! model, then looked up in O(1) by the Network Mapper's thousands of
+//! candidate evaluations.
+
+use crate::latency::{default_domain_density, layer_cost, CostEstimate, LayerContext};
+use crate::pe::{PeId, Platform};
+use crate::PlatformError;
+use ev_nn::graph::LayerWorkload;
+use ev_nn::Precision;
+use std::collections::HashMap;
+
+/// Cost table of one layer across PEs and precisions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayerProfile {
+    entries: HashMap<(PeId, Precision), CostEstimate>,
+}
+
+impl LayerProfile {
+    /// The recorded cost for `(pe, precision)`, if that combination is
+    /// supported.
+    pub fn cost(&self, pe: PeId, precision: Precision) -> Option<CostEstimate> {
+        self.entries.get(&(pe, precision)).copied()
+    }
+
+    /// All supported `(pe, precision)` options for this layer.
+    pub fn options(&self) -> Vec<(PeId, Precision)> {
+        let mut v: Vec<_> = self.entries.keys().copied().collect();
+        v.sort_by_key(|(pe, p)| (pe.0, core::cmp::Reverse(*p)));
+        v
+    }
+
+    /// The fastest `(pe, precision)` choice.
+    pub fn fastest(&self) -> Option<((PeId, Precision), CostEstimate)> {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.1.latency.cmp(&b.1.latency))
+            .map(|(k, v)| (*k, *v))
+    }
+}
+
+/// Recorded per-layer cost tables for one network on one platform.
+///
+/// # Examples
+///
+/// ```
+/// use ev_platform::pe::Platform;
+/// use ev_platform::profile::NetworkProfile;
+/// use ev_nn::zoo::{NetworkId, ZooConfig};
+/// use ev_nn::Precision;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::xavier_agx();
+/// let graph = NetworkId::E2Depth.build(&ZooConfig::small())?;
+/// let profile = NetworkProfile::record(&platform, &graph.workloads(), None)?;
+/// let gpu = platform.id_by_name("gpu").expect("gpu");
+/// assert!(profile.layer(0).cost(gpu, Precision::Fp32).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    layers: Vec<LayerProfile>,
+}
+
+impl NetworkProfile {
+    /// Records the table by evaluating the platform model for every
+    /// supported (layer, PE, precision) combination.
+    ///
+    /// `densities` supplies measured per-layer input densities (e.g. from a
+    /// real forward pass); when absent, domain defaults apply (SNN layers
+    /// sparse, ANN layers dense).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ProfileShapeMismatch`] if `densities` is
+    /// provided with a different length than `workloads`.
+    pub fn record(
+        platform: &Platform,
+        workloads: &[LayerWorkload],
+        densities: Option<&[f64]>,
+    ) -> Result<NetworkProfile, PlatformError> {
+        if let Some(d) = densities {
+            if d.len() != workloads.len() {
+                return Err(PlatformError::ProfileShapeMismatch {
+                    layers: workloads.len(),
+                    densities: d.len(),
+                });
+            }
+        }
+        let mut layers = Vec::with_capacity(workloads.len());
+        for (i, w) in workloads.iter().enumerate() {
+            let density = densities
+                .map(|d| d[i])
+                .unwrap_or_else(|| default_domain_density(w.domain));
+            let mut entries = HashMap::new();
+            for pe in platform.pe_ids() {
+                let element = platform.element(pe).expect("id from platform");
+                for precision in element.supported_precisions() {
+                    let ctx = LayerContext::default()
+                        .with_precision(precision)
+                        .with_density(density);
+                    let cost = layer_cost(platform, pe, w, ctx).expect("supported combination");
+                    entries.insert((pe, precision), cost);
+                }
+            }
+            layers.push(LayerProfile { entries });
+        }
+        Ok(NetworkProfile { layers })
+    }
+
+    /// Number of profiled layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The profile of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn layer(&self, index: usize) -> &LayerProfile {
+        &self.layers[index]
+    }
+
+    /// Iterates over layer profiles.
+    pub fn iter(&self) -> core::slice::Iter<'_, LayerProfile> {
+        self.layers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_nn::zoo::{NetworkId, ZooConfig};
+
+    fn sample() -> (Platform, NetworkProfile) {
+        let platform = Platform::xavier_agx();
+        let graph = NetworkId::SpikeFlowNet.build(&ZooConfig::small()).unwrap();
+        let profile = NetworkProfile::record(&platform, &graph.workloads(), None).unwrap();
+        (platform, profile)
+    }
+
+    #[test]
+    fn covers_all_supported_combinations() {
+        let (platform, profile) = sample();
+        let gpu = platform.id_by_name("gpu").unwrap();
+        let dla = platform.id_by_name("dla0").unwrap();
+        for layer in profile.iter() {
+            assert!(layer.cost(gpu, Precision::Fp32).is_some());
+            assert!(layer.cost(gpu, Precision::Int8).is_some());
+            assert!(layer.cost(dla, Precision::Fp32).is_none()); // unsupported
+            assert!(layer.cost(dla, Precision::Int8).is_some());
+        }
+    }
+
+    #[test]
+    fn fastest_option_exists_for_every_layer() {
+        let (_, profile) = sample();
+        for layer in profile.iter() {
+            let ((_, _), cost) = layer.fastest().expect("nonempty");
+            assert!(cost.latency.as_micros() > 0);
+        }
+    }
+
+    #[test]
+    fn density_override_changes_costs() {
+        let platform = Platform::xavier_agx();
+        // MVSEC scale: compute dominates dispatch, so density is visible.
+        let graph = NetworkId::AdaptiveSpikeNet.build(&ZooConfig::mvsec()).unwrap();
+        let workloads = graph.workloads();
+        let sparse = NetworkProfile::record(&platform, &workloads, None).unwrap();
+        let dense_densities = vec![1.0; workloads.len()];
+        let dense = NetworkProfile::record(&platform, &workloads, Some(&dense_densities)).unwrap();
+        let gpu = platform.id_by_name("gpu").unwrap();
+        // SNN layers profiled at default (sparse) density are cheaper.
+        let s = sparse.layer(1).cost(gpu, Precision::Fp16).unwrap();
+        let d = dense.layer(1).cost(gpu, Precision::Fp16).unwrap();
+        assert!(s.latency < d.latency);
+    }
+
+    #[test]
+    fn density_length_validated() {
+        let platform = Platform::xavier_agx();
+        let graph = NetworkId::Dotie.build(&ZooConfig::small()).unwrap();
+        let err = NetworkProfile::record(&platform, &graph.workloads(), Some(&[0.5, 0.5]));
+        assert!(matches!(
+            err,
+            Err(PlatformError::ProfileShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn options_are_sorted_and_complete() {
+        let (platform, profile) = sample();
+        let opts = profile.layer(0).options();
+        // 4 PEs: cpu (2 precisions) + gpu (3) + 2×dla (2 each) = 9.
+        assert_eq!(opts.len(), 9);
+        let _ = platform;
+    }
+}

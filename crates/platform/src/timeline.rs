@@ -1,0 +1,214 @@
+//! Device availability timelines for the online runtime.
+//!
+//! While the list scheduler plans offline candidates, the runtime pipeline
+//! (E2SF → DSFA → inference) needs to know *when hardware becomes free*:
+//! DSFA dispatches merge buckets early "if the hardware platform becomes
+//! available before the event buffer reaches full capacity" (paper §4.2).
+//! A [`DeviceTimeline`] tracks per-queue reservations in simulated time.
+
+use crate::PlatformError;
+use ev_core::{TimeDelta, Timestamp};
+
+/// Per-queue reservation tracker in simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use ev_platform::timeline::DeviceTimeline;
+/// use ev_core::{TimeDelta, Timestamp};
+///
+/// # fn main() -> Result<(), ev_platform::PlatformError> {
+/// let mut tl = DeviceTimeline::new(2);
+/// let t0 = Timestamp::from_millis(10);
+/// let start = tl.earliest_start(0, t0)?;
+/// assert_eq!(start, t0);
+/// tl.reserve(0, start, TimeDelta::from_millis(5))?;
+/// assert_eq!(tl.earliest_start(0, t0)?, Timestamp::from_millis(15));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTimeline {
+    free_at: Vec<Timestamp>,
+    busy: Vec<TimeDelta>,
+    completed: Vec<u64>,
+}
+
+impl DeviceTimeline {
+    /// A timeline with `queues` idle devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new(queues: usize) -> Self {
+        assert!(queues > 0, "timeline needs at least one queue");
+        DeviceTimeline {
+            free_at: vec![Timestamp::ZERO; queues],
+            busy: vec![TimeDelta::ZERO; queues],
+            completed: vec![0; queues],
+        }
+    }
+
+    /// Number of queues.
+    pub fn queues(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Earliest time work ready at `ready` can start on `queue`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    pub fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
+        let free = self
+            .free_at
+            .get(queue)
+            .ok_or(PlatformError::InvalidQueue {
+                node: 0,
+                queue,
+                queues: self.free_at.len(),
+            })?;
+        Ok(ready.max(*free))
+    }
+
+    /// Reserves `queue` for `[start, start + duration)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues, or
+    /// [`PlatformError::ReservationConflict`] when `start` precedes the
+    /// queue's free time.
+    pub fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        let queues = self.free_at.len();
+        let free = self
+            .free_at
+            .get_mut(queue)
+            .ok_or(PlatformError::InvalidQueue {
+                node: 0,
+                queue,
+                queues,
+            })?;
+        if start < *free {
+            return Err(PlatformError::ReservationConflict {
+                queue,
+                requested: start,
+                free_at: *free,
+            });
+        }
+        let end = start + duration;
+        *free = end;
+        self.busy[queue] += duration;
+        self.completed[queue] += 1;
+        Ok(end)
+    }
+
+    /// When `queue` becomes free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    pub fn free_at(&self, queue: usize) -> Result<Timestamp, PlatformError> {
+        self.free_at
+            .get(queue)
+            .copied()
+            .ok_or(PlatformError::InvalidQueue {
+                node: 0,
+                queue,
+                queues: self.free_at.len(),
+            })
+    }
+
+    /// Whether any queue is idle at `time`.
+    pub fn any_idle_at(&self, time: Timestamp) -> bool {
+        self.free_at.iter().any(|f| *f <= time)
+    }
+
+    /// The queue that frees up first, with its free time.
+    pub fn next_free(&self) -> (usize, Timestamp) {
+        self.free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(q, t)| (q, *t))
+            .expect("timeline has at least one queue")
+    }
+
+    /// Busy time accumulated on `queue`.
+    pub fn busy_time(&self, queue: usize) -> TimeDelta {
+        self.busy.get(queue).copied().unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Jobs completed on `queue`.
+    pub fn completed_jobs(&self, queue: usize) -> u64 {
+        self.completed.get(queue).copied().unwrap_or(0)
+    }
+
+    /// Utilization of `queue` over `[0, horizon)`.
+    pub fn utilization(&self, queue: usize, horizon: TimeDelta) -> f64 {
+        if horizon.as_micros() <= 0 {
+            return 0.0;
+        }
+        self.busy_time(queue).as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Timestamp {
+        Timestamp::from_millis(v)
+    }
+
+    #[test]
+    fn reservations_serialize() {
+        let mut tl = DeviceTimeline::new(1);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(10)).unwrap();
+        assert_eq!(tl.earliest_start(0, ms(2)).unwrap(), ms(10));
+        let end = tl.reserve(0, ms(10), TimeDelta::from_millis(5)).unwrap();
+        assert_eq!(end, ms(15));
+        assert_eq!(tl.completed_jobs(0), 2);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let mut tl = DeviceTimeline::new(1);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(10)).unwrap();
+        assert!(matches!(
+            tl.reserve(0, ms(5), TimeDelta::from_millis(1)),
+            Err(PlatformError::ReservationConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn idle_and_next_free() {
+        let mut tl = DeviceTimeline::new(2);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(20)).unwrap();
+        assert!(tl.any_idle_at(ms(5))); // queue 1 idle
+        tl.reserve(1, ms(0), TimeDelta::from_millis(30)).unwrap();
+        assert!(!tl.any_idle_at(ms(5)));
+        let (q, t) = tl.next_free();
+        assert_eq!((q, t), (0, ms(20)));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut tl = DeviceTimeline::new(1);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(25)).unwrap();
+        let u = tl.utilization(0, TimeDelta::from_millis(100));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(tl.utilization(0, TimeDelta::ZERO), 0.0);
+    }
+
+    #[test]
+    fn invalid_queue_errors() {
+        let tl = DeviceTimeline::new(1);
+        assert!(tl.earliest_start(3, ms(0)).is_err());
+        assert!(tl.free_at(3).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the list scheduler and latency model.
+
+use ev_core::TimeDelta;
+use ev_nn::graph::LayerWorkload;
+use ev_nn::{Domain, Precision};
+use ev_platform::latency::{layer_cost, transfer_cost, LayerContext};
+use ev_platform::pe::Platform;
+use ev_platform::schedule::{list_schedule, SchedNode};
+use proptest::prelude::*;
+
+const QUEUES: usize = 4;
+
+/// Random DAG: each node may depend on a subset of earlier nodes (indices
+/// strictly smaller), guaranteeing acyclicity.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Vec<SchedNode>> {
+    prop::collection::vec(
+        (0usize..QUEUES, 1i64..500, prop::collection::vec(any::<prop::sample::Index>(), 0..3)),
+        1..max_nodes,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (queue, dur, dep_idx))| {
+                let mut deps: Vec<usize> = dep_idx
+                    .into_iter()
+                    .filter(|_| i > 0)
+                    .map(|ix| ix.index(i.max(1)))
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                SchedNode::new(queue, TimeDelta::from_micros(dur), deps)
+            })
+            .collect()
+    })
+}
+
+/// Length of the longest dependency chain (sum of durations).
+fn critical_path(nodes: &[SchedNode]) -> i64 {
+    let mut longest = vec![0i64; nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        let base = n
+            .deps
+            .iter()
+            .map(|&d| longest[d])
+            .max()
+            .unwrap_or(0);
+        longest[i] = base + n.duration.as_micros();
+    }
+    longest.into_iter().max().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_respects_bounds(nodes in arb_dag(24)) {
+        let schedule = list_schedule(&nodes, QUEUES).expect("acyclic by construction");
+        let makespan = schedule.makespan.as_micros();
+
+        // Lower bound 1: the critical dependency path.
+        prop_assert!(makespan >= critical_path(&nodes));
+
+        // Lower bound 2: the busiest queue.
+        let max_busy = schedule
+            .queue_busy
+            .iter()
+            .map(|b| b.as_micros())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(makespan >= max_busy);
+
+        // Upper bound: fully serial execution.
+        let total: i64 = nodes.iter().map(|n| n.duration.as_micros()).sum();
+        prop_assert!(makespan <= total);
+
+        // Per-node causality: start after every dependency's end, end =
+        // start + duration, and per-queue non-overlap.
+        for (i, n) in nodes.iter().enumerate() {
+            let t = schedule.timings[i];
+            prop_assert_eq!((t.end - t.start).as_micros(), n.duration.as_micros());
+            for &d in &n.deps {
+                prop_assert!(schedule.timings[d].end <= t.start);
+            }
+        }
+        for q in 0..QUEUES {
+            let mut spans: Vec<(i64, i64)> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.queue == q)
+                .map(|(i, _)| {
+                    (
+                        schedule.timings[i].start.as_micros() as i64,
+                        schedule.timings[i].end.as_micros() as i64,
+                    )
+                })
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "queue {q} overlap: {spans:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_work(
+        macs in 1u64..1_000_000_000,
+        scale in 2u64..10,
+        density in 0.01f64..1.0,
+    ) {
+        let platform = Platform::xavier_agx();
+        let gpu = platform.id_by_name("gpu").expect("gpu exists");
+        let workload = |m: u64| LayerWorkload {
+            macs: m,
+            input_bytes: 1 << 16,
+            output_bytes: 1 << 16,
+            param_bytes: 1 << 12,
+            domain: Domain::Ann,
+        };
+        let ctx = LayerContext::default().with_density(density);
+        let small = layer_cost(&platform, gpu, &workload(macs), ctx).expect("supported");
+        let big = layer_cost(&platform, gpu, &workload(macs * scale), ctx).expect("supported");
+        prop_assert!(big.latency >= small.latency);
+        prop_assert!(big.energy >= small.energy);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_density(d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+        let platform = Platform::xavier_agx();
+        let gpu = platform.id_by_name("gpu").expect("gpu exists");
+        let workload = LayerWorkload {
+            macs: 500_000_000,
+            input_bytes: 1 << 16,
+            output_bytes: 1 << 16,
+            param_bytes: 1 << 12,
+            domain: Domain::Snn,
+        };
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let sparse = layer_cost(
+            &platform,
+            gpu,
+            &workload,
+            LayerContext::default().with_density(lo),
+        )
+        .expect("supported");
+        let dense = layer_cost(
+            &platform,
+            gpu,
+            &workload,
+            LayerContext::default().with_density(hi),
+        )
+        .expect("supported");
+        prop_assert!(sparse.latency <= dense.latency);
+        prop_assert!(sparse.effective_macs <= dense.effective_macs);
+    }
+
+    #[test]
+    fn transfers_scale_with_bytes(bytes in 1u64..100_000_000) {
+        let platform = Platform::xavier_agx();
+        let gpu = platform.id_by_name("gpu").expect("gpu exists");
+        let dla = platform.id_by_name("dla0").expect("dla exists");
+        let small = transfer_cost(&platform, gpu, dla, bytes, Precision::Fp32);
+        let big = transfer_cost(&platform, gpu, dla, bytes * 2, Precision::Fp32);
+        prop_assert!(big.latency >= small.latency);
+        // Same-PE transfers are always free.
+        let same = transfer_cost(&platform, gpu, gpu, bytes, Precision::Fp32);
+        prop_assert_eq!(same.latency, TimeDelta::ZERO);
+    }
+}

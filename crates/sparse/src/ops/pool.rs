@@ -1,0 +1,207 @@
+//! Pooling kernels.
+
+use crate::dense::Tensor;
+use crate::opcount::OpCount;
+use crate::SparseError;
+
+/// Pooling window configuration (square window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dSpec {
+    /// Window side length.
+    pub kernel: usize,
+    /// Stride (defaults to `kernel` for non-overlapping pooling).
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Non-overlapping pooling with window `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be nonzero");
+        Pool2dSpec {
+            kernel,
+            stride: kernel,
+        }
+    }
+
+    fn out_dim(&self, in_dim: usize) -> Option<usize> {
+        if in_dim < self.kernel || self.stride == 0 {
+            None
+        } else {
+            Some((in_dim - self.kernel) / self.stride + 1)
+        }
+    }
+}
+
+fn pool2d<F>(input: &Tensor, spec: Pool2dSpec, mut reduce: F) -> Result<(Tensor, OpCount), SparseError>
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    if input.rank() != 3 {
+        return Err(SparseError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let ho = spec.out_dim(h).ok_or(SparseError::KernelTooLarge {
+        kernel: spec.kernel,
+        input: h,
+        padding: 0,
+    })?;
+    let wo = spec.out_dim(w).ok_or(SparseError::KernelTooLarge {
+        kernel: spec.kernel,
+        input: w,
+        padding: 0,
+    })?;
+    let mut out = Tensor::zeros(&[c, ho, wo]);
+    let x = input.as_slice();
+    let mut window = vec![0.0f32; spec.kernel * spec.kernel];
+    {
+        let o = out.as_mut_slice();
+        for ch in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut n = 0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            window[n] = x[(ch * h + iy) * w + ix];
+                            n += 1;
+                        }
+                    }
+                    o[(ch * ho + oy) * wo + ox] = reduce(&window[..n]);
+                }
+            }
+        }
+    }
+    let ops = OpCount {
+        macs: 0,
+        adds: (c * ho * wo * spec.kernel * spec.kernel) as u64,
+        bytes_read: (input.len() * 4) as u64,
+        bytes_written: (out.len() * 4) as u64,
+    };
+    Ok((out, ops))
+}
+
+/// Max pooling over a `[C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns a [`SparseError`] on rank mismatch or when the window does not
+/// fit the input.
+///
+/// # Examples
+///
+/// ```
+/// use ev_sparse::dense::Tensor;
+/// use ev_sparse::ops::pool::{max_pool2d, Pool2dSpec};
+///
+/// # fn main() -> Result<(), ev_sparse::SparseError> {
+/// let t = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0])?;
+/// let (out, _) = max_pool2d(&t, Pool2dSpec::new(2))?;
+/// assert_eq!(out.as_slice(), &[5.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, OpCount), SparseError> {
+    pool2d(input, spec, |w| {
+        w.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    })
+}
+
+/// Average pooling over a `[C, H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns a [`SparseError`] on rank mismatch or when the window does not
+/// fit the input.
+pub fn avg_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, OpCount), SparseError> {
+    pool2d(input, spec, |w| w.iter().sum::<f32>() / w.len() as f32)
+}
+
+/// Global average pooling: `[C, H, W]` → `[C]`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::RankMismatch`] unless the input has rank 3.
+pub fn global_avg_pool(input: &Tensor) -> Result<(Vec<f32>, OpCount), SparseError> {
+    if input.rank() != 3 {
+        return Err(SparseError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let x = input.as_slice();
+    let mut out = Vec::with_capacity(c);
+    for ch in 0..c {
+        let sum: f32 = x[ch * h * w..(ch + 1) * h * w].iter().sum();
+        out.push(sum / (h * w) as f32);
+    }
+    let ops = OpCount {
+        macs: 0,
+        adds: (c * h * w) as u64,
+        bytes_read: (input.len() * 4) as u64,
+        bytes_written: (c * 4) as u64,
+    };
+    Ok((out, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_values() {
+        let t = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 0.0, 0.0, //
+                3.0, 4.0, 0.0, 1.0, //
+                0.0, 0.0, -1.0, -2.0, //
+                0.0, 0.0, -3.0, -4.0,
+            ],
+        )
+        .unwrap();
+        let (out, _) = max_pool2d(&t, Pool2dSpec::new(2)).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn avg_pool_values() {
+        let t = Tensor::from_vec(&[1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let (out, ops) = avg_pool2d(&t, Pool2dSpec::new(2)).unwrap();
+        assert_eq!(out.as_slice(), &[4.0]);
+        assert_eq!(ops.adds, 4);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let t = Tensor::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let spec = Pool2dSpec { kernel: 1, stride: 1 };
+        let (out, _) = max_pool2d(&t, spec).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 4]);
+    }
+
+    #[test]
+    fn global_pool() {
+        let t = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let (out, _) = global_avg_pool(&t).unwrap();
+        assert_eq!(out, vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn window_must_fit() {
+        let t = Tensor::zeros(&[1, 2, 2]);
+        assert!(matches!(
+            max_pool2d(&t, Pool2dSpec::new(3)),
+            Err(SparseError::KernelTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the sparse tensor substrate.
+#![allow(clippy::needless_range_loop)]
+
+use ev_sparse::coo::{SparseEntry, SparseTensor};
+use ev_sparse::csr::CsrMatrix;
+use ev_sparse::dense::Tensor;
+use ev_sparse::ops::conv::{conv2d_dense, conv2d_sparse, Conv2dSpec};
+use proptest::prelude::*;
+
+const H: usize = 12;
+const W: usize = 10;
+const C: usize = 2;
+
+fn arb_entries(max: usize) -> impl Strategy<Value = Vec<SparseEntry>> {
+    prop::collection::vec(
+        (0..C as u32, 0..H as u32, 0..W as u32, -4i8..=4).prop_map(|(c, r, col, v)| {
+            SparseEntry::new(c, r, col, v as f32 * 0.5)
+        }),
+        0..max,
+    )
+}
+
+fn arb_sparse(max: usize) -> impl Strategy<Value = SparseTensor> {
+    arb_entries(max).prop_map(|e| SparseTensor::from_entries(C, H, W, e).expect("in bounds"))
+}
+
+proptest! {
+    #[test]
+    fn dense_round_trip(t in arb_sparse(40)) {
+        let dense = t.to_dense();
+        let back = SparseTensor::from_dense(&dense, 0.0).expect("rank 3");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn add_is_commutative(a in arb_sparse(30), b in arb_sparse(30)) {
+        let ab = a.add(&b).expect("same shape");
+        let ba = b.add(&a).expect("same shape");
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn add_matches_dense_add(a in arb_sparse(30), b in arb_sparse(30)) {
+        let sparse_sum = a.add(&b).expect("same shape").to_dense();
+        let mut dense_sum = a.to_dense();
+        dense_sum.add_assign_elementwise(&b.to_dense()).expect("same shape");
+        for (x, y) in sparse_sum.as_slice().iter().zip(dense_sum.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nnz_never_exceeds_sites(t in arb_sparse(60)) {
+        prop_assert!(t.nnz() <= C * H * W);
+        prop_assert!(t.density() <= 1.0);
+        prop_assert!(t.spatial_density() <= 1.0);
+        // Spatial density counts sites, never more than nnz.
+        prop_assert!(t.active_sites().len() <= t.nnz().max(1));
+    }
+
+    #[test]
+    fn concat_preserves_total_nnz(a in arb_sparse(20), b in arb_sparse(20)) {
+        let cat = SparseTensor::concat_channels(&[a.clone(), b.clone()]).expect("same shape");
+        prop_assert_eq!(cat.nnz(), a.nnz() + b.nnz());
+        prop_assert_eq!(cat.channels(), 2 * C);
+    }
+
+    #[test]
+    fn sparse_conv_equals_dense_conv(
+        t in arb_sparse(25),
+        seed in 0u64..1000,
+        stride in 1usize..=2,
+    ) {
+        let mut weight = Tensor::zeros(&[3, C, 3, 3]);
+        weight.fill_pseudorandom(seed, 1.0);
+        let spec = Conv2dSpec { stride, padding: 1 };
+        let (dense_out, _) = conv2d_dense(&t.to_dense(), &weight, None, spec).expect("valid");
+        let (sparse_out, work) = conv2d_sparse(&t, &weight, None, spec).expect("valid");
+        prop_assert_eq!(dense_out.shape(), sparse_out.shape());
+        for (a, b) in dense_out.as_slice().iter().zip(sparse_out.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "dense {} vs sparse {}", a, b);
+        }
+        prop_assert!(work.actual.macs <= work.dense_equivalent.macs);
+    }
+
+    #[test]
+    fn csr_spmv_matches_dense(
+        triplets in prop::collection::vec((0u32..6, 0u32..5, -3i8..=3), 0..20),
+        x in prop::collection::vec(-2.0f32..2.0, 5),
+    ) {
+        let trip: Vec<(u32, u32, f32)> =
+            triplets.into_iter().map(|(r, c, v)| (r, c, v as f32)).collect();
+        let m = CsrMatrix::from_triplets(6, 5, &trip).expect("in bounds");
+        let (y, _) = m.spmv(&x).expect("length 5");
+        let dense = m.to_dense();
+        for r in 0..6 {
+            let mut acc = 0.0f32;
+            for c in 0..5 {
+                acc += dense.get(&[r, c]) * x[c];
+            }
+            prop_assert!((y[r] - acc).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_involution(
+        triplets in prop::collection::vec((0u32..6, 0u32..5, -3i8..=3), 0..20),
+    ) {
+        let trip: Vec<(u32, u32, f32)> =
+            triplets.into_iter().map(|(r, c, v)| (r, c, v as f32)).collect();
+        let m = CsrMatrix::from_triplets(6, 5, &trip).expect("in bounds");
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

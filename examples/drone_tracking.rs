@@ -1,0 +1,135 @@
+//! Drone-style object tracking end to end with real compute: a simulated
+//! DVS camera watches moving objects; events run through E2SF and a
+//! DOTIE-style spiking layer; spike clusters become bounding boxes that
+//! are scored against the scene's analytic ground truth.
+//!
+//! ```bash
+//! cargo run --release --example drone_tracking
+//! ```
+
+use ev_core::camera::{DvsCamera, DvsConfig};
+use ev_core::event::SensorGeometry;
+use ev_core::scene::{MovingObject, MultiObjectScene, Scene};
+use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::metrics::BoundingBox;
+use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_nn::forward::{Activation, Executor};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bright object crossing the field of view.
+    let object = MovingObject {
+        x0: 6.0,
+        y0: 16.0,
+        vx: 220.0,
+        vy: 0.0,
+        radius: 4.0,
+        intensity: 0.95,
+        depth: 6.0,
+    };
+    let mut scene = MultiObjectScene::default();
+    scene.push(object);
+
+    let geometry = SensorGeometry::new(32, 32);
+    let mut camera = DvsCamera::new(geometry, DvsConfig::default().with_seed(3));
+    let zoo = ZooConfig {
+        height: 32,
+        width: 32,
+        ..ZooConfig::small()
+    };
+    let mut tracker = Executor::new(NetworkId::Dotie.build(&zoo)?, 21);
+
+    println!("tracking one object over 100 ms at 10 ms steps:\n");
+    println!(
+        "{:>6} {:>8} {:>9} {:>14} {:>14} {:>6}",
+        "t", "events", "spikes", "estimate", "truth", "IoU"
+    );
+
+    let mut iou_sum = 0.0;
+    let mut steps = 0;
+    for k in 0..10u64 {
+        let window = TimeWindow::with_duration(
+            Timestamp::from_millis(k * 10),
+            TimeDelta::from_millis(10),
+        );
+        let events = camera.simulate(&scene, window)?;
+        // One sparse frame for the whole step: DOTIE favours fine temporal
+        // resolution, but 10 ms suffices for this slow crossing.
+        let frames = E2sf::new(E2sfConfig::new(1)).convert(&events, window)?;
+        let result = tracker.run(&Activation::Sparse(frames[0].tensor().clone()))?;
+
+        // Cluster: a percentile-trimmed bounding box over the output
+        // spikes (the convolution kernel spreads a halo around the object;
+        // trimming the outer deciles recovers the object core).
+        let spikes = match &result.outputs[0].1 {
+            Activation::Sparse(s) => s.clone(),
+            other => {
+                return Err(format!("expected sparse spikes, got {other:?}").into());
+            }
+        };
+        let mut xs: Vec<u32> = spikes.iter().map(|e| e.col).collect();
+        let mut ys: Vec<u32> = spikes.iter().map(|e| e.row).collect();
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let trim = |v: &[u32]| -> Vec<(u32, u32)> {
+            if v.is_empty() {
+                return Vec::new();
+            }
+            let lo = v[v.len() / 10];
+            let hi = v[v.len() - 1 - v.len() / 10];
+            vec![(lo, hi)]
+        };
+        let estimate = match (trim(&xs).first(), trim(&ys).first()) {
+            (Some(&(x0, x1)), Some(&(y0, y1))) => Some(BoundingBox::new(x0, y0, x1, y1)),
+            _ => None,
+        };
+
+        // Ground truth from the analytic scene at the window midpoint.
+        let mid = window.start() + window.duration().mul_f64(0.5);
+        let mut truth_points = Vec::new();
+        for y in 0..geometry.height {
+            for x in 0..geometry.width {
+                if scene.label(x as f64, y as f64, mid) != 0 {
+                    truth_points.push((x, y));
+                }
+            }
+        }
+        let truth = BoundingBox::around(&truth_points);
+
+        let (est_str, truth_str, iou) = match (estimate, truth) {
+            (Some(e), Some(t)) => {
+                let iou = e.iou(&t);
+                iou_sum += iou;
+                steps += 1;
+                (
+                    format!("[{},{}..{},{}]", e.x0, e.y0, e.x1, e.y1),
+                    format!("[{},{}..{},{}]", t.x0, t.y0, t.x1, t.y1),
+                    format!("{iou:.2}"),
+                )
+            }
+            (None, Some(t)) => (
+                "-".to_string(),
+                format!("[{},{}..{},{}]", t.x0, t.y0, t.x1, t.y1),
+                "0.00".to_string(),
+            ),
+            _ => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:>4}ms {:>8} {:>9} {:>14} {:>14} {:>6}",
+            (k + 1) * 10,
+            events.len(),
+            spikes.nnz(),
+            est_str,
+            truth_str,
+            iou
+        );
+    }
+    if steps > 0 {
+        println!(
+            "\nmean IoU: {:.2} — DOTIE's temporal isolation clusters the moving\n\
+             object's events into a trackable spike blob.",
+            iou_sum / steps as f64
+        );
+    }
+    Ok(())
+}

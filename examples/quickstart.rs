@@ -1,0 +1,89 @@
+//! Quickstart: simulate an event camera, convert the stream with E2SF,
+//! aggregate with DSFA, and run a real spiking-network forward pass.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ev_core::camera::{DavisCamera, DvsConfig};
+use ev_core::event::SensorGeometry;
+use ev_core::scene::TranslatingTexture;
+use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
+use ev_edge::dsfa::{Dsfa, DsfaConfig};
+use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_nn::forward::{Activation, Executor};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A DAVIS-style camera watching a translating texture for 100 ms.
+    let geometry = SensorGeometry::new(32, 32);
+    let mut camera = DavisCamera::new(
+        geometry,
+        DvsConfig::default().with_seed(7),
+        TimeDelta::from_millis(20),
+    );
+    let scene = TranslatingTexture::new(150.0, 30.0);
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(100));
+    let recording = camera.record(&scene, window)?;
+    println!(
+        "camera: {} events over {} grayscale frames",
+        recording.events.len(),
+        recording.frames.len()
+    );
+
+    // 2. E2SF: raw events → two-channel sparse frames, 4 bins per interval.
+    let e2sf = E2sf::new(E2sfConfig::new(4));
+    let intervals = recording.frame_intervals();
+    let frames = e2sf.convert_intervals(&recording.events, &intervals)?;
+    let mean_fill: f64 =
+        frames.iter().map(|f| f.spatial_density()).sum::<f64>() / frames.len() as f64;
+    println!(
+        "e2sf:   {} sparse frames, mean fill {:.2}% (dense frames would store 100%)",
+        frames.len(),
+        mean_fill * 100.0
+    );
+
+    // 3. DSFA: merge frames under time/density thresholds.
+    let mut dsfa = Dsfa::new(DsfaConfig::default())?;
+    let mut batches = Vec::new();
+    for frame in frames {
+        if let Some(batch) = dsfa.push(frame)? {
+            batches.push(batch);
+        }
+    }
+    if let Some(batch) = dsfa.flush(window.end()) {
+        batches.push(batch);
+    }
+    println!(
+        "dsfa:   {} batches (merge factor {:.2} frames per merged frame)",
+        batches.len(),
+        dsfa.stats().mean_merge_factor()
+    );
+
+    // 4. A real forward pass through DOTIE (1 spiking layer) on the first
+    //    merged frame — actual sparse-convolution arithmetic.
+    let zoo = ZooConfig {
+        height: 32,
+        width: 32,
+        ..ZooConfig::small()
+    };
+    let mut executor = Executor::new(NetworkId::Dotie.build(&zoo)?, 42);
+    let first = &batches
+        .first()
+        .ok_or("no batches produced")?
+        .frames
+        .first()
+        .ok_or("empty batch")?
+        .frame;
+    let result = executor.run(&Activation::Sparse(first.tensor().clone()))?;
+    let work = result.total_actual();
+    let dense = result.total_dense_equivalent();
+    println!(
+        "dotie:  {} MACs executed ({}% of the {} dense MACs)",
+        work.macs,
+        work.macs * 100 / dense.macs.max(1),
+        dense.macs
+    );
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: camera → E2SF → DSFA → real network execution
+//! with ground-truth scoring, exercising every substrate together.
+
+use ev_core::camera::{DavisCamera, DvsConfig};
+use ev_core::event::SensorGeometry;
+use ev_core::scene::{MovingObject, MultiObjectScene, TranslatingTexture};
+use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::groundtruth::{flow_from_scene, labels_from_scene};
+use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig};
+use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_nn::forward::{Activation, Executor};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+
+fn zoo_32() -> ZooConfig {
+    ZooConfig {
+        height: 32,
+        width: 32,
+        ..ZooConfig::small()
+    }
+}
+
+#[test]
+fn camera_to_network_round_trip() {
+    // Simulate, convert, aggregate, execute — all real computation.
+    let geometry = SensorGeometry::new(32, 32);
+    let mut camera = DavisCamera::new(
+        geometry,
+        DvsConfig::default().with_seed(1),
+        TimeDelta::from_millis(20),
+    );
+    let scene = TranslatingTexture::new(180.0, -40.0);
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(80));
+    let recording = camera.record(&scene, window).expect("camera simulates");
+    assert!(recording.events.len() > 100, "texture generates events");
+
+    let frames = E2sf::new(E2sfConfig::new(4))
+        .convert_intervals(&recording.events, &recording.frame_intervals())
+        .expect("conversion succeeds");
+    let total_events: usize = frames.iter().map(|f| f.event_count()).sum();
+    assert_eq!(total_events, recording.events.len(), "E2SF loses no events");
+
+    let mut dsfa = Dsfa::new(DsfaConfig {
+        cmode: CMode::CAdd,
+        ..DsfaConfig::default()
+    })
+    .expect("valid config");
+    let mut merged = Vec::new();
+    for frame in frames {
+        if let Some(batch) = dsfa.push(frame).expect("push succeeds") {
+            merged.extend(batch.frames);
+        }
+    }
+    if let Some(batch) = dsfa.flush(window.end()) {
+        merged.extend(batch.frames);
+    }
+    let merged_events: usize = merged.iter().map(|f| f.frame.event_count()).sum();
+    assert_eq!(merged_events, total_events, "DSFA loses no events");
+
+    // Execute SpikeFlowNet on the first merged frame: head output must be
+    // a dense flow field of the input resolution.
+    let mut exec = Executor::new(
+        NetworkId::SpikeFlowNet.build(&zoo_32()).expect("buildable"),
+        9,
+    );
+    let result = exec
+        .run(&Activation::Sparse(merged[0].frame.tensor().clone()))
+        .expect("forward pass succeeds");
+    match &result.outputs[0].1 {
+        Activation::Dense(t) => assert_eq!(t.shape(), &[2, 32, 32]),
+        other => panic!("flow head must be dense, got {other:?}"),
+    }
+    // Sparse input ⇒ less work than dense.
+    assert!(result.total_actual().macs < result.total_dense_equivalent().macs);
+}
+
+#[test]
+fn ground_truth_pipeline_consistency() {
+    // The analytic ground truth matches what the metrics compute.
+    let mut scene = MultiObjectScene::default();
+    scene.push(MovingObject {
+        x0: 10.0,
+        y0: 10.0,
+        vx: 50.0,
+        vy: 0.0,
+        radius: 3.0,
+        intensity: 0.9,
+        depth: 5.0,
+    });
+    let g = SensorGeometry::new(32, 32);
+    let t = Timestamp::from_millis(50);
+    let flow = flow_from_scene(&scene, g, t);
+    let labels = labels_from_scene(&scene, g, t);
+    // Pixels labelled as object carry the object's velocity.
+    let mut checked = 0;
+    for y in 0..24usize {
+        for x in 0..24usize {
+            if labels.at(x, y) == 1 {
+                assert_eq!(flow.at(x, y), (50.0, 0.0));
+                checked += 1;
+            } else {
+                assert_eq!(flow.at(x, y), (0.0, 0.0));
+            }
+        }
+    }
+    assert!(checked > 10, "object covers pixels at t=50ms");
+    // Self-comparison is perfect.
+    assert_eq!(flow.aee(&flow).expect("same dims"), 0.0);
+    assert_eq!(labels.mean_iou(&labels).expect("same dims"), 1.0);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let geometry = SensorGeometry::new(32, 32);
+        let mut camera = DavisCamera::new(
+            geometry,
+            DvsConfig::default().with_seed(5),
+            TimeDelta::from_millis(10),
+        );
+        let scene = TranslatingTexture::new(100.0, 20.0);
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(40));
+        let recording = camera.record(&scene, window).expect("camera simulates");
+        let frames = E2sf::new(E2sfConfig::new(2))
+            .convert_intervals(&recording.events, &recording.frame_intervals())
+            .expect("conversion succeeds");
+        let zoo = ZooConfig {
+            height: 32,
+            width: 32,
+            ..ZooConfig::tiny()
+        };
+        let mut exec = Executor::new(NetworkId::Dotie.build(&zoo).expect("buildable"), 3);
+        let inputs: Vec<Activation> = frames
+            .iter()
+            .map(|f| Activation::Sparse(f.tensor().clone()))
+            .collect();
+        exec.run_sequence(&inputs).expect("sequence runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the whole pipeline is deterministic per seed");
+}
+
+#[test]
+fn snn_timesteps_preserve_sparsity() {
+    // Across a timestep sequence, SNN activations stay sparse and the
+    // output density never exceeds 1.
+    let zoo = zoo_32();
+    let mut exec = Executor::new(
+        NetworkId::AdaptiveSpikeNet.build(&zoo).expect("buildable"),
+        13,
+    );
+    let geometry = SensorGeometry::new(32, 32);
+    let mut camera = DavisCamera::new(
+        geometry,
+        DvsConfig::default().with_seed(8),
+        TimeDelta::from_millis(10),
+    );
+    let scene = TranslatingTexture::new(240.0, 0.0);
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(40));
+    let recording = camera.record(&scene, window).expect("camera simulates");
+    let frames = E2sf::new(E2sfConfig::new(1))
+        .convert_intervals(&recording.events, &recording.frame_intervals())
+        .expect("conversion succeeds");
+    let inputs: Vec<Activation> = frames
+        .iter()
+        .map(|f| Activation::Sparse(f.tensor().clone()))
+        .collect();
+    let results = exec.run_sequence(&inputs).expect("sequence runs");
+    for result in &results {
+        for trace in &result.traces {
+            assert!(trace.output_density <= 1.0);
+            assert!(trace.work.actual.macs <= trace.work.dense_equivalent.macs);
+        }
+        // The final (output) layer is spiking: its output is sparse.
+        match &result.outputs[0].1 {
+            Activation::Sparse(s) => assert!(s.density() < 0.9),
+            other => panic!("all-SNN output must be sparse, got {other:?}"),
+        }
+    }
+}

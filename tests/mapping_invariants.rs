@@ -1,0 +1,160 @@
+//! Property-based invariants of the Network Mapper across random
+//! candidates and problems.
+
+use ev_edge::nmp::baseline;
+use ev_edge::nmp::candidate::Candidate;
+use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
+use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
+use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+use ev_platform::pe::Platform;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn problem(networks: &[NetworkId]) -> MultiTaskProblem {
+    let cfg = ZooConfig::mvsec();
+    let tasks = networks
+        .iter()
+        .map(|&n| {
+            TaskSpec::new(
+                n.build(&cfg).expect("buildable"),
+                n.accuracy_model(),
+                0.1,
+            )
+        })
+        .collect();
+    MultiTaskProblem::new(Platform::xavier_agx(), tasks).expect("valid problem")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_candidates_always_schedulable(seed in 0u64..10_000) {
+        let p = problem(&[NetworkId::SpikeFlowNet, NetworkId::Dotie]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        prop_assert!(candidate.is_valid(&p));
+        let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let report = eval.evaluate(&candidate).expect("evaluates");
+        // Latency is positive and at least the single slowest layer.
+        prop_assert!(report.max_latency.as_micros() > 0);
+        // Per-task latencies never exceed the joint objective.
+        for lat in &report.per_task_latency {
+            prop_assert!(*lat <= report.max_latency);
+        }
+        // Degradation is non-negative and zero only without quantization.
+        for d in &report.per_task_degradation {
+            prop_assert!(*d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity(seed in 0u64..10_000, layers in 1usize..8) {
+        let p = problem(&[NetworkId::Halsie]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut candidate = Candidate::random(&p, &mut rng);
+        for _ in 0..4 {
+            candidate.mutate(&p, &mut rng, layers, false);
+            prop_assert!(candidate.is_valid(&p));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_pure(seed in 0u64..10_000) {
+        let p = problem(&[NetworkId::E2Depth]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        let mut e1 = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let mut e2 = FitnessEvaluator::new(&p, FitnessConfig::default());
+        let a = e1.evaluate(&candidate).expect("evaluates");
+        let b = e2.evaluate(&candidate).expect("evaluates");
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn nmp_never_loses_to_its_seeds() {
+    // With baseline seeding, elitism guarantees NMP ≤ every baseline.
+    let p = problem(&[
+        NetworkId::FusionFlowNet,
+        NetworkId::Dotie,
+        NetworkId::E2Depth,
+    ]);
+    let result = run_nmp(
+        &p,
+        NmpConfig {
+            population: 16,
+            generations: 8,
+            seed: 1,
+            ..NmpConfig::default()
+        },
+        FitnessConfig::default(),
+    )
+    .expect("search runs");
+    let mut eval = FitnessEvaluator::new(&p, FitnessConfig::default());
+    for candidate in [
+        baseline::all_gpu(&p).expect("gpu exists"),
+        baseline::rr_network(&p),
+        baseline::rr_layer(&p),
+    ] {
+        let report = eval.evaluate(&candidate).expect("evaluates");
+        assert!(
+            result.report.max_latency <= report.max_latency,
+            "NMP {:?} must not lose to a seed {:?}",
+            result.report.max_latency,
+            report.max_latency
+        );
+    }
+}
+
+#[test]
+fn accuracy_constraint_binds_the_search() {
+    // With a tiny ΔA, the search must stay near full precision.
+    let cfg = ZooConfig::mvsec();
+    let tasks = vec![TaskSpec::new(
+        NetworkId::SpikeFlowNet.build(&cfg).expect("buildable"),
+        NetworkId::SpikeFlowNet.accuracy_model(),
+        1e-6, // essentially no degradation allowed
+    )];
+    let p = MultiTaskProblem::new(Platform::xavier_agx(), tasks).expect("valid problem");
+    let result = run_nmp(
+        &p,
+        NmpConfig {
+            population: 16,
+            generations: 10,
+            seed: 2,
+            ..NmpConfig::default()
+        },
+        FitnessConfig::default(),
+    )
+    .expect("search runs");
+    assert!(result.report.feasible);
+    assert!(result.report.per_task_degradation[0] <= 1e-6);
+    // A loose ΔA admits faster (quantized) mappings.
+    let tasks_loose = vec![TaskSpec::new(
+        NetworkId::SpikeFlowNet.build(&cfg).expect("buildable"),
+        NetworkId::SpikeFlowNet.accuracy_model(),
+        0.05,
+    )];
+    let p_loose =
+        MultiTaskProblem::new(Platform::xavier_agx(), tasks_loose).expect("valid problem");
+    let loose = run_nmp(
+        &p_loose,
+        NmpConfig {
+            population: 16,
+            generations: 10,
+            seed: 2,
+            ..NmpConfig::default()
+        },
+        FitnessConfig::default(),
+    )
+    .expect("search runs");
+    assert!(
+        loose.report.max_latency <= result.report.max_latency,
+        "looser ΔA cannot be slower: {:?} vs {:?}",
+        loose.report.max_latency,
+        result.report.max_latency
+    );
+}
