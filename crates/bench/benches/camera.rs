@@ -22,7 +22,10 @@ fn bench_camera(c: &mut Criterion) {
 
     for &rate in &[100_000.0f64, 1_000_000.0] {
         group.bench_with_input(
-            BenchmarkId::new("statistical_davis346_20ms", format!("{}k", (rate / 1e3) as u64)),
+            BenchmarkId::new(
+                "statistical_davis346_20ms",
+                format!("{}k", (rate / 1e3) as u64),
+            ),
             &rate,
             |b, &rate| {
                 b.iter(|| {

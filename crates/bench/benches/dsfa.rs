@@ -23,10 +23,7 @@ fn make_frames() -> Vec<SparseFrame> {
     let events = generator.generate(window).expect("generation succeeds");
     let intervals: Vec<TimeWindow> = (0..10)
         .map(|k| {
-            TimeWindow::with_duration(
-                Timestamp::from_millis(k * 20),
-                TimeDelta::from_millis(20),
-            )
+            TimeWindow::with_duration(Timestamp::from_millis(k * 20), TimeDelta::from_millis(20))
         })
         .collect();
     E2sf::new(E2sfConfig::new(4))

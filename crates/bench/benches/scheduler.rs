@@ -36,13 +36,9 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("list_schedule");
     for &layers in &[16usize, 64, 256] {
         let nodes = chain_with_transfers(layers, 4);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(layers),
-            &nodes,
-            |b, nodes| {
-                b.iter(|| list_schedule(nodes, 5).expect("valid graph"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &nodes, |b, nodes| {
+            b.iter(|| list_schedule(nodes, 5).expect("valid graph"));
+        });
     }
     group.finish();
 }

@@ -42,7 +42,13 @@ fn run_ga_ablation(args: &CommonArgs) -> Result<(), Box<dyn std::error::Error>> 
     println!("GA hyper-parameter ablation — mixed SNN-ANN mapping problem");
     println!();
     let mut table = TextTable::new([
-        "population", "generations", "mutations", "elite", "best ms", "evals", "cache hits",
+        "population",
+        "generations",
+        "mutations",
+        "elite",
+        "best ms",
+        "evals",
+        "cache hits",
     ]);
     for row in &rows {
         table.row([

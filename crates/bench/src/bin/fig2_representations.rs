@@ -38,10 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (b) Full accumulation with counts + most-recent timestamps
     //     (EV-FlowNet-style, paper ref [4]).
-    let surfaces = E2sf::new(
-        E2sfConfig::new(1).with_representation(FrameRepresentation::CountsAndTimestamps),
-    )
-    .convert(&events, interval)?;
+    let surfaces =
+        E2sf::new(E2sfConfig::new(1).with_representation(FrameRepresentation::CountsAndTimestamps))
+            .convert(&events, interval)?;
     println!(
         "counts + timestamps:    1 frame,  {} channels, {} nonzeros",
         surfaces[0].tensor().channels(),
@@ -61,9 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (d) Sequential presentation over B/k timesteps (SNN inputs).
-    println!(
-        "sequential (B=8, k=2):  4 timesteps of 2 concatenated frames (4 channels each)"
-    );
+    println!("sequential (B=8, k=2):  4 timesteps of 2 concatenated frames (4 channels each)");
     println!(
         "\nEv-Edge supports all of these (§2); the per-network choices are in\n\
          ev_datasets::representation."

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fold(f64::INFINITY, f64::min);
     let max = rows.iter().map(|r| r.mean_fill_pct).fold(0.0f64, f64::max);
     println!();
-    println!(
-        "Spread: {min:.2}% – {max:.2}%  (paper reports 0.15% – 28.57%)"
-    );
+    println!("Spread: {min:.2}% – {max:.2}%  (paper reports 0.15% – 28.57%)");
 
     if let Some(path) = args.json {
         write_json(&path, &rows)?;

@@ -61,7 +61,14 @@ fn run_dsfa_ablation(args: &CommonArgs) -> Result<(), Box<dyn std::error::Error>
     println!("DSFA ablation — SpikeFlowNet on indoor_flying1 (+E2SF+DSFA variant)");
     println!();
     let mut table = TextTable::new([
-        "cMode", "MBsize", "MtTh ms", "MdTh", "makespan ms", "speedup", "merge", "degradation",
+        "cMode",
+        "MBsize",
+        "MtTh ms",
+        "MdTh",
+        "makespan ms",
+        "speedup",
+        "merge",
+        "degradation",
     ]);
     for row in &rows {
         table.row([

@@ -5,9 +5,7 @@
 //! cargo run --release -p ev-bench --bin validate_repro
 //! ```
 
-use ev_bench::experiments::{
-    figure1, figure10, figure3, figure5, figure8, figure9, table1,
-};
+use ev_bench::experiments::{figure1, figure10, figure3, figure5, figure8, figure9, table1};
 
 struct Checklist {
     passed: usize,
@@ -111,7 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         energy_ok,
         format!(
             "{:.2}x–{:.2}x (paper: 1.23–2.15x)",
-            f8.iter().map(|r| r.energy_ratio).fold(f64::INFINITY, f64::min),
+            f8.iter()
+                .map(|r| r.energy_ratio)
+                .fold(f64::INFINITY, f64::min),
             f8.iter().map(|r| r.energy_ratio).fold(0.0f64, f64::max)
         ),
     );
@@ -143,7 +143,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "NMP beats both round-robin policies in every configuration",
         nmp_wins,
         f9.iter()
-            .map(|r| format!("{}: {:.2}x/{:.2}x", r.config, r.speedup_vs_rr_network, r.speedup_vs_rr_layer))
+            .map(|r| {
+                format!(
+                    "{}: {:.2}x/{:.2}x",
+                    r.config, r.speedup_vs_rr_network, r.speedup_vs_rr_layer
+                )
+            })
             .collect::<Vec<_>>()
             .join("; "),
     );
@@ -174,10 +179,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{} generations", f10.nmp_history.len()),
     );
 
-    println!(
-        "\n{} checks passed, {} failed",
-        list.passed, list.failed
-    );
+    println!("\n{} checks passed, {} failed", list.passed, list.failed);
     if list.failed > 0 {
         std::process::exit(1);
     }

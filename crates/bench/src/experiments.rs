@@ -13,9 +13,7 @@ use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
 use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
 use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
 use ev_edge::nmp::random_search::run_random_search;
-use ev_edge::pipeline::{
-    run_single_task, PipelineOptions, PipelineSetup, PipelineVariant,
-};
+use ev_edge::pipeline::{run_single_task, PipelineOptions, PipelineSetup, PipelineVariant};
 use ev_edge::{E2sf, E2sfConfig};
 use ev_nn::forward::{Activation, Executor};
 use ev_nn::zoo::{NetworkId, ZooConfig};
@@ -133,11 +131,8 @@ pub fn figure1(quick: bool) -> Result<Fig1Result, Box<dyn Error>> {
     let mut rows = Vec::new();
     for bins in [1usize, 2, 4, 8, 16, 32] {
         let frames = E2sf::new(E2sfConfig::new(bins)).convert_intervals(&events, &intervals)?;
-        let mean_fill = frames
-            .iter()
-            .map(|f| f.spatial_density())
-            .sum::<f64>()
-            / frames.len().max(1) as f64;
+        let mean_fill =
+            frames.iter().map(|f| f.spatial_density()).sum::<f64>() / frames.len().max(1) as f64;
         // Sparsity-aware work: input layer scales with frame fill, deeper
         // spiking layers with their spike density (ideal sparse hardware).
         let mut actual = 0.0f64;
@@ -232,11 +227,8 @@ pub fn figure3(quick: bool) -> Result<Vec<Fig3Row>, Box<dyn Error>> {
             .collect();
         let frames = E2sf::new(E2sfConfig::new(rep.bins_per_interval))
             .convert_intervals(&events, &intervals)?;
-        let mean_fill = frames
-            .iter()
-            .map(|f| f.spatial_density())
-            .sum::<f64>()
-            / frames.len().max(1) as f64;
+        let mean_fill =
+            frames.iter().map(|f| f.spatial_density()).sum::<f64>() / frames.len().max(1) as f64;
         rows.push(Fig3Row {
             network: network.name().to_string(),
             bins_per_interval: rep.bins_per_interval,
@@ -594,10 +586,26 @@ pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>
     let mut rows = Vec::new();
     let sweeps: Vec<DsfaConfig> = vec![
         // MBsize sweep at fixed thresholds.
-        DsfaConfig { mb_size: 1, ebuf_size: 8, ..DsfaConfig::default() },
-        DsfaConfig { mb_size: 2, ebuf_size: 8, ..DsfaConfig::default() },
-        DsfaConfig { mb_size: 4, ebuf_size: 8, ..DsfaConfig::default() },
-        DsfaConfig { mb_size: 8, ebuf_size: 8, ..DsfaConfig::default() },
+        DsfaConfig {
+            mb_size: 1,
+            ebuf_size: 8,
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            mb_size: 2,
+            ebuf_size: 8,
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            mb_size: 4,
+            ebuf_size: 8,
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            mb_size: 8,
+            ebuf_size: 8,
+            ..DsfaConfig::default()
+        },
         // MtTh sweep.
         DsfaConfig {
             mt_th: TimeDelta::from_millis(2),
@@ -608,11 +616,23 @@ pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>
             ..DsfaConfig::default()
         },
         // MdTh sweep.
-        DsfaConfig { md_th: 0.05, ..DsfaConfig::default() },
-        DsfaConfig { md_th: 5.0, ..DsfaConfig::default() },
+        DsfaConfig {
+            md_th: 0.05,
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            md_th: 5.0,
+            ..DsfaConfig::default()
+        },
         // Merge modes.
-        DsfaConfig { cmode: CMode::CAverage, ..DsfaConfig::default() },
-        DsfaConfig { cmode: CMode::CBatch, ..DsfaConfig::default() },
+        DsfaConfig {
+            cmode: CMode::CAverage,
+            ..DsfaConfig::default()
+        },
+        DsfaConfig {
+            cmode: CMode::CBatch,
+            ..DsfaConfig::default()
+        },
     ];
     for dsfa in sweeps {
         let options = PipelineOptions {
@@ -674,13 +694,32 @@ pub fn ga_ablation(quick: bool) -> Result<Vec<GaAblationRow>, Box<dyn Error>> {
     let problem = build_problem(&networks)?;
     let base = nmp_config(quick);
     let mut variants = vec![
-        NmpConfig { population: base.population / 2, ..base },
+        NmpConfig {
+            population: base.population / 2,
+            ..base
+        },
         base,
-        NmpConfig { population: base.population * 2, generations: base.generations / 2, ..base },
-        NmpConfig { mutation_layers: 1, ..base },
-        NmpConfig { mutation_layers: 6, ..base },
-        NmpConfig { elite_fraction: 0.1, ..base },
-        NmpConfig { elite_fraction: 0.5, ..base },
+        NmpConfig {
+            population: base.population * 2,
+            generations: base.generations / 2,
+            ..base
+        },
+        NmpConfig {
+            mutation_layers: 1,
+            ..base
+        },
+        NmpConfig {
+            mutation_layers: 6,
+            ..base
+        },
+        NmpConfig {
+            elite_fraction: 0.1,
+            ..base
+        },
+        NmpConfig {
+            elite_fraction: 0.5,
+            ..base
+        },
     ];
     // Without baseline seeding: measures pure-search quality.
     variants.push(NmpConfig {
@@ -759,12 +798,10 @@ pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>>
         .iter()
         .zip(&periods)
         .map(|(&n, &p)| {
-            Ok(TaskSpec::new(n.build(&zoo)?, n.accuracy_model(), delta_a_for(n))
-                .with_period(p))
+            Ok(TaskSpec::new(n.build(&zoo)?, n.accuracy_model(), delta_a_for(n)).with_period(p))
         })
         .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
-    let streaming_problem =
-        MultiTaskProblem::new(Platform::xavier_agx(), streaming_tasks)?;
+    let streaming_problem = MultiTaskProblem::new(Platform::xavier_agx(), streaming_tasks)?;
     let nmp_streaming = run_nmp(
         &streaming_problem,
         nmp_config(quick),
@@ -782,8 +819,8 @@ pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>>
     let mut rows = Vec::new();
     for (name, candidate) in policies {
         let report = run_multi_task_runtime(&problem, &candidate, &periods, config)?;
-        let mean_util = report.utilization.iter().sum::<f64>()
-            / report.utilization.len().max(1) as f64;
+        let mean_util =
+            report.utilization.iter().sum::<f64>() / report.utilization.len().max(1) as f64;
         rows.push(RuntimeRow {
             policy: name.to_string(),
             worst_mean_latency_ms: report.worst_mean_latency().as_secs_f64() * 1e3,
@@ -847,8 +884,8 @@ pub fn cross_platform(quick: bool) -> Result<Vec<CrossPlatformRow>, Box<dyn Erro
         let result = run_nmp(&problem, nmp_config(quick), FitnessConfig::default())?;
         let gpu_id = problem.platform().id_by_name("gpu").expect("gpu exists");
         let assignments = result.best.assignments();
-        let gpu_share = assignments.iter().filter(|a| a.pe == gpu_id).count() as f64
-            / assignments.len() as f64;
+        let gpu_share =
+            assignments.iter().filter(|a| a.pe == gpu_id).count() as f64 / assignments.len() as f64;
         let reduced = assignments
             .iter()
             .filter(|a| a.precision != ev_nn::Precision::Fp32)
@@ -927,10 +964,7 @@ mod tests {
             .iter()
             .map(|r| r.mean_fill_pct)
             .fold(f64::INFINITY, f64::min);
-        let max = rows
-            .iter()
-            .map(|r| r.mean_fill_pct)
-            .fold(0.0f64, f64::max);
+        let max = rows.iter().map(|r| r.mean_fill_pct).fold(0.0f64, f64::max);
         // Paper: 0.15%–28.57% — we target the same order of spread.
         assert!(min < 2.0, "sparsest network {min}% should be <2%");
         assert!(max > 8.0, "densest network {max}% should be >8%");

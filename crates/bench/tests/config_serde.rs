@@ -29,8 +29,7 @@ fn dsfa_config_round_trips() {
 
 #[test]
 fn e2sf_config_round_trips() {
-    let config =
-        E2sfConfig::new(16).with_representation(FrameRepresentation::CountsAndTimestamps);
+    let config = E2sfConfig::new(16).with_representation(FrameRepresentation::CountsAndTimestamps);
     assert_eq!(round_trip(&config), config);
 }
 
@@ -44,6 +43,7 @@ fn nmp_config_round_trips() {
         seed: 1234,
         fp_only: true,
         seed_baselines: false,
+        workers: 4,
     };
     assert_eq!(round_trip(&config), config);
 }

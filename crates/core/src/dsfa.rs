@@ -13,9 +13,9 @@
 
 use crate::frame::SparseFrame;
 use crate::EvEdgeError;
+use core::fmt;
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_sparse::coo::SparseTensor;
-use core::fmt;
 
 /// How frames within a merge bucket combine (paper `cMode`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -412,10 +412,8 @@ mod tests {
 
     fn frame_at(ms: u64, entries: Vec<SparseEntry>, events: usize) -> SparseFrame {
         let tensor = SparseTensor::from_entries(2, 16, 16, entries).unwrap();
-        let window = TimeWindow::with_duration(
-            Timestamp::from_millis(ms),
-            TimeDelta::from_millis(5),
-        );
+        let window =
+            TimeWindow::with_duration(Timestamp::from_millis(ms), TimeDelta::from_millis(5));
         SparseFrame::new(tensor, window, events)
     }
 

@@ -142,10 +142,7 @@ impl E2sf {
         let nb = self.config.bins_per_interval;
         let total_us = interval.duration().as_micros();
         if total_us < nb as i64 {
-            return Err(EvEdgeError::DegenerateInterval {
-                interval,
-                bins: nb,
-            });
+            return Err(EvEdgeError::DegenerateInterval { interval, bins: nb });
         }
         let geometry = events.geometry();
         let bins = interval.split(nb);
@@ -185,11 +182,8 @@ impl E2sf {
         }
         let channels = self.config.representation.channels();
         let mut frames = Vec::with_capacity(nb);
-        for (((mut entries, surfaces), window), count) in per_bin
-            .into_iter()
-            .zip(latest)
-            .zip(bins)
-            .zip(counts)
+        for (((mut entries, surfaces), window), count) in
+            per_bin.into_iter().zip(latest).zip(bins).zip(counts)
         {
             if with_timestamps {
                 entries.extend(
@@ -368,7 +362,11 @@ mod tests {
                         (k * 7) % 32,
                         (k * 13) % 32,
                         (k as u64) * 97,
-                        if k % 3 == 0 { Polarity::Off } else { Polarity::On },
+                        if k % 3 == 0 {
+                            Polarity::Off
+                        } else {
+                            Polarity::On
+                        },
                     )
                 })
                 .collect(),
@@ -412,7 +410,14 @@ mod tests {
     fn representations_share_count_channels() {
         let events = slice(
             (0..50)
-                .map(|k| ev((k % 16) as u16, (k / 4) as u16, k as u64 * 100, Polarity::On))
+                .map(|k| {
+                    ev(
+                        (k % 16) as u16,
+                        (k / 4) as u16,
+                        k as u64 * 100,
+                        Polarity::On,
+                    )
+                })
                 .collect(),
         );
         let window = interval_ms(0, 10);

@@ -1,0 +1,376 @@
+//! The unified inference-job model.
+//!
+//! Every execution path in Ev-Edge ultimately runs *jobs*: one batched
+//! inference whose input became ready at some instant. This module owns
+//! the job types shared by all drivers, the construction of scheduler
+//! DAGs with cross-PE transfer nodes (paper Figure 7a), and the
+//! [`JobModel`] implementations that map a job onto the platform:
+//!
+//! * [`MappedJobModel`] — per-layer reservations on the shared
+//!   processing-element queues under an NMP candidate mapping (the
+//!   multi-task runtime's contention model);
+//! * [`BatchCostModel`] — whole-job critical-path durations on a single
+//!   platform-wide queue, memoized by `(density, batch)` (the
+//!   single-task pipeline's model).
+
+use crate::nmp::candidate::{Assignment, Candidate};
+use crate::nmp::multitask::MultiTaskProblem;
+use crate::EvEdgeError;
+use ev_core::{TimeDelta, Timestamp};
+use ev_nn::graph::NetworkGraph;
+use ev_nn::LayerId;
+use ev_platform::energy::Energy;
+use ev_platform::latency::{transfer_cost, CostEstimate};
+use ev_platform::pe::Platform;
+use ev_platform::schedule::{list_schedule, SchedNode, Schedule};
+use ev_platform::ReservationTimeline;
+use std::collections::HashMap;
+
+/// One pending inference input: what a task's bounded queue holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobInput {
+    /// When the input became ready (frame ready time or batch emit time).
+    pub ready: Timestamp,
+    /// Frames batched into the job.
+    pub batch: usize,
+    /// Mean input spatial density.
+    pub density: f64,
+    /// Raw events covered by the input.
+    pub events: usize,
+}
+
+impl JobInput {
+    /// A single-frame input with unknown density/event payload (periodic
+    /// arrival drivers that only track timing).
+    pub fn arrival(ready: Timestamp) -> Self {
+        JobInput {
+            ready,
+            batch: 1,
+            density: 1.0,
+            events: 0,
+        }
+    }
+}
+
+/// One executed inference job, with full timing provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// The owning task.
+    pub task: usize,
+    /// When the job's input was ready.
+    pub ready: Timestamp,
+    /// Execution start.
+    pub start: Timestamp,
+    /// Completion.
+    pub end: Timestamp,
+    /// Batched frames in the job.
+    pub batch: usize,
+    /// Mean input density.
+    pub density: f64,
+    /// Raw events covered.
+    pub events: usize,
+}
+
+impl JobRecord {
+    /// Input-to-completion latency.
+    pub fn latency(&self) -> TimeDelta {
+        self.end - self.ready
+    }
+}
+
+/// Maps one job onto the platform: decides when it completes and what it
+/// costs, reserving device time on the way.
+pub trait JobModel {
+    /// Dispatches one job of `task` whose dependencies allow it to start
+    /// no earlier than `ready`; returns `(completion, energy)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvEdgeError`] for unexecutable assignments or
+    /// reservation failures.
+    fn dispatch(
+        &mut self,
+        task: usize,
+        job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError>;
+}
+
+/// Builds a scheduler DAG over network layers, inserting data-transfer
+/// nodes on the unified-memory queue wherever producer and consumer sit
+/// on different processing elements, and accumulating busy energy.
+///
+/// Both the offline fitness evaluator (one joint multi-task graph) and
+/// the single-task job coster (one graph per `(density, batch)` point)
+/// build their DAGs through this type — the transfer/energy bookkeeping
+/// exists exactly once.
+#[derive(Debug)]
+pub struct SchedGraphBuilder<'a> {
+    platform: &'a Platform,
+    nodes: Vec<SchedNode>,
+    energy: Energy,
+}
+
+impl<'a> SchedGraphBuilder<'a> {
+    /// An empty DAG over `platform`.
+    pub fn new(platform: &'a Platform) -> Self {
+        SchedGraphBuilder {
+            platform,
+            nodes: Vec::new(),
+            energy: Energy::ZERO,
+        }
+    }
+
+    /// Adds one network's layers under the given assignment and cost
+    /// lookups; returns the scheduler node index of every layer.
+    ///
+    /// `output_bytes_of` reports a producer layer's output payload (the
+    /// bytes a cross-PE edge moves over unified memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `cost_of` failures (typically
+    /// [`EvEdgeError::UnsupportedAssignment`]).
+    pub fn add_network(
+        &mut self,
+        graph: &NetworkGraph,
+        assignment_of: impl Fn(usize) -> Assignment,
+        mut cost_of: impl FnMut(usize, Assignment) -> Result<CostEstimate, EvEdgeError>,
+        output_bytes_of: impl Fn(usize) -> u64,
+    ) -> Result<Vec<usize>, EvEdgeError> {
+        let memory_queue = self.platform.memory_queue();
+        let mut node_of_layer = vec![usize::MAX; graph.len()];
+        for layer in graph.layers() {
+            let l = layer.id.0;
+            let a = assignment_of(l);
+            let cost = cost_of(l, a)?;
+            self.energy += cost.energy;
+            let mut deps = Vec::new();
+            for pred in graph.predecessors(layer.id) {
+                let pa = assignment_of(pred.0);
+                let pred_node = node_of_layer[pred.0];
+                debug_assert_ne!(pred_node, usize::MAX, "layers visit in topo order");
+                if pa.pe == a.pe {
+                    deps.push(pred_node);
+                } else {
+                    let tc = transfer_cost(
+                        self.platform,
+                        pa.pe,
+                        a.pe,
+                        output_bytes_of(pred.0),
+                        pa.precision,
+                    );
+                    self.energy += tc.energy;
+                    let transfer_idx = self.nodes.len();
+                    self.nodes
+                        .push(SchedNode::new(memory_queue, tc.latency, vec![pred_node]));
+                    deps.push(transfer_idx);
+                }
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(SchedNode::new(a.pe.0, cost.latency, deps));
+            node_of_layer[l] = idx;
+        }
+        Ok(node_of_layer)
+    }
+
+    /// The accumulated DAG nodes.
+    pub fn nodes(&self) -> &[SchedNode] {
+        &self.nodes
+    }
+
+    /// Busy energy accumulated so far (compute + transfers).
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Schedules the accumulated DAG over the platform's queues
+    /// (Equation 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn schedule(&self) -> Result<Schedule, EvEdgeError> {
+        Ok(list_schedule(&self.nodes, self.platform.queue_count())?)
+    }
+}
+
+/// Per-layer online dispatch under an NMP mapping: each layer reserves
+/// its mapped processing-element queue in dependency order; cross-PE
+/// edges pay unified-memory transfers on the shared memory queue.
+///
+/// This is the contention model of the multi-task runtime (paper §4.2 /
+/// Figure 9): concurrent tasks compete for the same queues first-come-
+/// first-served.
+#[derive(Debug)]
+pub struct MappedJobModel<'a> {
+    problem: &'a MultiTaskProblem,
+    candidate: &'a Candidate,
+}
+
+impl<'a> MappedJobModel<'a> {
+    /// A model executing `candidate` over `problem`'s tasks.
+    pub fn new(problem: &'a MultiTaskProblem, candidate: &'a Candidate) -> Self {
+        MappedJobModel { problem, candidate }
+    }
+}
+
+impl JobModel for MappedJobModel<'_> {
+    fn dispatch(
+        &mut self,
+        task: usize,
+        _job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError> {
+        let platform = self.problem.platform();
+        let graph = &self.problem.tasks()[task].graph;
+        let memory_queue = platform.memory_queue();
+        let mut end_of: Vec<Timestamp> = vec![ready; graph.len()];
+        let mut energy = Energy::ZERO;
+        let mut last_end = ready;
+        for layer in graph.layers() {
+            let l = layer.id.0;
+            let global = self.problem.global_index(task, l);
+            let a = self.candidate.assignment(global);
+            let cost = self
+                .problem
+                .profile(task)
+                .layer(l)
+                .cost(a.pe, a.precision)
+                .ok_or(EvEdgeError::UnsupportedAssignment {
+                    task,
+                    layer: l,
+                    pe: a.pe,
+                    precision: a.precision,
+                })?;
+            energy += cost.energy;
+            let mut dep_ready = ready;
+            for pred in graph.predecessors(LayerId(l)) {
+                let pa = self
+                    .candidate
+                    .assignment(self.problem.global_index(task, pred.0));
+                let mut pred_end = end_of[pred.0];
+                if pa.pe != a.pe {
+                    let bytes = self.problem.workload(task, pred.0).output_bytes;
+                    let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
+                    energy += tc.energy;
+                    let (_, end) = timeline.reserve_next(memory_queue, pred_end, tc.latency)?;
+                    pred_end = end;
+                }
+                dep_ready = dep_ready.max(pred_end);
+            }
+            let (_, end) = timeline.reserve_next(a.pe.0, dep_ready, cost.latency)?;
+            end_of[l] = end;
+            last_end = last_end.max(end);
+        }
+        Ok((last_end, energy))
+    }
+}
+
+/// Whole-job dispatch with memoized `(density, batch)` costs on one
+/// platform-wide queue: the single-task pipeline's model, where a job
+/// occupies the platform for its scheduled critical-path duration.
+pub struct BatchCostModel<F> {
+    cost: F,
+    cache: HashMap<(u16, u16), (TimeDelta, Energy)>,
+    queue: usize,
+}
+
+impl<F> core::fmt::Debug for BatchCostModel<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BatchCostModel")
+            .field("queue", &self.queue)
+            .field("cached_points", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> BatchCostModel<F>
+where
+    F: FnMut(f64, usize) -> Result<(TimeDelta, Energy), EvEdgeError>,
+{
+    /// A model dispatching onto `queue` with `cost(density, batch)`
+    /// memoized at 1e-3 density resolution.
+    pub fn new(queue: usize, cost: F) -> Self {
+        BatchCostModel {
+            cost,
+            cache: HashMap::new(),
+            queue,
+        }
+    }
+
+    fn job_cost(&mut self, density: f64, batch: usize) -> Result<(TimeDelta, Energy), EvEdgeError> {
+        let key = ((density * 1000.0).round() as u16, batch as u16);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(*hit);
+        }
+        let cost = (self.cost)(density, batch)?;
+        self.cache.insert(key, cost);
+        Ok(cost)
+    }
+}
+
+impl<F> JobModel for BatchCostModel<F>
+where
+    F: FnMut(f64, usize) -> Result<(TimeDelta, Energy), EvEdgeError>,
+{
+    fn dispatch(
+        &mut self,
+        _task: usize,
+        job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError> {
+        let (duration, energy) = self.job_cost(job.density, job.batch)?;
+        let (_, end) = timeline.reserve_next(self.queue, ready, duration)?;
+        Ok((end, energy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_platform::timeline::DeviceTimeline;
+
+    #[test]
+    fn job_record_latency() {
+        let record = JobRecord {
+            task: 0,
+            ready: Timestamp::from_millis(10),
+            start: Timestamp::from_millis(12),
+            end: Timestamp::from_millis(15),
+            batch: 2,
+            density: 0.1,
+            events: 40,
+        };
+        assert_eq!(record.latency(), TimeDelta::from_millis(5));
+    }
+
+    #[test]
+    fn batch_cost_model_memoizes_and_serializes_jobs() {
+        let mut calls = 0usize;
+        let mut model = BatchCostModel::new(0, |_, batch| {
+            calls += 1;
+            Ok((
+                TimeDelta::from_millis(batch as i64),
+                Energy::from_joules(0.1),
+            ))
+        });
+        let mut timeline = DeviceTimeline::new(1);
+        let job = JobInput {
+            ready: Timestamp::from_millis(5),
+            batch: 2,
+            density: 0.25,
+            events: 10,
+        };
+        let (end1, _) = model.dispatch(0, &job, job.ready, &mut timeline).unwrap();
+        assert_eq!(end1, Timestamp::from_millis(7));
+        // Second identical job: cache hit, queues behind the first.
+        let (end2, _) = model.dispatch(0, &job, job.ready, &mut timeline).unwrap();
+        assert_eq!(end2, Timestamp::from_millis(9));
+        drop(model);
+        assert_eq!(calls, 1, "cost memoized by (density, batch)");
+    }
+}

@@ -1,0 +1,330 @@
+//! The multi-threaded streaming runtime.
+//!
+//! Two pieces of real parallelism on top of the unified exec core:
+//!
+//! * [`parallel_map`] — a bounded-channel thread pool used to fan NMP
+//!   candidate evaluation out across cores (the hottest path of the
+//!   evolutionary search, Figure 10). Results preserve input order, so
+//!   parallel search runs are bitwise identical to serial ones.
+//! * [`ParallelTimeline`] — a [`ReservationTimeline`] where every
+//!   processing-element queue is owned by a dedicated worker thread fed
+//!   over bounded channels. The engine's dispatch loop blocks on each
+//!   reservation reply, so simulated-time semantics stay deterministic
+//!   while reservations execute on real threads.
+
+use ev_core::{TimeDelta, Timestamp};
+use ev_platform::{PlatformError, ReservationTimeline};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// The number of worker threads to use when the caller asks for "auto"
+/// (`workers == 0`): the machine's available parallelism.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `workers` threads pulling
+/// from a shared work queue and replying over a bounded channel;
+/// returns the results in input order.
+///
+/// With `workers <= 1` (or one item) this degrades to a plain serial
+/// map — same results, no threads. A panic inside `f` propagates to
+/// the caller when the scope joins (it never deadlocks the pool: the
+/// surviving workers drain the queue, the result channel closes, and
+/// the panic resurfaces).
+pub fn parallel_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let count = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let (result_tx, result_rx) = sync_channel::<(usize, R)>(workers * 2);
+    let f = &f;
+    let queue = &queue;
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            scope.spawn(move || loop {
+                // Pull one job under the lock, release it to compute.
+                // A sibling's panic poisons nothing we can't recover:
+                // Iterator::next never unwinds here, so the state behind
+                // a poisoned lock is still consistent.
+                let job = {
+                    let mut guard = match queue.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.next()
+                };
+                match job {
+                    Some((idx, item)) => {
+                        if result_tx.send((idx, f(item))).is_err() {
+                            return;
+                        }
+                    }
+                    None => return, // queue drained
+                }
+            });
+        }
+        drop(result_tx);
+        // Drain concurrently with the workers; ends when every sender is
+        // gone — whether by finishing or by panicking.
+        for (idx, result) in result_rx {
+            results[idx] = Some(result);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+enum Request {
+    /// Earliest feasible start for work ready at the timestamp.
+    EarliestStart(Timestamp, SyncSender<Timestamp>),
+    /// Reserve `[start, start + duration)`; replies with the outcome.
+    Reserve(
+        Timestamp,
+        TimeDelta,
+        SyncSender<Result<Timestamp, PlatformError>>,
+    ),
+    /// Read the queue's accumulated busy time.
+    BusyTime(SyncSender<TimeDelta>),
+}
+
+struct QueueWorker {
+    tx: SyncSender<Request>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A reservation timeline whose queues are each owned by a dedicated
+/// worker thread, fed by bounded channels.
+///
+/// Functionally equivalent to [`ev_platform::DeviceTimeline`] — the
+/// engine blocks on every reservation reply, so results are bitwise
+/// identical — while exercising the actual thread-per-queue runtime
+/// shape a hardware deployment uses (one submission thread per CUDA/DLA
+/// queue).
+pub struct ParallelTimeline {
+    workers: Vec<QueueWorker>,
+}
+
+impl core::fmt::Debug for ParallelTimeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ParallelTimeline")
+            .field("queues", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(queue: usize, rx: Receiver<Request>) {
+    let mut free_at = Timestamp::ZERO;
+    let mut busy = TimeDelta::ZERO;
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::EarliestStart(ready, reply) => {
+                let _ = reply.send(ready.max(free_at));
+            }
+            Request::Reserve(start, duration, reply) => {
+                let outcome = if start < free_at {
+                    Err(PlatformError::ReservationConflict {
+                        queue,
+                        requested: start,
+                        free_at,
+                    })
+                } else {
+                    free_at = start + duration;
+                    busy += duration;
+                    Ok(free_at)
+                };
+                let _ = reply.send(outcome);
+            }
+            Request::BusyTime(reply) => {
+                let _ = reply.send(busy);
+            }
+        }
+    }
+}
+
+impl ParallelTimeline {
+    /// Spawns one worker thread per queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new(queues: usize) -> Self {
+        assert!(queues > 0, "timeline needs at least one queue");
+        let workers = (0..queues)
+            .map(|q| {
+                let (tx, rx) = sync_channel::<Request>(4);
+                let handle = std::thread::Builder::new()
+                    .name(format!("pe-queue-{q}"))
+                    .spawn(move || worker_loop(q, rx))
+                    .expect("spawn PE queue worker");
+                QueueWorker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ParallelTimeline { workers }
+    }
+
+    fn worker(&self, queue: usize) -> Result<&QueueWorker, PlatformError> {
+        self.workers.get(queue).ok_or(PlatformError::InvalidQueue {
+            node: 0,
+            queue,
+            queues: self.workers.len(),
+        })
+    }
+}
+
+impl Drop for ParallelTimeline {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the channel ends the worker loop.
+            let (tx, _) = sync_channel(1);
+            let old = std::mem::replace(&mut worker.tx, tx);
+            drop(old);
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl ReservationTimeline for ParallelTimeline {
+    fn queues(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
+        let worker = self.worker(queue)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        worker
+            .tx
+            .send(Request::EarliestStart(ready, reply_tx))
+            .expect("queue worker alive");
+        Ok(reply_rx.recv().expect("queue worker replies"))
+    }
+
+    fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        let worker = self.worker(queue)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        worker
+            .tx
+            .send(Request::Reserve(start, duration, reply_tx))
+            .expect("queue worker alive");
+        reply_rx.recv().expect("queue worker replies")
+    }
+
+    fn busy_time(&self, queue: usize) -> TimeDelta {
+        let Ok(worker) = self.worker(queue) else {
+            return TimeDelta::ZERO;
+        };
+        let (reply_tx, reply_rx) = sync_channel(1);
+        worker
+            .tx
+            .send(Request::BusyTime(reply_tx))
+            .expect("queue worker alive");
+        reply_rx.recv().expect("queue worker replies")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_platform::timeline::DeviceTimeline;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [0, 1, 2, 4, 8] {
+            assert_eq!(
+                parallel_map(workers, items.clone(), |x| x * x),
+                expected,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let outcome = std::panic::catch_unwind(|| {
+            parallel_map(4, (0..64u32).collect::<Vec<_>>(), |x| {
+                assert!(x != 13, "injected failure");
+                x
+            })
+        });
+        assert!(outcome.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(parallel_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_timeline_matches_device_timeline() {
+        let mut serial = DeviceTimeline::new(3);
+        let mut parallel = ParallelTimeline::new(3);
+        let ms = |v| Timestamp::from_millis(v);
+        let d = |v| TimeDelta::from_millis(v);
+        // A deterministic reservation workload across all queues.
+        for (queue, ready, duration) in [
+            (0usize, 0u64, 10i64),
+            (1, 2, 5),
+            (0, 4, 3),
+            (2, 1, 8),
+            (1, 6, 2),
+            (0, 20, 1),
+        ] {
+            let (s1, e1) = serial.reserve_next(queue, ms(ready), d(duration)).unwrap();
+            let (s2, e2) = parallel
+                .reserve_next(queue, ms(ready), d(duration))
+                .unwrap();
+            assert_eq!((s1, e1), (s2, e2));
+        }
+        for q in 0..3 {
+            assert_eq!(
+                ReservationTimeline::busy_time(&serial, q),
+                parallel.busy_time(q)
+            );
+        }
+        assert_eq!(serial.total_busy(), parallel.total_busy());
+    }
+
+    #[test]
+    fn parallel_timeline_detects_conflicts() {
+        let mut tl = ParallelTimeline::new(1);
+        tl.reserve(0, Timestamp::ZERO, TimeDelta::from_millis(10))
+            .unwrap();
+        assert!(matches!(
+            tl.reserve(0, Timestamp::from_millis(5), TimeDelta::from_millis(1)),
+            Err(PlatformError::ReservationConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_queue_rejected() {
+        let tl = ParallelTimeline::new(2);
+        assert!(tl.earliest_start(5, Timestamp::ZERO).is_err());
+    }
+}

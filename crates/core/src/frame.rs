@@ -1,8 +1,8 @@
 //! Sparse event frames: the unit flowing through the Ev-Edge runtime.
 
+use core::fmt;
 use ev_core::{TimeWindow, Timestamp};
 use ev_sparse::coo::SparseTensor;
-use core::fmt;
 
 /// A two-channel (positive/negative polarity) sparse event frame covering a
 /// time window — the output of E2SF and the input of DSFA (paper §4.1:

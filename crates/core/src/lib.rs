@@ -47,6 +47,25 @@ pub mod multipipe;
 pub mod pipeline;
 pub mod queue;
 
+/// The unified streaming execution core shared by every runtime: the
+/// discrete-event clock, the job model, the dispatch/accounting engine,
+/// composable frontend stages, and the multi-threaded parallel runtime.
+pub mod exec {
+    pub mod clock;
+    pub mod engine;
+    pub mod job;
+    pub mod parallel;
+    pub mod stage;
+
+    pub use clock::EventClock;
+    pub use engine::{EngineReport, ExecEngine, TaskStats};
+    pub use job::{
+        BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
+    };
+    pub use parallel::{parallel_map, ParallelTimeline};
+    pub use stage::{Compose, DirectStage, DsfaStage, E2sfStage, Stage};
+}
+
 /// The Network Mapper and its baselines.
 pub mod nmp {
     pub mod baseline;
@@ -60,7 +79,9 @@ pub mod nmp {
 pub use dsfa::{CMode, Dsfa, DsfaConfig, MergedBatch};
 pub use e2sf::{E2sf, E2sfConfig};
 pub use frame::SparseFrame;
-pub use pipeline::{run_single_task, PipelineOptions, PipelineReport, PipelineSetup, PipelineVariant};
+pub use pipeline::{
+    run_single_task, PipelineOptions, PipelineReport, PipelineSetup, PipelineVariant,
+};
 
 use core::fmt;
 use ev_core::TimeWindow;
@@ -122,6 +143,11 @@ pub enum EvEdgeError {
         /// The offending task index.
         task: usize,
     },
+    /// An inference queue must hold at least one pending input.
+    InvalidQueueCapacity {
+        /// The rejected capacity.
+        capacity: usize,
+    },
     /// Sparse-tensor failure.
     Sparse(ev_sparse::SparseError),
     /// Network-substrate failure.
@@ -167,6 +193,9 @@ impl fmt::Display for EvEdgeError {
             }
             EvEdgeError::InvalidPeriod { task } => {
                 write!(f, "task {task} period must be positive")
+            }
+            EvEdgeError::InvalidQueueCapacity { capacity } => {
+                write!(f, "inference queue capacity {capacity} must be nonzero")
             }
             EvEdgeError::Sparse(e) => write!(f, "sparse substrate: {e}"),
             EvEdgeError::Nn(e) => write!(f, "network substrate: {e}"),

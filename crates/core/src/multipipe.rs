@@ -6,16 +6,28 @@
 //! inputs, inferences contend for the shared processing-element queues,
 //! and each task's bounded inference queue drops its oldest input under
 //! overload (§4.2). This is the runtime view of the Figure 9 scenario.
+//!
+//! Both drivers here are thin shells over the unified [`crate::exec`]
+//! core: an [`EventClock`] orders arrivals, the [`ExecEngine`] owns the
+//! bounded queues and all latency/energy accounting, and a
+//! [`MappedJobModel`] reserves the shared processing-element queues layer
+//! by layer. Setting [`MultiTaskRuntimeConfig::parallel`] swaps the
+//! serial timeline for the thread-per-queue
+//! [`crate::exec::parallel::ParallelTimeline`] with bitwise-identical
+//! results.
 
+use crate::exec::clock::EventClock;
+use crate::exec::engine::{EngineReport, ExecEngine};
+use crate::exec::job::{JobInput, MappedJobModel};
+use crate::exec::parallel::ParallelTimeline;
+use crate::exec::stage::{DsfaStage, Stage};
 use crate::nmp::candidate::Candidate;
 use crate::nmp::multitask::MultiTaskProblem;
-use crate::queue::InferenceQueue;
 use crate::EvEdgeError;
-use ev_core::{TimeDelta, TimeWindow, Timestamp};
-use ev_nn::LayerId;
+use ev_core::{TimeDelta, TimeWindow};
 use ev_platform::energy::Energy;
-use ev_platform::latency::transfer_cost;
 use ev_platform::timeline::DeviceTimeline;
+use ev_platform::ReservationTimeline;
 
 /// Configuration of a runtime multi-task simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,15 +36,26 @@ pub struct MultiTaskRuntimeConfig {
     pub window: TimeWindow,
     /// Per-task inference-queue capacity (pending inputs before drops).
     pub queue_capacity: usize,
+    /// Run device reservations on the thread-per-queue parallel runtime
+    /// instead of the serial timeline (identical results).
+    pub parallel: bool,
 }
 
 impl MultiTaskRuntimeConfig {
-    /// A 100 ms window with depth-2 queues.
+    /// A window with depth-2 queues on the serial timeline.
     pub fn new(window: TimeWindow) -> Self {
         MultiTaskRuntimeConfig {
             window,
             queue_capacity: 2,
+            parallel: false,
         }
+    }
+
+    /// Switches device reservations to the thread-per-queue runtime.
+    #[must_use]
+    pub fn with_parallel_runtime(mut self) -> Self {
+        self.parallel = true;
+        self
     }
 }
 
@@ -81,6 +104,41 @@ impl MultiTaskRuntimeReport {
     pub fn total_dropped(&self) -> u64 {
         self.per_task.iter().map(|t| t.dropped).sum()
     }
+
+    fn from_engine(report: EngineReport, names: impl Iterator<Item = String>) -> Self {
+        MultiTaskRuntimeReport {
+            per_task: names
+                .zip(report.per_task)
+                .map(|(name, stats)| TaskRuntimeReport {
+                    name,
+                    arrivals: stats.arrivals,
+                    completed: stats.completed,
+                    dropped: stats.dropped,
+                    mean_latency: stats.mean_latency,
+                    max_latency: stats.max_latency,
+                })
+                .collect(),
+            makespan: report.makespan,
+            energy: report.energy,
+            utilization: report.utilization,
+        }
+    }
+}
+
+fn validated_periods(problem: &MultiTaskProblem, periods: &[TimeDelta]) -> Result<(), EvEdgeError> {
+    let tasks = problem.tasks();
+    if periods.len() != tasks.len() {
+        return Err(EvEdgeError::PeriodCountMismatch {
+            tasks: tasks.len(),
+            periods: periods.len(),
+        });
+    }
+    for (i, p) in periods.iter().enumerate() {
+        if p.as_micros() <= 0 {
+            return Err(EvEdgeError::InvalidPeriod { task: i });
+        }
+    }
+    Ok(())
 }
 
 /// Simulates `candidate` executing the problem's tasks concurrently, with
@@ -102,168 +160,66 @@ pub fn run_multi_task_runtime(
     periods: &[TimeDelta],
     config: MultiTaskRuntimeConfig,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
-    let tasks = problem.tasks();
-    if periods.len() != tasks.len() {
-        return Err(EvEdgeError::PeriodCountMismatch {
-            tasks: tasks.len(),
-            periods: periods.len(),
-        });
+    validated_periods(problem, periods)?;
+    let queues = problem.platform().queue_count();
+    if config.parallel {
+        run_periodic(
+            problem,
+            candidate,
+            periods,
+            config,
+            ParallelTimeline::new(queues),
+        )
+    } else {
+        run_periodic(
+            problem,
+            candidate,
+            periods,
+            config,
+            DeviceTimeline::new(queues),
+        )
     }
-    for (i, p) in periods.iter().enumerate() {
-        if p.as_micros() <= 0 {
-            return Err(EvEdgeError::InvalidPeriod { task: i });
-        }
-    }
-    let platform = problem.platform();
-    let mut timeline = DeviceTimeline::new(platform.queue_count());
-
-    // Per-task state.
-    let mut queues: Vec<InferenceQueue<Timestamp>> = tasks
-        .iter()
-        .map(|_| InferenceQueue::new(config.queue_capacity))
-        .collect();
-    let mut next_arrival: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
-    let mut task_free: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
-    let mut arrivals = vec![0u64; tasks.len()];
-    let mut completed = vec![0u64; tasks.len()];
-    let mut latency_sum = vec![0i64; tasks.len()];
-    let mut latency_max = vec![TimeDelta::ZERO; tasks.len()];
-    let mut energy = Energy::ZERO;
-    let mut makespan_end = config.window.start();
-
-    // Event loop over arrivals in global time order.
-    #[allow(clippy::while_let_loop)]
-    loop {
-        // Deliver every arrival that happens before the next inference can
-        // be considered; pick the earliest pending event.
-        let (task, arrival) = match next_arrival
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| **t < config.window.end())
-            .min_by_key(|(_, t)| **t)
-        {
-            Some((i, t)) => (i, *t),
-            None => break,
-        };
-        next_arrival[task] = arrival + periods[task];
-        arrivals[task] += 1;
-        queues[task].push(arrival);
-
-        // Greedy: run as many pending inferences as possible for tasks
-        // whose previous inference has finished by this arrival.
-        for t in 0..tasks.len() {
-            while task_free[t] <= arrival {
-                let Some(input_time) = queues[t].pop() else {
-                    break;
-                };
-                let ready = input_time.max(task_free[t]);
-                let (end, job_energy) =
-                    schedule_inference(problem, candidate, t, ready, &mut timeline)?;
-                energy += job_energy;
-                task_free[t] = end;
-                makespan_end = makespan_end.max(end);
-                completed[t] += 1;
-                let latency = end - input_time;
-                latency_sum[t] += latency.as_micros();
-                latency_max[t] = latency_max[t].max(latency);
-            }
-        }
-    }
-    // Drain: finish everything still queued.
-    for t in 0..tasks.len() {
-        while let Some(input_time) = queues[t].pop() {
-            let ready = input_time.max(task_free[t]);
-            let (end, job_energy) =
-                schedule_inference(problem, candidate, t, ready, &mut timeline)?;
-            energy += job_energy;
-            task_free[t] = end;
-            makespan_end = makespan_end.max(end);
-            completed[t] += 1;
-            let latency = end - input_time;
-            latency_sum[t] += latency.as_micros();
-            latency_max[t] = latency_max[t].max(latency);
-        }
-    }
-
-    let makespan = makespan_end - config.window.start();
-    energy += Energy::from_joules(platform.static_power_w * makespan.as_secs_f64());
-    let per_task = tasks
-        .iter()
-        .enumerate()
-        .map(|(t, spec)| TaskRuntimeReport {
-            name: spec.name.clone(),
-            arrivals: arrivals[t],
-            completed: completed[t],
-            dropped: queues[t].dropped(),
-            mean_latency: if completed[t] == 0 {
-                TimeDelta::ZERO
-            } else {
-                TimeDelta::from_micros(latency_sum[t] / completed[t] as i64)
-            },
-            max_latency: latency_max[t],
-        })
-        .collect();
-    let utilization = (0..platform.queue_count())
-        .map(|q| timeline.utilization(q, makespan))
-        .collect();
-    Ok(MultiTaskRuntimeReport {
-        per_task,
-        makespan,
-        energy,
-        utilization,
-    })
 }
 
-/// Schedules one inference of `task` starting no earlier than `ready`,
-/// reserving PE queues layer by layer; returns its completion time and
-/// energy.
-fn schedule_inference(
+fn run_periodic<T: ReservationTimeline>(
     problem: &MultiTaskProblem,
     candidate: &Candidate,
-    task: usize,
-    ready: Timestamp,
-    timeline: &mut DeviceTimeline,
-) -> Result<(Timestamp, Energy), EvEdgeError> {
-    let platform = problem.platform();
-    let graph = &problem.tasks()[task].graph;
-    let memory_queue = platform.memory_queue();
-    let mut end_of: Vec<Timestamp> = vec![ready; graph.len()];
-    let mut energy = Energy::ZERO;
-    let mut last_end = ready;
-    for layer in graph.layers() {
-        let l = layer.id.0;
-        let global = problem.global_index(task, l);
-        let a = candidate.assignment(global);
-        let cost = problem
-            .profile(task)
-            .layer(l)
-            .cost(a.pe, a.precision)
-            .ok_or(EvEdgeError::UnsupportedAssignment {
-                task,
-                layer: l,
-                pe: a.pe,
-                precision: a.precision,
-            })?;
-        energy += cost.energy;
-        let mut dep_ready = ready;
-        for pred in graph.predecessors(LayerId(l)) {
-            let pa = candidate.assignment(problem.global_index(task, pred.0));
-            let mut pred_end = end_of[pred.0];
-            if pa.pe != a.pe {
-                let bytes = problem.workload(task, pred.0).output_bytes;
-                let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
-                energy += tc.energy;
-                let t_start = timeline.earliest_start(memory_queue, pred_end)?;
-                pred_end = timeline.reserve(memory_queue, t_start, tc.latency)?;
-            }
-            dep_ready = dep_ready.max(pred_end);
+    periods: &[TimeDelta],
+    config: MultiTaskRuntimeConfig,
+    timeline: T,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    let tasks = problem.tasks();
+    let mut engine = ExecEngine::new(
+        config.window.start(),
+        timeline,
+        tasks.len(),
+        config.queue_capacity,
+    )?;
+    let mut model = MappedJobModel::new(problem, candidate);
+
+    // Arrivals in global time order, ties broken by task index.
+    let mut clock: EventClock<usize> = EventClock::new(config.window.start());
+    if config.window.start() < config.window.end() {
+        for task in 0..tasks.len() {
+            clock.schedule(config.window.start(), task);
         }
-        let start = timeline.earliest_start(a.pe.0, dep_ready)?;
-        let end = timeline.reserve(a.pe.0, start, cost.latency)?;
-        end_of[l] = end;
-        last_end = last_end.max(end);
     }
-    Ok((last_end, energy))
+    while let Some((arrival, task)) = clock.next_event() {
+        engine.submit(task, JobInput::arrival(arrival));
+        let next = arrival + periods[task];
+        if next < config.window.end() {
+            clock.schedule(next, task);
+        }
+        // Greedy: run every pending inference whose task is free by now.
+        engine.service_all(arrival, &mut model)?;
+    }
+    engine.drain_all(&mut model)?;
+
+    let report = engine.finish(problem.platform().static_power_w);
+    Ok(MultiTaskRuntimeReport::from_engine(
+        report,
+        tasks.iter().map(|t| t.name.clone()),
+    ))
 }
 
 /// One task of a full streaming scenario: its own sequence, E2SF binning
@@ -296,6 +252,33 @@ pub fn run_multi_task_streams(
     streams: &[StreamTask],
     config: MultiTaskRuntimeConfig,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    let queues = problem.platform().queue_count();
+    if config.parallel {
+        run_streams(
+            problem,
+            candidate,
+            streams,
+            config,
+            ParallelTimeline::new(queues),
+        )
+    } else {
+        run_streams(
+            problem,
+            candidate,
+            streams,
+            config,
+            DeviceTimeline::new(queues),
+        )
+    }
+}
+
+fn run_streams<T: ReservationTimeline>(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    streams: &[StreamTask],
+    config: MultiTaskRuntimeConfig,
+    timeline: T,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     use crate::e2sf::{E2sf, E2sfConfig};
 
     let tasks = problem.tasks();
@@ -305,8 +288,6 @@ pub fn run_multi_task_streams(
             periods: streams.len(),
         });
     }
-    let platform = problem.platform();
-    let mut timeline = DeviceTimeline::new(platform.queue_count());
 
     // Frontend: per-task frame streams (precomputed — generation is
     // deterministic and arrival times are data-independent).
@@ -319,138 +300,55 @@ pub fn run_multi_task_streams(
         frame_streams.push(frames);
     }
 
-    // Global arrival order: (ready time, task, frame index).
-    let mut arrivals: Vec<(Timestamp, usize, usize)> = frame_streams
+    let mut frontends: Vec<DsfaStage> = streams
         .iter()
-        .enumerate()
-        .flat_map(|(t, frames)| {
-            frames
-                .iter()
-                .enumerate()
-                .map(move |(i, f)| (f.ready_at(), t, i))
-        })
-        .collect();
-    arrivals.sort_by_key(|(ready, t, i)| (*ready, *t, *i));
-
-    let mut dsfas: Vec<crate::dsfa::Dsfa> = streams
-        .iter()
-        .map(|s| crate::dsfa::Dsfa::new(s.dsfa))
+        .map(|s| DsfaStage::new(s.dsfa))
         .collect::<Result<_, _>>()?;
-    let mut queues: Vec<InferenceQueue<Timestamp>> = tasks
-        .iter()
-        .map(|_| InferenceQueue::new(config.queue_capacity))
-        .collect();
-    let mut task_free: Vec<Timestamp> = vec![config.window.start(); tasks.len()];
-    let mut arrivals_count = vec![0u64; tasks.len()];
-    let mut completed = vec![0u64; tasks.len()];
-    let mut latency_sum = vec![0i64; tasks.len()];
-    let mut latency_max = vec![TimeDelta::ZERO; tasks.len()];
-    let mut energy = Energy::ZERO;
-    let mut makespan_end = config.window.start();
+    let mut engine = ExecEngine::new(
+        config.window.start(),
+        timeline,
+        tasks.len(),
+        config.queue_capacity,
+    )?;
+    let mut model = MappedJobModel::new(problem, candidate);
 
-    let service = |t: usize,
-                   now: Timestamp,
-                   queues: &mut Vec<InferenceQueue<Timestamp>>,
-                       task_free: &mut Vec<Timestamp>,
-                       timeline: &mut DeviceTimeline,
-                       energy: &mut Energy,
-                       completed: &mut Vec<u64>,
-                       latency_sum: &mut Vec<i64>,
-                       latency_max: &mut Vec<TimeDelta>,
-                       makespan_end: &mut Timestamp|
-     -> Result<(), EvEdgeError> {
-        while task_free[t] <= now {
-            let Some(input_time) = queues[t].pop() else {
-                break;
-            };
-            let ready = input_time.max(task_free[t]);
-            let (end, job_energy) = schedule_inference(problem, candidate, t, ready, timeline)?;
-            *energy += job_energy;
-            task_free[t] = end;
-            *makespan_end = (*makespan_end).max(end);
-            completed[t] += 1;
-            let latency = end - input_time;
-            latency_sum[t] += latency.as_micros();
-            latency_max[t] = latency_max[t].max(latency);
+    // Global arrival order: (ready time, task, frame index).
+    let mut clock: EventClock<(usize, usize)> = EventClock::new(config.window.start());
+    for (t, frames) in frame_streams.iter().enumerate() {
+        for (i, frame) in frames.iter().enumerate() {
+            clock.schedule(frame.ready_at(), (t, i));
         }
-        Ok(())
-    };
+    }
 
-    for (ready, t, i) in arrivals {
+    while let Some((ready, (t, i))) = clock.next_event() {
         let frame = frame_streams[t][i].clone();
-        arrivals_count[t] += 1;
+        engine.note_arrival(t);
         // DSFA hardware-availability rule: task idle → flush early.
-        if task_free[t] <= ready {
-            if let Some(batch) = dsfas[t].flush(ready) {
-                queues[t].push(batch.emitted_at);
+        if engine.task_idle_at(t, ready) {
+            for job in frontends[t].flush(ready)? {
+                engine.enqueue(t, job);
             }
         }
-        if let Some(batch) = dsfas[t].push(frame)? {
-            queues[t].push(batch.emitted_at);
+        for job in frontends[t].push(frame)? {
+            engine.enqueue(t, job);
         }
         // Serve every task that can make progress at this instant.
-        for task in 0..tasks.len() {
-            service(
-                task,
-                ready,
-                &mut queues,
-                &mut task_free,
-                &mut timeline,
-                &mut energy,
-                &mut completed,
-                &mut latency_sum,
-                &mut latency_max,
-                &mut makespan_end,
-            )?;
-        }
+        engine.service_all(ready, &mut model)?;
     }
     // Drain: flush frontends, then run every remaining queued input.
-    for t in 0..tasks.len() {
-        let tail = task_free[t].max(config.window.end());
-        if let Some(batch) = dsfas[t].flush(tail) {
-            queues[t].push(batch.emitted_at);
+    for (t, frontend) in frontends.iter_mut().enumerate() {
+        let tail = engine.task_free_at(t).max(config.window.end());
+        for job in frontend.flush(tail)? {
+            engine.enqueue(t, job);
         }
-        service(
-            t,
-            Timestamp::MAX,
-            &mut queues,
-            &mut task_free,
-            &mut timeline,
-            &mut energy,
-            &mut completed,
-            &mut latency_sum,
-            &mut latency_max,
-            &mut makespan_end,
-        )?;
+        engine.drain(t, &mut model)?;
     }
 
-    let makespan = makespan_end - config.window.start();
-    energy += Energy::from_joules(platform.static_power_w * makespan.as_secs_f64());
-    let per_task = tasks
-        .iter()
-        .enumerate()
-        .map(|(t, spec)| TaskRuntimeReport {
-            name: spec.name.clone(),
-            arrivals: arrivals_count[t],
-            completed: completed[t],
-            dropped: queues[t].dropped(),
-            mean_latency: if completed[t] == 0 {
-                TimeDelta::ZERO
-            } else {
-                TimeDelta::from_micros(latency_sum[t] / completed[t] as i64)
-            },
-            max_latency: latency_max[t],
-        })
-        .collect();
-    let utilization = (0..platform.queue_count())
-        .map(|q| timeline.utilization(q, makespan))
-        .collect();
-    Ok(MultiTaskRuntimeReport {
-        per_task,
-        makespan,
-        energy,
-        utilization,
-    })
+    let report = engine.finish(problem.platform().static_power_w);
+    Ok(MultiTaskRuntimeReport::from_engine(
+        report,
+        tasks.iter().map(|t| t.name.clone()),
+    ))
 }
 
 #[cfg(test)]
@@ -460,6 +358,7 @@ mod tests {
     use crate::nmp::evolution::{run_nmp, NmpConfig};
     use crate::nmp::fitness::FitnessConfig;
     use crate::nmp::multitask::TaskSpec;
+    use ev_core::Timestamp;
     use ev_nn::zoo::{NetworkId, ZooConfig};
     use ev_platform::pe::Platform;
 
@@ -484,10 +383,7 @@ mod tests {
     }
 
     fn window_ms(ms: u64) -> MultiTaskRuntimeConfig {
-        MultiTaskRuntimeConfig::new(TimeWindow::new(
-            Timestamp::ZERO,
-            Timestamp::from_millis(ms),
-        ))
+        MultiTaskRuntimeConfig::new(TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(ms)))
     }
 
     #[test]
@@ -495,8 +391,7 @@ mod tests {
         let p = problem();
         let candidate = baseline::rr_network(&p);
         let periods = [TimeDelta::from_millis(5), TimeDelta::from_millis(10)];
-        let report =
-            run_multi_task_runtime(&p, &candidate, &periods, window_ms(100)).unwrap();
+        let report = run_multi_task_runtime(&p, &candidate, &periods, window_ms(100)).unwrap();
         assert_eq!(report.per_task.len(), 2);
         for t in &report.per_task {
             assert!(t.arrivals > 0);
@@ -514,8 +409,7 @@ mod tests {
         let candidate = baseline::rr_network(&p);
         // Absurdly fast arrivals: queues must drop.
         let periods = [TimeDelta::from_micros(100), TimeDelta::from_micros(100)];
-        let report =
-            run_multi_task_runtime(&p, &candidate, &periods, window_ms(20)).unwrap();
+        let report = run_multi_task_runtime(&p, &candidate, &periods, window_ms(20)).unwrap();
         assert!(report.total_dropped() > 0, "overload must drop inputs");
         // Bounded queues bound latency: mean stays within a few periods of
         // the service time, not proportional to the whole window.
@@ -539,15 +433,9 @@ mod tests {
         )
         .unwrap();
         let periods = [TimeDelta::from_millis(4), TimeDelta::from_millis(8)];
-        let rr = run_multi_task_runtime(
-            &p,
-            &baseline::rr_network(&p),
-            &periods,
-            window_ms(80),
-        )
-        .unwrap();
-        let opt =
-            run_multi_task_runtime(&p, &nmp.best, &periods, window_ms(80)).unwrap();
+        let rr =
+            run_multi_task_runtime(&p, &baseline::rr_network(&p), &periods, window_ms(80)).unwrap();
+        let opt = run_multi_task_runtime(&p, &nmp.best, &periods, window_ms(80)).unwrap();
         // The offline winner also wins at runtime (fewer drops or lower
         // worst mean latency).
         let rr_score = (rr.total_dropped(), rr.worst_mean_latency());
@@ -579,16 +467,14 @@ mod tests {
                 },
             },
         ];
-        let report =
-            run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
+        let report = run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
         for t in &report.per_task {
             assert!(t.arrivals > 0, "{}: frames arrived", t.name);
             assert!(t.completed > 0, "{}: inferences ran", t.name);
         }
         assert!(report.makespan > TimeDelta::ZERO);
         // Deterministic.
-        let again =
-            run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
+        let again = run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
         assert_eq!(report, again);
     }
 
@@ -613,12 +499,7 @@ mod tests {
         let p = problem();
         let candidate = baseline::rr_network(&p);
         assert!(matches!(
-            run_multi_task_runtime(
-                &p,
-                &candidate,
-                &[TimeDelta::from_millis(5)],
-                window_ms(10)
-            ),
+            run_multi_task_runtime(&p, &candidate, &[TimeDelta::from_millis(5)], window_ms(10)),
             Err(EvEdgeError::PeriodCountMismatch { .. })
         ));
         assert!(matches!(
@@ -640,5 +521,49 @@ mod tests {
         let a = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
         let b = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_runtime_matches_serial_exactly() {
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let periods = [TimeDelta::from_millis(5), TimeDelta::from_millis(9)];
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
+        let parallel = run_multi_task_runtime(
+            &p,
+            &candidate,
+            &periods,
+            window_ms(60).with_parallel_runtime(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "thread-per-queue runtime must be exact");
+    }
+
+    #[test]
+    fn parallel_streams_match_serial_exactly() {
+        use ev_datasets::mvsec::SequenceId;
+        let p = problem();
+        let candidate = baseline::rr_layer(&p);
+        let streams = vec![
+            StreamTask {
+                sequence: SequenceId::IndoorFlying1.sequence(),
+                bins_per_interval: 4,
+                dsfa: crate::dsfa::DsfaConfig::default(),
+            },
+            StreamTask {
+                sequence: SequenceId::OutdoorDay1.sequence(),
+                bins_per_interval: 4,
+                dsfa: crate::dsfa::DsfaConfig::default(),
+            },
+        ];
+        let serial = run_multi_task_streams(&p, &candidate, &streams, window_ms(40)).unwrap();
+        let parallel = run_multi_task_streams(
+            &p,
+            &candidate,
+            &streams,
+            window_ms(40).with_parallel_runtime(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 }

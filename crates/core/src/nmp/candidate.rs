@@ -134,11 +134,7 @@ fn precision_tag(p: Precision) -> u8 {
     }
 }
 
-fn random_assignment<R: Rng>(
-    problem: &MultiTaskProblem,
-    rng: &mut R,
-    fp_only: bool,
-) -> Assignment {
+fn random_assignment<R: Rng>(problem: &MultiTaskProblem, rng: &mut R, fp_only: bool) -> Assignment {
     let platform = problem.platform();
     if fp_only {
         let pes = platform.pes_supporting(Precision::Fp32);

@@ -35,6 +35,10 @@ pub struct NmpConfig {
     /// elitism guarantees the search never returns anything worse than the
     /// baseline (and always has one feasible, zero-degradation member).
     pub seed_baselines: bool,
+    /// Worker threads for candidate evaluation: `0` = machine
+    /// parallelism, `1` = serial. Search results are bitwise identical
+    /// regardless of the worker count (the RNG never crosses threads).
+    pub workers: usize,
 }
 
 impl Default for NmpConfig {
@@ -47,6 +51,7 @@ impl Default for NmpConfig {
             seed: 0x4E4D50, // "NMP"
             fp_only: false,
             seed_baselines: true,
+            workers: 0,
         }
     }
 }
@@ -157,15 +162,14 @@ pub fn run_nmp(
     let mut best_any: Option<(Candidate, FitnessReport)> = None;
 
     for generation in 0..config.generations {
-        let mut scored: Vec<(Candidate, FitnessReport)> = Vec::with_capacity(population.len());
-        for candidate in population.drain(..) {
-            let report = evaluator.evaluate(&candidate)?;
-            scored.push((candidate, report));
-        }
+        // The hottest path of the search: the whole generation's cache
+        // misses evaluate concurrently on the worker pool.
+        let reports = evaluator.evaluate_all(&population, config.workers)?;
+        let mut scored: Vec<(Candidate, FitnessReport)> =
+            population.drain(..).zip(reports).collect();
         scored.sort_by(|a, b| a.1.score.total_cmp(&b.1.score));
         let gen_best = &scored[0];
-        let mean_score =
-            scored.iter().map(|(_, r)| r.score).sum::<f64>() / scored.len() as f64;
+        let mean_score = scored.iter().map(|(_, r)| r.score).sum::<f64>() / scored.len() as f64;
         history.push(GenerationStat {
             generation,
             best_score: gen_best.1.score,
@@ -336,11 +340,7 @@ mod tests {
             assert_eq!(a.precision, ev_nn::Precision::Fp32);
         }
         // FP-only has exactly zero degradation.
-        assert!(result
-            .report
-            .per_task_degradation
-            .iter()
-            .all(|d| *d == 0.0));
+        assert!(result.report.per_task_degradation.iter().all(|d| *d == 0.0));
     }
 
     #[test]
@@ -387,6 +387,34 @@ mod tests {
             ),
             Err(EvEdgeError::InvalidSearchConfig { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bitwise_identical_to_serial() {
+        let p = problem();
+        let serial = run_nmp(
+            &p,
+            NmpConfig {
+                workers: 1,
+                ..quick_config()
+            },
+            FitnessConfig::default(),
+        )
+        .unwrap();
+        let parallel = run_nmp(
+            &p,
+            NmpConfig {
+                workers: 4,
+                ..quick_config()
+            },
+            FitnessConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(serial.best, parallel.best);
+        assert_eq!(serial.report, parallel.report);
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.cache_hits, parallel.cache_hits);
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! exceeds its ΔA threshold. Reports are cached by candidate hash, as the
 //! paper does.
 
+use crate::exec::job::SchedGraphBuilder;
+use crate::exec::parallel::parallel_map;
 use crate::nmp::candidate::Candidate;
 use crate::nmp::multitask::MultiTaskProblem;
 use crate::EvEdgeError;
 use ev_core::TimeDelta;
 use ev_platform::energy::Energy;
-use ev_platform::latency::transfer_cost;
-use ev_platform::schedule::{list_schedule, SchedNode};
 use std::collections::HashMap;
 
 /// What the search minimizes.
@@ -127,70 +127,94 @@ impl<'a> FitnessEvaluator<'a> {
         Ok(report)
     }
 
+    /// Evaluates a whole population, fanning cache misses out across
+    /// `workers` threads (`0` = machine parallelism, `1` = serial).
+    ///
+    /// Results, cache contents and the evaluation/cache-hit counters are
+    /// bitwise identical to calling [`FitnessEvaluator::evaluate`] per
+    /// candidate in order — duplicates within the batch are evaluated
+    /// once and counted as cache hits, exactly as the serial path does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error in candidate order.
+    pub fn evaluate_all(
+        &mut self,
+        candidates: &[Candidate],
+        workers: usize,
+    ) -> Result<Vec<FitnessReport>, EvEdgeError> {
+        let workers = if workers == 0 {
+            crate::exec::parallel::auto_workers()
+        } else {
+            workers
+        };
+        // Unique cache misses, in first-occurrence order.
+        let mut miss_keys: Vec<u64> = Vec::new();
+        let mut miss_candidates: Vec<&Candidate> = Vec::new();
+        for candidate in candidates {
+            let key = candidate.cache_key();
+            if !self.cache.contains_key(&key) && !miss_keys.contains(&key) {
+                miss_keys.push(key);
+                miss_candidates.push(candidate);
+            }
+        }
+        let evaluator: &FitnessEvaluator<'_> = self;
+        let results = parallel_map(workers, miss_candidates, |candidate| {
+            evaluator.evaluate_uncached(candidate)
+        });
+        for (key, result) in miss_keys.iter().zip(results) {
+            self.cache.insert(*key, result?);
+            self.evaluations += 1;
+        }
+        self.cache_hits += candidates.len() - miss_keys.len();
+        Ok(candidates
+            .iter()
+            .map(|c| {
+                self.cache
+                    .get(&c.cache_key())
+                    .cloned()
+                    .expect("every candidate evaluated above")
+            })
+            .collect())
+    }
+
     fn evaluate_uncached(&self, candidate: &Candidate) -> Result<FitnessReport, EvEdgeError> {
         let problem = self.problem;
         let platform = problem.platform();
-        let memory_queue = platform.memory_queue();
 
-        let mut nodes: Vec<SchedNode> = Vec::with_capacity(problem.node_count() * 2);
-        let mut energy = Energy::ZERO;
-        // compute_node[global] = scheduler node index of the layer.
-        let mut compute_node = vec![usize::MAX; problem.node_count()];
-        // Per-task node index lists to extract per-task latency.
-        let mut task_nodes: Vec<Vec<usize>> = vec![Vec::new(); problem.tasks().len()];
+        // One joint multi-task DAG with cross-PE transfer nodes (paper
+        // Figure 7a), built by the shared exec-core graph builder.
+        let mut builder = SchedGraphBuilder::new(platform);
+        let mut task_nodes: Vec<Vec<usize>> = Vec::with_capacity(problem.tasks().len());
+        for (t, task) in problem.tasks().iter().enumerate() {
+            let node_of_layer = builder.add_network(
+                &task.graph,
+                |l| candidate.assignment(problem.global_index(t, l)),
+                |l, a| {
+                    problem.profile(t).layer(l).cost(a.pe, a.precision).ok_or(
+                        EvEdgeError::UnsupportedAssignment {
+                            task: t,
+                            layer: l,
+                            pe: a.pe,
+                            precision: a.precision,
+                        },
+                    )
+                },
+                |l| problem.workload(t, l).output_bytes,
+            )?;
+            task_nodes.push(node_of_layer);
+        }
+        let energy = builder.energy();
         // Busy seconds per (PE, task) for the streaming objective.
-        let mut pe_task_busy =
-            vec![vec![0.0f64; problem.tasks().len()]; platform.elements().len()];
-
-        for global in 0..problem.node_count() {
-            let (t, l) = problem.node(global);
-            let a = candidate.assignment(global);
-            let cost = problem
-                .profile(t)
-                .layer(l)
-                .cost(a.pe, a.precision)
-                .ok_or(EvEdgeError::UnsupportedAssignment {
-                    task: t,
-                    layer: l,
-                    pe: a.pe,
-                    precision: a.precision,
-                })?;
-            energy += cost.energy;
-
-            let graph = &problem.tasks()[t].graph;
-            let mut deps = Vec::new();
-            for pred in graph.predecessors(ev_nn::LayerId(l)) {
-                let pred_global = problem.global_index(t, pred.0);
-                let pred_assignment = candidate.assignment(pred_global);
-                let pred_node = compute_node[pred_global];
-                debug_assert_ne!(pred_node, usize::MAX, "layers visit in topo order");
-                if pred_assignment.pe == a.pe {
-                    deps.push(pred_node);
-                } else {
-                    // Cross-PE edge: insert a transfer node on the unified-
-                    // memory queue (paper Figure 7a "data transfer nodes").
-                    let bytes = problem.workload(t, pred.0).output_bytes;
-                    let tc = transfer_cost(
-                        platform,
-                        pred_assignment.pe,
-                        a.pe,
-                        bytes,
-                        pred_assignment.precision,
-                    );
-                    energy += tc.energy;
-                    let transfer_idx = nodes.len();
-                    nodes.push(SchedNode::new(memory_queue, tc.latency, vec![pred_node]));
-                    deps.push(transfer_idx);
-                }
+        let mut pe_task_busy = vec![vec![0.0f64; problem.tasks().len()]; platform.elements().len()];
+        for (t, nodes) in task_nodes.iter().enumerate() {
+            for &idx in nodes {
+                let node = &builder.nodes()[idx];
+                pe_task_busy[node.queue][t] += node.duration.as_secs_f64();
             }
-            let idx = nodes.len();
-            nodes.push(SchedNode::new(a.pe.0, cost.latency, deps));
-            compute_node[global] = idx;
-            task_nodes[t].push(idx);
-            pe_task_busy[a.pe.0][t] += cost.latency.as_secs_f64();
         }
 
-        let schedule = list_schedule(&nodes, platform.queue_count())?;
+        let schedule = builder.schedule()?;
         let per_task_latency: Vec<TimeDelta> = task_nodes
             .iter()
             .map(|idxs| {
@@ -304,9 +328,7 @@ mod tests {
         assert_eq!(report.per_task_latency.len(), 2);
         assert!(report.feasible, "full precision has zero degradation");
         assert!(report.energy > Energy::ZERO);
-        assert!(
-            report.max_latency >= *report.per_task_latency.iter().min().unwrap()
-        );
+        assert!(report.max_latency >= *report.per_task_latency.iter().min().unwrap());
     }
 
     #[test]

@@ -33,11 +33,7 @@ pub struct TaskSpec {
 
 impl TaskSpec {
     /// Creates a spec with the accuracy model's anchored threshold.
-    pub fn new(
-        graph: NetworkGraph,
-        accuracy: AccuracyModel,
-        max_degradation: f64,
-    ) -> Self {
+    pub fn new(graph: NetworkGraph, accuracy: AccuracyModel, max_degradation: f64) -> Self {
         TaskSpec {
             name: graph.name().to_string(),
             graph,

@@ -36,14 +36,21 @@ pub fn run_random_search(
     let mut best_any: Option<(Candidate, FitnessReport)> = None;
     let mut history = Vec::with_capacity(config.generations);
     for generation in 0..config.generations {
+        // Draw the whole generation first (the RNG stays serial), then
+        // fan evaluation out across the worker pool like the
+        // evolutionary search does.
+        let candidates: Vec<Candidate> = (0..config.population)
+            .map(|_| {
+                if config.fp_only {
+                    Candidate::random_fp(problem, &mut rng)
+                } else {
+                    Candidate::random(problem, &mut rng)
+                }
+            })
+            .collect();
+        let reports = evaluator.evaluate_all(&candidates, config.workers)?;
         let mut gen_scores = Vec::with_capacity(config.population);
-        for _ in 0..config.population {
-            let candidate = if config.fp_only {
-                Candidate::random_fp(problem, &mut rng)
-            } else {
-                Candidate::random(problem, &mut rng)
-            };
-            let report = evaluator.evaluate(&candidate)?;
+        for (candidate, report) in candidates.into_iter().zip(reports) {
             gen_scores.push(report.score);
             if report.feasible
                 && best_feasible

@@ -6,31 +6,38 @@
 //! driven early dispatch. Variants peel the optimizations apart exactly as
 //! the paper's Figure 8 does: dense all-GPU baseline, +E2SF, +DSFA, +NMP.
 //!
-//! Modeling notes (see `DESIGN.md`): one inference job occupies the
-//! platform for its scheduled critical-path duration (candidate mappings
-//! may spread layers over several elements); energy counts busy energy.
+//! Execution runs on the unified [`crate::exec`] core: frames flow
+//! through an [`E2sfStage`] and a [`DsfaStage`] (or [`DirectStage`])
+//! into the [`ExecEngine`], whose [`BatchCostModel`] treats the whole platform as
+//! one FIFO resource occupied by each job's scheduled critical-path
+//! duration (candidate mappings may spread layers over several
+//! elements); energy counts busy energy plus always-on static power.
 //! The inference-queue drop rule of §4.2 affects which frames contribute
 //! to accuracy, not the latency results, and is reflected through the
 //! DSFA aggregation term of the accuracy model.
 
-use crate::dsfa::{Dsfa, DsfaConfig};
-use crate::e2sf::{E2sf, E2sfConfig};
+use crate::dsfa::DsfaConfig;
+use crate::e2sf::E2sfConfig;
+use crate::exec::engine::ExecEngine;
+use crate::exec::job::{BatchCostModel, SchedGraphBuilder};
+use crate::exec::stage::{DirectStage, DsfaStage, E2sfStage, Stage};
 use crate::nmp::candidate::{Assignment, Candidate};
 use crate::nmp::evolution::{run_nmp, NmpConfig};
 use crate::nmp::fitness::FitnessConfig;
 use crate::nmp::multitask::{MultiTaskProblem, TaskSpec};
 use crate::EvEdgeError;
-use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_core::{TimeDelta, TimeWindow};
 use ev_datasets::mvsec::Sequence;
 use ev_datasets::representation::representation_for;
 use ev_nn::graph::{LayerWorkload, NetworkGraph};
 use ev_nn::zoo::{NetworkId, ZooConfig};
 use ev_nn::{Domain, Precision};
 use ev_platform::energy::Energy;
-use ev_platform::latency::{default_domain_density, layer_cost, transfer_cost, LayerContext};
+use ev_platform::latency::{default_domain_density, layer_cost, LayerContext};
 use ev_platform::pe::Platform;
-use ev_platform::schedule::{list_schedule, SchedNode};
-use std::collections::HashMap;
+use ev_platform::timeline::DeviceTimeline;
+
+pub use crate::exec::job::JobRecord;
 
 /// Modeled throughput of dense-frame→sparse encoding on the GPU,
 /// elements/second (the overhead the dense+encode ablation pays).
@@ -163,23 +170,6 @@ impl PipelineOptions {
     }
 }
 
-/// One executed inference job.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct JobRecord {
-    /// When the job's input was ready.
-    pub ready: Timestamp,
-    /// Execution start.
-    pub start: Timestamp,
-    /// Completion.
-    pub end: Timestamp,
-    /// Batched frames in the job.
-    pub batch: usize,
-    /// Mean input density.
-    pub density: f64,
-    /// Raw events covered.
-    pub events: usize,
-}
-
 /// The outcome of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
@@ -219,7 +209,7 @@ impl PipelineReport {
     }
 }
 
-/// Runs the single-task pipeline.
+/// Runs the single-task pipeline on the unified execution engine.
 ///
 /// # Errors
 ///
@@ -232,15 +222,12 @@ pub fn run_single_task(
     let workloads = graph.workloads();
     let accuracy = setup.network.accuracy_model();
 
-    // 1. Capture and convert.
+    // 1. Capture; the converter runs as a stage below.
     let events = setup.sequence.generate(setup.window)?;
     let intervals = setup.sequence.frame_intervals(setup.window);
     let bins = options
         .bins_per_interval
         .unwrap_or_else(|| representation_for(setup.network).bins_per_interval);
-    let e2sf = E2sf::new(E2sfConfig::new(bins));
-    let frames = e2sf.convert_intervals(&events, &intervals)?;
-    let frame_count = frames.len();
     let event_count = events.len();
 
     // 2. Choose the mapping.
@@ -253,12 +240,10 @@ pub fn run_single_task(
             let worst_case_aggregation = if options.dsfa.mb_size > 1 { 1.0 } else { 0.0 };
             let problem = MultiTaskProblem::new(
                 setup.platform.clone(),
-                vec![TaskSpec::new(
-                    graph.clone(),
-                    accuracy,
-                    options.max_degradation,
-                )
-                .with_aggregation(worst_case_aggregation)],
+                vec![
+                    TaskSpec::new(graph.clone(), accuracy, options.max_degradation)
+                        .with_aggregation(worst_case_aggregation),
+                ],
             )?;
             run_nmp(&problem, options.nmp, FitnessConfig::default())?.best
         }
@@ -278,14 +263,23 @@ pub fn run_single_task(
         }
     };
 
-    // 3. Execute jobs over simulated time.
-    let mut cost_cache: HashMap<(u16, u16), (TimeDelta, Energy)> = HashMap::new();
-    let mut job_cost = |density: f64, batch: usize| -> Result<(TimeDelta, Energy), EvEdgeError> {
-        let key = ((density * 1000.0).round() as u16, batch as u16);
-        if let Some(hit) = cost_cache.get(&key) {
-            return Ok(*hit);
-        }
-        let cost = inference_cost(
+    // 3. Execute jobs over simulated time: E2SF stage → DSFA/direct
+    // stage → engine. The whole platform is one FIFO resource to the job
+    // model; DSFA's early-dispatch rule consumes the engine's idleness
+    // signal.
+    // Capacity bounds nothing here — every job is serviced on submission,
+    // the single-task pipeline never drops (§4.2 applies to the
+    // multi-task runtime's bounded queues).
+    let queue_capacity = (intervals.len() * bins).max(1);
+    let mut engine = ExecEngine::new(
+        setup.window.start(),
+        DeviceTimeline::new(1),
+        1,
+        queue_capacity,
+    )?
+    .with_job_records();
+    let mut model = BatchCostModel::new(0, |density, batch| {
+        inference_cost(
             &setup.platform,
             &graph,
             &workloads,
@@ -293,115 +287,56 @@ pub fn run_single_task(
             density,
             batch,
             options.variant,
-        )?;
-        cost_cache.insert(key, cost);
-        Ok(cost)
-    };
+        )
+    });
 
-    let mut device_free = setup.window.start();
-    let mut jobs: Vec<JobRecord> = Vec::new();
-    let mut energy = Energy::ZERO;
-    let mut busy = TimeDelta::ZERO;
-    let mut run_job = |ready: Timestamp,
-                       batch: usize,
-                       density: f64,
-                       events: usize,
-                       device_free: &mut Timestamp,
-                       energy: &mut Energy,
-                       busy: &mut TimeDelta,
-                       jobs: &mut Vec<JobRecord>|
-     -> Result<(), EvEdgeError> {
-        let (duration, e) = job_cost(density, batch)?;
-        let start = ready.max(*device_free);
-        let end = start + duration;
-        *device_free = end;
-        *energy += e;
-        *busy += duration;
-        jobs.push(JobRecord {
-            ready,
-            start,
-            end,
-            batch,
-            density,
-            events,
-        });
-        Ok(())
-    };
-
-    let mut aggregation = 0.0f64;
-    if options.variant.uses_dsfa() {
-        let mut dsfa = Dsfa::new(options.dsfa)?;
-        for frame in frames {
-            let ready = frame.ready_at();
-            // Early dispatch when the hardware is already idle (§4.2).
-            if device_free <= ready {
-                if let Some(batch) = dsfa.flush(ready) {
-                    let density = batch.mean_density();
-                    let events = batch.event_count();
-                    run_job(
-                        batch.emitted_at,
-                        batch.batch_size(),
-                        density,
-                        events,
-                        &mut device_free,
-                        &mut energy,
-                        &mut busy,
-                        &mut jobs,
-                    )?;
+    let mut frame_count = 0usize;
+    let aggregation = if options.variant.uses_dsfa() {
+        // DSFA needs the per-frame hardware-availability gate between the
+        // stages, so the driver interleaves them by hand.
+        let mut e2sf = E2sfStage::new(E2sfConfig::new(bins), events);
+        let mut dsfa = DsfaStage::new(options.dsfa)?;
+        for interval in &intervals {
+            for frame in e2sf.push(*interval)? {
+                frame_count += 1;
+                let ready = frame.ready_at();
+                // Early dispatch when the hardware is already idle (§4.2).
+                if engine.task_idle_at(0, ready) {
+                    for job in dsfa.flush(ready)? {
+                        engine.submit(0, job);
+                        engine.drain(0, &mut model)?;
+                    }
+                }
+                for job in dsfa.push(frame)? {
+                    engine.submit(0, job);
+                    engine.drain(0, &mut model)?;
                 }
             }
-            if let Some(batch) = dsfa.push(frame)? {
-                let density = batch.mean_density();
-                let events = batch.event_count();
-                run_job(
-                    batch.emitted_at,
-                    batch.batch_size(),
-                    density,
-                    events,
-                    &mut device_free,
-                    &mut energy,
-                    &mut busy,
-                    &mut jobs,
-                )?;
+        }
+        let tail = engine.task_free_at(0).max(setup.window.end());
+        for job in dsfa.flush(tail)? {
+            engine.submit(0, job);
+            engine.drain(0, &mut model)?;
+        }
+        dsfa.aggregation_aggressiveness()
+    } else {
+        // No aggregation state between frames: the composed chain bins
+        // each interval and emits one job per frame.
+        let mut chain = E2sfStage::new(E2sfConfig::new(bins), events).then(DirectStage);
+        for interval in &intervals {
+            for job in chain.push(*interval)? {
+                frame_count += 1;
+                engine.submit(0, job);
+                engine.drain(0, &mut model)?;
             }
         }
-        let tail = device_free.max(setup.window.end());
-        if let Some(batch) = dsfa.flush(tail) {
-            let density = batch.mean_density();
-            let events = batch.event_count();
-            run_job(
-                batch.emitted_at,
-                batch.batch_size(),
-                density,
-                events,
-                &mut device_free,
-                &mut energy,
-                &mut busy,
-                &mut jobs,
-            )?;
-        }
-        aggregation = dsfa.aggregation_aggressiveness();
-    } else {
-        for frame in frames {
-            let density = frame.spatial_density();
-            let events = frame.event_count();
-            run_job(
-                frame.ready_at(),
-                1,
-                density,
-                events,
-                &mut device_free,
-                &mut energy,
-                &mut busy,
-                &mut jobs,
-            )?;
-        }
-    }
+        0.0
+    };
+    let report = engine.finish(setup.platform.static_power_w);
 
     // 4. Accuracy estimate.
-    let shares = ev_nn::accuracy::shares_from_macs(
-        &workloads.iter().map(|w| w.macs).collect::<Vec<_>>(),
-    );
+    let shares =
+        ev_nn::accuracy::shares_from_macs(&workloads.iter().map(|w| w.macs).collect::<Vec<_>>());
     let precisions: Vec<Precision> = candidate
         .assignments()
         .iter()
@@ -410,33 +345,25 @@ pub fn run_single_task(
     let degradation = accuracy.degradation(&shares, &precisions, aggregation);
     let metric = accuracy.degraded_metric(degradation);
 
-    let makespan = device_free - setup.window.start();
-    // Always-on module power over the whole run (what Tegrastats sees).
-    energy += Energy::from_joules(setup.platform.static_power_w * makespan.as_secs_f64());
-    let mean_latency = if jobs.is_empty() {
-        TimeDelta::ZERO
-    } else {
-        let total: i64 = jobs.iter().map(|j| (j.end - j.ready).as_micros()).sum();
-        TimeDelta::from_micros(total / jobs.len() as i64)
-    };
+    let stats = &report.per_task[0];
     Ok(PipelineReport {
         variant: options.variant,
         frames: frame_count,
-        inferences: jobs.len(),
+        inferences: stats.completed as usize,
         events: event_count,
-        makespan,
-        busy_time: busy,
-        energy,
-        mean_latency,
+        makespan: report.makespan,
+        busy_time: report.busy_time,
+        energy: report.energy,
+        mean_latency: stats.mean_latency,
         degradation,
         metric,
-        jobs,
+        jobs: report.jobs,
     })
 }
 
 /// Models one inference job under a mapping: per-layer roofline costs,
-/// cross-PE transfer nodes, Equation 3 scheduling → critical-path duration
-/// plus total energy.
+/// cross-PE transfer nodes (via the shared [`SchedGraphBuilder`]),
+/// Equation 3 scheduling → critical-path duration plus total energy.
 fn inference_cost(
     platform: &Platform,
     graph: &NetworkGraph,
@@ -446,65 +373,44 @@ fn inference_cost(
     batch: usize,
     variant: PipelineVariant,
 ) -> Result<(TimeDelta, Energy), EvEdgeError> {
-    let memory_queue = platform.memory_queue();
-    let mut nodes: Vec<SchedNode> = Vec::with_capacity(graph.len() * 2);
-    let mut node_of_layer = vec![usize::MAX; graph.len()];
-    let mut energy = Energy::ZERO;
-    for layer in graph.layers() {
-        let l = layer.id.0;
-        let a = candidate.assignment(l);
-        let density = if !variant.sparse_execution() {
-            1.0
-        } else if graph.predecessors(layer.id).is_empty() {
-            input_density.clamp(0.0, 1.0)
-        } else {
-            match workloads[l].domain {
-                Domain::Snn => default_domain_density(Domain::Snn),
-                Domain::Ann => 1.0,
-            }
-        };
-        let ctx = LayerContext::default()
-            .with_precision(a.precision)
-            .with_density(density)
-            .with_batch(batch.max(1));
-        let cost = layer_cost(platform, a.pe, &workloads[l], ctx)?;
-        energy += cost.energy;
-        let mut deps = Vec::new();
-        for pred in graph.predecessors(layer.id) {
-            let pa = candidate.assignment(pred.0);
-            let pred_node = node_of_layer[pred.0];
-            if pa.pe == a.pe {
-                deps.push(pred_node);
+    let mut builder = SchedGraphBuilder::new(platform);
+    builder.add_network(
+        graph,
+        |l| candidate.assignment(l),
+        |l, a| {
+            let density = if !variant.sparse_execution() {
+                1.0
+            } else if graph.predecessors(ev_nn::LayerId(l)).is_empty() {
+                input_density.clamp(0.0, 1.0)
             } else {
-                let bytes = workloads[pred.0].output_bytes * batch.max(1) as u64;
-                let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
-                energy += tc.energy;
-                let t_idx = nodes.len();
-                nodes.push(SchedNode::new(memory_queue, tc.latency, vec![pred_node]));
-                deps.push(t_idx);
-            }
-        }
-        let idx = nodes.len();
-        nodes.push(SchedNode::new(a.pe.0, cost.latency, deps));
-        node_of_layer[l] = idx;
-    }
-    let schedule = list_schedule(&nodes, platform.queue_count())?;
+                match workloads[l].domain {
+                    Domain::Snn => default_domain_density(Domain::Snn),
+                    Domain::Ann => 1.0,
+                }
+            };
+            let ctx = LayerContext::default()
+                .with_precision(a.precision)
+                .with_density(density)
+                .with_batch(batch.max(1));
+            Ok(layer_cost(platform, a.pe, &workloads[l], ctx)?)
+        },
+        |l| workloads[l].output_bytes * batch.max(1) as u64,
+    )?;
+    let schedule = builder.schedule()?;
     let mut duration = schedule.makespan;
     if variant == PipelineVariant::DenseEncodeSparse {
         // Post-hoc dense→sparse encoding before every inference.
-        let elements = workloads
-            .first()
-            .map(|w| w.input_bytes / 4)
-            .unwrap_or(0) as f64
-            * batch.max(1) as f64;
+        let elements =
+            workloads.first().map(|w| w.input_bytes / 4).unwrap_or(0) as f64 * batch.max(1) as f64;
         duration += TimeDelta::from_secs_f64(elements / ENCODE_THROUGHPUT);
     }
-    Ok((duration, energy))
+    Ok((duration, builder.energy()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ev_core::Timestamp;
     use ev_datasets::mvsec::SequenceId;
 
     fn setup(network: NetworkId) -> PipelineSetup {

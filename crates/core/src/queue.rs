@@ -6,6 +6,7 @@
 //! drops its *oldest* pending input when a newer one arrives, keeping the
 //! perception output fresh under overload.
 
+use crate::EvEdgeError;
 use core::fmt;
 use std::collections::VecDeque;
 
@@ -16,12 +17,15 @@ use std::collections::VecDeque;
 /// ```
 /// use ev_edge::queue::InferenceQueue;
 ///
-/// let mut q: InferenceQueue<u32> = InferenceQueue::new(2);
+/// # fn main() -> Result<(), ev_edge::EvEdgeError> {
+/// let mut q: InferenceQueue<u32> = InferenceQueue::new(2)?;
 /// assert_eq!(q.push(1), None);
 /// assert_eq!(q.push(2), None);
 /// assert_eq!(q.push(3), Some(1)); // oldest discarded
 /// assert_eq!(q.pop(), Some(2));
 /// assert_eq!(q.dropped(), 1);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InferenceQueue<T> {
@@ -34,17 +38,20 @@ pub struct InferenceQueue<T> {
 impl<T> InferenceQueue<T> {
     /// Creates a queue holding at most `capacity` pending inputs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be nonzero");
-        InferenceQueue {
+    /// Returns [`EvEdgeError::InvalidQueueCapacity`] if `capacity` is
+    /// zero — a queue that can hold nothing would drop every input.
+    pub fn new(capacity: usize) -> Result<Self, EvEdgeError> {
+        if capacity == 0 {
+            return Err(EvEdgeError::InvalidQueueCapacity { capacity });
+        }
+        Ok(InferenceQueue {
             items: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
             accepted: 0,
-        }
+        })
     }
 
     /// The configured capacity.
@@ -124,7 +131,7 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
-        let mut q = InferenceQueue::new(3);
+        let mut q = InferenceQueue::new(3).unwrap();
         q.push("a");
         q.push("b");
         assert_eq!(q.pop(), Some("a"));
@@ -134,7 +141,7 @@ mod tests {
 
     #[test]
     fn overflow_drops_earliest() {
-        let mut q = InferenceQueue::new(2);
+        let mut q = InferenceQueue::new(2).unwrap();
         q.push(10);
         q.push(20);
         let evicted = q.push(30);
@@ -148,7 +155,7 @@ mod tests {
 
     #[test]
     fn capacity_one_keeps_latest() {
-        let mut q = InferenceQueue::new(1);
+        let mut q = InferenceQueue::new(1).unwrap();
         for k in 0..5 {
             q.push(k);
         }
@@ -157,8 +164,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
-        let _: InferenceQueue<u8> = InferenceQueue::new(0);
+        assert!(matches!(
+            InferenceQueue::<u8>::new(0),
+            Err(EvEdgeError::InvalidQueueCapacity { capacity: 0 })
+        ));
     }
 }

@@ -21,7 +21,12 @@ impl FlowField {
     ///
     /// Returns [`DatasetError::BufferSize`] if buffer lengths differ from
     /// `width * height`.
-    pub fn new(width: usize, height: usize, vx: Vec<f32>, vy: Vec<f32>) -> Result<Self, DatasetError> {
+    pub fn new(
+        width: usize,
+        height: usize,
+        vx: Vec<f32>,
+        vy: Vec<f32>,
+    ) -> Result<Self, DatasetError> {
         if vx.len() != width * height || vy.len() != width * height {
             return Err(DatasetError::BufferSize {
                 expected: width * height,

@@ -8,12 +8,12 @@
 //! 0.15%–28.57% across network input representations (Figure 3) and the
 //! bursty temporal density of `indoorflying` segments (Figure 5).
 
+use core::fmt;
 use ev_core::event::SensorGeometry;
 use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
 use ev_core::stream::EventSlice;
 use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
 use ev_core::EventError;
-use core::fmt;
 
 /// A named synthetic sequence with calibrated statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -252,7 +252,10 @@ mod tests {
         let events = seq.generate(w).unwrap();
         let bins = temporal_density(&events, w, TimeDelta::from_millis(10));
         let b = burstiness(&bins);
-        assert!(b > 2.5, "indoor_flying2 burstiness {b} should be pronounced");
+        assert!(
+            b > 2.5,
+            "indoor_flying2 burstiness {b} should be pronounced"
+        );
     }
 
     #[test]

@@ -73,9 +73,7 @@ pub fn representation_for(network: NetworkId) -> InputRepresentation {
     match network {
         // Full accumulation across four frame intervals (EV-FlowNet's
         // dt=4 evaluation): the densest representation.
-        NetworkId::EvFlowNet => {
-            InputRepresentation::new(1, 1).with_accumulated_intervals(4)
-        }
+        NetworkId::EvFlowNet => InputRepresentation::new(1, 1).with_accumulated_intervals(4),
         // Moderate discretization.
         NetworkId::FusionFlowNet => InputRepresentation::new(4, 2),
         NetworkId::E2Depth => InputRepresentation::new(6, 6),
@@ -96,7 +94,10 @@ mod tests {
     fn representations_are_consistent() {
         for id in NetworkId::TABLE1 {
             let rep = representation_for(id);
-            assert_eq!(rep.timesteps() * rep.bins_per_timestep, rep.bins_per_interval);
+            assert_eq!(
+                rep.timesteps() * rep.bins_per_timestep,
+                rep.bins_per_interval
+            );
             assert!(rep.channels() >= 2);
         }
     }

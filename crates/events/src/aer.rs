@@ -195,8 +195,7 @@ mod tests {
         assert_eq!(back.len(), 3);
         // First event exact; second clamped to base + 2^31-1 µs.
         assert_eq!(back.as_events()[0].t, Timestamp::from_secs(1));
-        let clamped = Timestamp::from_secs(1)
-            + TimeDelta::from_micros((DELTA_MASK) as i64);
+        let clamped = Timestamp::from_secs(1) + TimeDelta::from_micros((DELTA_MASK) as i64);
         assert_eq!(back.as_events()[1].t, clamped);
         // The third event is still over 31 bits away from the clamped
         // second, so its delta clamps too: order is preserved even though

@@ -400,15 +400,22 @@ mod tests {
     fn static_scene_produces_only_noise() {
         let cfg = DvsConfig::default().with_noise_rate(0.0);
         let mut cam = DvsCamera::new(SensorGeometry::new(16, 16), cfg);
-        let events = cam.simulate(&UniformScene::new(0.5), window_ms(0, 20)).unwrap();
-        assert!(events.is_empty(), "no contrast change, no noise → no events");
+        let events = cam
+            .simulate(&UniformScene::new(0.5), window_ms(0, 20))
+            .unwrap();
+        assert!(
+            events.is_empty(),
+            "no contrast change, no noise → no events"
+        );
     }
 
     #[test]
     fn noise_rate_produces_events_on_static_scene() {
         let cfg = DvsConfig::default().with_noise_rate(50.0); // very noisy
         let mut cam = DvsCamera::new(SensorGeometry::new(16, 16), cfg);
-        let events = cam.simulate(&UniformScene::new(0.5), window_ms(0, 100)).unwrap();
+        let events = cam
+            .simulate(&UniformScene::new(0.5), window_ms(0, 100))
+            .unwrap();
         assert!(!events.is_empty());
     }
 
@@ -430,7 +437,10 @@ mod tests {
         // Swept pixels change dark→bright (they take the trailing left
         // intensity), so the sweep produces ON events.
         let (on, off) = events.polarity_counts();
-        assert!(on > off, "expected mostly ON events, got {on} on / {off} off");
+        assert!(
+            on > off,
+            "expected mostly ON events, got {on} on / {off} off"
+        );
     }
 
     #[test]
@@ -438,8 +448,12 @@ mod tests {
         let cfg = DvsConfig::default().with_seed(7).with_noise_rate(5.0);
         let scene = MovingEdge::new(4.0, 300.0);
         let g = SensorGeometry::new(32, 16);
-        let a = DvsCamera::new(g, cfg).simulate(&scene, window_ms(0, 30)).unwrap();
-        let b = DvsCamera::new(g, cfg).simulate(&scene, window_ms(0, 30)).unwrap();
+        let a = DvsCamera::new(g, cfg)
+            .simulate(&scene, window_ms(0, 30))
+            .unwrap();
+        let b = DvsCamera::new(g, cfg)
+            .simulate(&scene, window_ms(0, 30))
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -466,11 +480,8 @@ mod tests {
     #[test]
     fn davis_frames_cover_window() {
         let cfg = DvsConfig::default().with_noise_rate(0.0);
-        let mut cam = DavisCamera::new(
-            SensorGeometry::new(16, 16),
-            cfg,
-            TimeDelta::from_millis(20),
-        );
+        let mut cam =
+            DavisCamera::new(SensorGeometry::new(16, 16), cfg, TimeDelta::from_millis(20));
         let rec = cam
             .record(&MovingEdge::new(2.0, 100.0), window_ms(0, 70))
             .unwrap();

@@ -93,8 +93,8 @@ impl RateProfile {
                 depth,
                 period,
             } => {
-                let phase =
-                    t.as_micros() as f64 / period.as_micros().max(1) as f64 * core::f64::consts::TAU;
+                let phase = t.as_micros() as f64 / period.as_micros().max(1) as f64
+                    * core::f64::consts::TAU;
                 (mean * (1.0 + depth * phase.sin())).max(0.0)
             }
         }

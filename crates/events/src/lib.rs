@@ -91,10 +91,9 @@ pub enum EventError {
 impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EventError::UnsortedTimestamps { earlier, later } => write!(
-                f,
-                "event timestamps not sorted: {earlier} follows {later}"
-            ),
+            EventError::UnsortedTimestamps { earlier, later } => {
+                write!(f, "event timestamps not sorted: {earlier} follows {later}")
+            }
             EventError::OutOfBounds { x, y, geometry } => {
                 write!(f, "event at ({x}, {y}) outside {geometry} sensor")
             }

@@ -372,7 +372,10 @@ mod tests {
         assert!(swept > 0.7, "swept pixel should be bright, got {swept}");
         // Ahead of the edge it is still dark.
         let ahead = s.intensity(30.0, 0.0, ts(100));
-        assert!(ahead < 0.3, "pixel ahead of edge should be dark, got {ahead}");
+        assert!(
+            ahead < 0.3,
+            "pixel ahead of edge should be dark, got {ahead}"
+        );
     }
 
     #[test]

@@ -359,7 +359,10 @@ mod tests {
         ]);
         let expected = 2.0 / 256.0;
         assert!((s.fill_ratio() - expected).abs() < 1e-12);
-        assert_eq!(EventSlice::empty(SensorGeometry::new(4, 4)).fill_ratio(), 0.0);
+        assert_eq!(
+            EventSlice::empty(SensorGeometry::new(4, 4)).fill_ratio(),
+            0.0
+        );
     }
 
     #[test]
@@ -379,6 +382,8 @@ mod tests {
         let span = s.span().unwrap();
         assert_eq!(span.start(), Timestamp::from_micros(4));
         assert_eq!(span.duration(), TimeDelta::from_micros(6));
-        assert!(EventSlice::empty(SensorGeometry::new(2, 2)).span().is_none());
+        assert!(EventSlice::empty(SensorGeometry::new(2, 2))
+            .span()
+            .is_none());
     }
 }

@@ -405,10 +405,7 @@ mod tests {
         let t = Timestamp::from_micros(100);
         assert_eq!(t + TimeDelta::from_micros(50), Timestamp::from_micros(150));
         assert_eq!(t - TimeDelta::from_micros(40), Timestamp::from_micros(60));
-        assert_eq!(
-            Timestamp::from_micros(150) - t,
-            TimeDelta::from_micros(50)
-        );
+        assert_eq!(Timestamp::from_micros(150) - t, TimeDelta::from_micros(50));
         assert_eq!(t - Timestamp::from_micros(150), TimeDelta::from_micros(-50));
     }
 

@@ -211,9 +211,9 @@ mod tests {
     fn refractory_drops_rapid_repeats() {
         let s = slice(vec![
             ev(1, 1, 0),
-            ev(1, 1, 50),   // within 100 µs: dropped
-            ev(1, 1, 150),  // 150 µs after last kept: kept
-            ev(2, 2, 60),   // different pixel: kept
+            ev(1, 1, 50),  // within 100 µs: dropped
+            ev(1, 1, 150), // 150 µs after last kept: kept
+            ev(2, 2, 60),  // different pixel: kept
         ]);
         let filtered = refractory_filter(&s, TimeDelta::from_micros(100));
         assert_eq!(filtered.len(), 3);
@@ -290,9 +290,10 @@ mod tests {
         let s = slice(events);
         // Each transform yields a valid (ordered) slice by construction;
         // verify via span monotonicity on a chained application.
-        let chained = flip_vertical(&flip_horizontal(
-            &refractory_filter(&downsample(&s, 2).unwrap(), TimeDelta::from_micros(2)),
-        ));
+        let chained = flip_vertical(&flip_horizontal(&refractory_filter(
+            &downsample(&s, 2).unwrap(),
+            TimeDelta::from_micros(2),
+        )));
         let ts: Vec<u64> = chained.iter().map(|e| e.t.as_micros()).collect();
         let mut sorted = ts.clone();
         sorted.sort_unstable();

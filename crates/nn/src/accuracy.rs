@@ -42,7 +42,11 @@ impl MetricKind {
 
 impl fmt::Display for MetricKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let arrow = if self.higher_is_better() { "↑" } else { "↓" };
+        let arrow = if self.higher_is_better() {
+            "↑"
+        } else {
+            "↓"
+        };
         write!(f, "{}{arrow}", self.unit())
     }
 }
@@ -222,16 +226,8 @@ mod tests {
     fn bigger_layers_matter_more() {
         let m = model();
         // INT8 on the 90%-of-compute layer hurts more than on the 10% layer.
-        let d_big = m.degradation(
-            &[0.9, 0.1],
-            &[Precision::Int8, Precision::Fp32],
-            0.0,
-        );
-        let d_small = m.degradation(
-            &[0.9, 0.1],
-            &[Precision::Fp32, Precision::Int8],
-            0.0,
-        );
+        let d_big = m.degradation(&[0.9, 0.1], &[Precision::Int8, Precision::Fp32], 0.0);
+        let d_small = m.degradation(&[0.9, 0.1], &[Precision::Fp32, Precision::Int8], 0.0);
         assert!(d_big > d_small);
     }
 

@@ -14,9 +14,7 @@ use crate::NnError;
 use ev_sparse::coo::SparseTensor;
 use ev_sparse::dense::Tensor;
 use ev_sparse::opcount::{OpCount, WorkComparison};
-use ev_sparse::ops::conv::{
-    conv2d_dense, conv2d_sparse, conv_transpose2d_dense, Conv2dSpec,
-};
+use ev_sparse::ops::conv::{conv2d_dense, conv2d_sparse, conv_transpose2d_dense, Conv2dSpec};
 use ev_sparse::ops::linear::{linear, relu_in_place};
 use ev_sparse::ops::pool::{max_pool2d, Pool2dSpec};
 use std::collections::HashMap;
@@ -265,9 +263,7 @@ impl Executor {
             } else {
                 preds
                     .iter()
-                    .map(|p| {
-                        values[p.0].clone().ok_or(NnError::UnknownLayer { id: *p })
-                    })
+                    .map(|p| values[p.0].clone().ok_or(NnError::UnknownLayer { id: *p }))
                     .collect::<Result<_, _>>()?
             };
             let (out, work) = self.execute_layer(layer.id, &layer.kind, &inputs)?;
@@ -369,14 +365,9 @@ impl Executor {
             LayerKind::ConvTranspose2d(c) => {
                 let dense = inputs[0].to_dense_chw()?;
                 let lw = &self.weights[&id];
-                let (mut out, ops) = conv_transpose2d_dense(
-                    &dense,
-                    &lw.weight,
-                    Some(&lw.bias),
-                    c.stride,
-                    c.padding,
-                )
-                .map_err(wrap)?;
+                let (mut out, ops) =
+                    conv_transpose2d_dense(&dense, &lw.weight, Some(&lw.bias), c.stride, c.padding)
+                        .map_err(wrap)?;
                 let (relu_ops, _) = relu_in_place(&mut out);
                 let total = ops + relu_ops;
                 Ok((
@@ -411,9 +402,7 @@ impl Executor {
                 ))
             }
             LayerKind::Concat => {
-                let all_sparse = inputs
-                    .iter()
-                    .all(|a| matches!(a, Activation::Sparse(_)));
+                let all_sparse = inputs.iter().all(|a| matches!(a, Activation::Sparse(_)));
                 if all_sparse {
                     let tensors: Vec<SparseTensor> = inputs
                         .iter()
@@ -652,10 +641,16 @@ mod tests {
     fn execution_is_deterministic() {
         let mut a = Executor::new(tiny_hybrid(), 9);
         let mut b = Executor::new(tiny_hybrid(), 9);
-        assert_eq!(a.run(&event_input()).unwrap(), b.run(&event_input()).unwrap());
+        assert_eq!(
+            a.run(&event_input()).unwrap(),
+            b.run(&event_input()).unwrap()
+        );
         let mut c = Executor::new(tiny_hybrid(), 10);
         // Different seeds give different weights (outputs differ).
-        assert_ne!(a.run(&event_input()).unwrap(), c.run(&event_input()).unwrap());
+        assert_ne!(
+            a.run(&event_input()).unwrap(),
+            c.run(&event_input()).unwrap()
+        );
     }
 
     #[test]
@@ -679,9 +674,7 @@ mod tests {
     fn run_sequence_resets_first() {
         let mut exec = Executor::new(tiny_hybrid(), 7);
         let _warmup = exec.run(&event_input()).unwrap();
-        let seq = exec
-            .run_sequence(&[event_input(), event_input()])
-            .unwrap();
+        let seq = exec.run_sequence(&[event_input(), event_input()]).unwrap();
         let mut fresh = Executor::new(tiny_hybrid(), 7);
         let fresh_first = fresh.run(&event_input()).unwrap();
         assert_eq!(seq[0], fresh_first);

@@ -187,9 +187,13 @@ impl LayerWorkload {
                 };
                 (c.in_channels * ih * iw * c.out_channels * c.kernel * c.kernel) as u64
             }
-            (LayerKind::Head { in_channels, out_channels }, Shape::Chw { h, w, .. }) => {
-                (in_channels * out_channels * h * w) as u64
-            }
+            (
+                LayerKind::Head {
+                    in_channels,
+                    out_channels,
+                },
+                Shape::Chw { h, w, .. },
+            ) => (in_channels * out_channels * h * w) as u64,
             (
                 LayerKind::Linear {
                     in_features,
@@ -281,11 +285,7 @@ impl GraphBuilder {
         };
         let out_shape = infer_shape(&kind, &in_shapes, &name)?;
         let id = LayerId(self.layers.len());
-        self.layers.push(Layer {
-            id,
-            name,
-            kind,
-        });
+        self.layers.push(Layer { id, name, kind });
         self.preds.push(preds.to_vec());
         self.out_shapes.push(out_shape);
         Ok(id)
@@ -487,7 +487,14 @@ mod tests {
             .unwrap();
         let cat = b.layer("cat", LayerKind::Concat, &[enc, deep]).unwrap();
         let g = b.finish().unwrap();
-        assert_eq!(g.output_shape(cat), Shape::Chw { c: 16, h: 16, w: 16 });
+        assert_eq!(
+            g.output_shape(cat),
+            Shape::Chw {
+                c: 16,
+                h: 16,
+                w: 16
+            }
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! Xavier AGX exposes through TensorRT (FP32/FP16/INT8), real
 //! quantize-dequantize kernels, and error statistics.
 
-use ev_sparse::dense::Tensor;
 use core::fmt;
+use ev_sparse::dense::Tensor;
 
 /// A numeric precision available on at least one processing element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -123,21 +123,49 @@ pub fn spike_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     let w = cfg.base_width;
     let mut b = GraphBuilder::new("SpikeFlowNet", Task::OpticalFlow, cfg.input_shape());
     // SNN encoder (4).
-    let s1 = b.layer("s1", spiking(Conv2dCfg::down(cfg.input_channels, w, 3)), &[])?;
+    let s1 = b.layer(
+        "s1",
+        spiking(Conv2dCfg::down(cfg.input_channels, w, 3)),
+        &[],
+    )?;
     let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
     let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
     let s4 = b.layer("s4", spiking(Conv2dCfg::down(4 * w, 8 * w, 3)), &[s3])?;
     // ANN residual bottleneck (2).
-    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[s4])?;
-    let r2 = b.layer("r2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[r1])?;
+    let r1 = b.layer(
+        "r1",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[s4],
+    )?;
+    let r2 = b.layer(
+        "r2",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[r1],
+    )?;
     // ANN decoder with skip concatenations (4 transposed convs).
-    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r2])?;
+    let u1 = b.layer(
+        "u1",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)),
+        &[r2],
+    )?;
     let c1 = b.layer("cat1", LayerKind::Concat, &[u1, s3])?;
-    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)), &[c1])?;
+    let u2 = b.layer(
+        "u2",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)),
+        &[c1],
+    )?;
     let c2 = b.layer("cat2", LayerKind::Concat, &[u2, s2])?;
-    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)), &[c2])?;
+    let u3 = b.layer(
+        "u3",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)),
+        &[c2],
+    )?;
     let c3 = b.layer("cat3", LayerKind::Concat, &[u3, s1])?;
-    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[c3])?;
+    let u4 = b.layer(
+        "u4",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)),
+        &[c3],
+    )?;
     // Refinement + flow head (2).
     let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
     let _head = b.layer(
@@ -174,24 +202,68 @@ pub fn fusion_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     // Analog frame encoder: 4 downsampling + 2 residual (6 ANN).
     let a1 = b.layer("a1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
     let a2 = b.layer("a2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[a1])?;
-    let a3 = b.layer("a3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[a2])?;
-    let a4 = b.layer("a4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[a3])?;
-    let a5 = b.layer("a5", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[a4])?;
-    let a6 = b.layer("a6", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[a5])?;
+    let a3 = b.layer(
+        "a3",
+        LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)),
+        &[a2],
+    )?;
+    let a4 = b.layer(
+        "a4",
+        LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)),
+        &[a3],
+    )?;
+    let a5 = b.layer(
+        "a5",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[a4],
+    )?;
+    let a6 = b.layer(
+        "a6",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[a5],
+    )?;
     // Fusion.
     let fuse = b.layer("fuse", LayerKind::Concat, &[s_prev, a6])?;
     // Fused decoder (8 ANN: 4 convs + 4 transposed convs).
-    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(16 * w, 8 * w, 3)), &[fuse])?;
-    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[d1])?;
+    let d1 = b.layer(
+        "d1",
+        LayerKind::Conv2d(Conv2dCfg::same(16 * w, 8 * w, 3)),
+        &[fuse],
+    )?;
+    let u1 = b.layer(
+        "u1",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)),
+        &[d1],
+    )?;
     let k1 = b.layer("k1", LayerKind::Concat, &[u1, a3])?;
-    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[k1])?;
-    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d2])?;
+    let d2 = b.layer(
+        "d2",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)),
+        &[k1],
+    )?;
+    let u2 = b.layer(
+        "u2",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)),
+        &[d2],
+    )?;
     let k2 = b.layer("k2", LayerKind::Concat, &[u2, a2])?;
-    let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)), &[k2])?;
-    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d3])?;
+    let d3 = b.layer(
+        "d3",
+        LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)),
+        &[k2],
+    )?;
+    let u3 = b.layer(
+        "u3",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)),
+        &[d3],
+    )?;
     let k3 = b.layer("k3", LayerKind::Concat, &[u3, a1])?;
     let d4 = b.layer("d4", LayerKind::Conv2d(Conv2dCfg::same(2 * w, w, 3)), &[k3])?;
-    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d4])?;
+    let u4 = b.layer(
+        "u4",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)),
+        &[d4],
+    )?;
     // Refinement chain + head (5 ANN).
     let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
     let f2 = b.layer("f2", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f1])?;
@@ -217,7 +289,11 @@ pub fn adaptive_spikenet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     cfg.validate()?;
     let w = cfg.base_width;
     let mut b = GraphBuilder::new("Adaptive-SpikeNet", Task::OpticalFlow, cfg.input_shape());
-    let s1 = b.layer("s1", spiking(Conv2dCfg::down(cfg.input_channels, w, 3)), &[])?;
+    let s1 = b.layer(
+        "s1",
+        spiking(Conv2dCfg::down(cfg.input_channels, w, 3)),
+        &[],
+    )?;
     let s2 = b.layer("s2", spiking(Conv2dCfg::down(w, 2 * w, 3)), &[s1])?;
     let s3 = b.layer("s3", spiking(Conv2dCfg::down(2 * w, 4 * w, 3)), &[s2])?;
     let s4 = b.layer("s4", spiking(Conv2dCfg::down(4 * w, 8 * w, 3)), &[s3])?;
@@ -255,17 +331,45 @@ pub fn halsie(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     // Analog image branch (4 ANN).
     let a1 = b.layer("a1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
     let a2 = b.layer("a2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[a1])?;
-    let a3 = b.layer("a3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[a2])?;
-    let a4 = b.layer("a4", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 4 * w, 3)), &[a3])?;
+    let a3 = b.layer(
+        "a3",
+        LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)),
+        &[a2],
+    )?;
+    let a4 = b.layer(
+        "a4",
+        LayerKind::Conv2d(Conv2dCfg::same(4 * w, 4 * w, 3)),
+        &[a3],
+    )?;
     // Fusion of the two h/8 embeddings.
     let fuse = b.layer("fuse", LayerKind::Concat, &[s3, a4])?;
     // Decoder (6 ANN) + refinement (2) + head (1).
-    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[fuse])?;
-    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d1])?;
-    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(2 * w, 2 * w, 3)), &[u1])?;
-    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d2])?;
+    let d1 = b.layer(
+        "d1",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)),
+        &[fuse],
+    )?;
+    let u1 = b.layer(
+        "u1",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)),
+        &[d1],
+    )?;
+    let d2 = b.layer(
+        "d2",
+        LayerKind::Conv2d(Conv2dCfg::same(2 * w, 2 * w, 3)),
+        &[u1],
+    )?;
+    let u2 = b.layer(
+        "u2",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)),
+        &[d2],
+    )?;
     let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u2])?;
-    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d3])?;
+    let u3 = b.layer(
+        "u3",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)),
+        &[d3],
+    )?;
     let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u3])?;
     let f2 = b.layer("f2", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[f1])?;
     let _head = b.layer(
@@ -288,20 +392,60 @@ pub fn e2depth(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     let mut b = GraphBuilder::new("E2Depth", Task::DepthEstimation, cfg.input_shape());
     let e1 = b.layer("e1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
     let e2 = b.layer("e2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[e1])?;
-    let e3 = b.layer("e3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[e2])?;
-    let e4 = b.layer("e4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[e3])?;
-    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[e4])?;
-    let r2 = b.layer("r2", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[r1])?;
-    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r2])?;
+    let e3 = b.layer(
+        "e3",
+        LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)),
+        &[e2],
+    )?;
+    let e4 = b.layer(
+        "e4",
+        LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)),
+        &[e3],
+    )?;
+    let r1 = b.layer(
+        "r1",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[e4],
+    )?;
+    let r2 = b.layer(
+        "r2",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[r1],
+    )?;
+    let u1 = b.layer(
+        "u1",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)),
+        &[r2],
+    )?;
     let c1 = b.layer("c1", LayerKind::Concat, &[u1, e3])?;
-    let d1 = b.layer("d1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)), &[c1])?;
-    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)), &[d1])?;
+    let d1 = b.layer(
+        "d1",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 4 * w, 3)),
+        &[c1],
+    )?;
+    let u2 = b.layer(
+        "u2",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, 2 * w)),
+        &[d1],
+    )?;
     let c2 = b.layer("c2", LayerKind::Concat, &[u2, e2])?;
-    let d2 = b.layer("d2", LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)), &[c2])?;
-    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[d2])?;
+    let d2 = b.layer(
+        "d2",
+        LayerKind::Conv2d(Conv2dCfg::same(4 * w, 2 * w, 3)),
+        &[c2],
+    )?;
+    let u3 = b.layer(
+        "u3",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)),
+        &[d2],
+    )?;
     let c3 = b.layer("c3", LayerKind::Concat, &[u3, e1])?;
     let d3 = b.layer("d3", LayerKind::Conv2d(Conv2dCfg::same(2 * w, w, 3)), &[c3])?;
-    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)), &[d3])?;
+    let u4 = b.layer(
+        "u4",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(w, w)),
+        &[d3],
+    )?;
     let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
     let _head = b.layer(
         "depth",
@@ -345,16 +489,44 @@ pub fn ev_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     let mut b = GraphBuilder::new("EV-FlowNet", Task::OpticalFlow, cfg.input_shape());
     let e1 = b.layer("e1", LayerKind::Conv2d(Conv2dCfg::down(ic, w, 3)), &[])?;
     let e2 = b.layer("e2", LayerKind::Conv2d(Conv2dCfg::down(w, 2 * w, 3)), &[e1])?;
-    let e3 = b.layer("e3", LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)), &[e2])?;
-    let e4 = b.layer("e4", LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)), &[e3])?;
-    let r1 = b.layer("r1", LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)), &[e4])?;
-    let u1 = b.layer("u1", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)), &[r1])?;
+    let e3 = b.layer(
+        "e3",
+        LayerKind::Conv2d(Conv2dCfg::down(2 * w, 4 * w, 3)),
+        &[e2],
+    )?;
+    let e4 = b.layer(
+        "e4",
+        LayerKind::Conv2d(Conv2dCfg::down(4 * w, 8 * w, 3)),
+        &[e3],
+    )?;
+    let r1 = b.layer(
+        "r1",
+        LayerKind::Conv2d(Conv2dCfg::same(8 * w, 8 * w, 3)),
+        &[e4],
+    )?;
+    let u1 = b.layer(
+        "u1",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 4 * w)),
+        &[r1],
+    )?;
     let c1 = b.layer("c1", LayerKind::Concat, &[u1, e3])?;
-    let u2 = b.layer("u2", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)), &[c1])?;
+    let u2 = b.layer(
+        "u2",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(8 * w, 2 * w)),
+        &[c1],
+    )?;
     let c2 = b.layer("c2", LayerKind::Concat, &[u2, e2])?;
-    let u3 = b.layer("u3", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)), &[c2])?;
+    let u3 = b.layer(
+        "u3",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(4 * w, w)),
+        &[c2],
+    )?;
     let c3 = b.layer("c3", LayerKind::Concat, &[u3, e1])?;
-    let u4 = b.layer("u4", LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)), &[c3])?;
+    let u4 = b.layer(
+        "u4",
+        LayerKind::ConvTranspose2d(ConvT2dCfg::up2(2 * w, w)),
+        &[c3],
+    )?;
     let f1 = b.layer("f1", LayerKind::Conv2d(Conv2dCfg::same(w, w, 3)), &[u4])?;
     let _head = b.layer(
         "flow",
@@ -561,7 +733,13 @@ mod tests {
             // Typical Ev-Edge operating point: mixed precision + moderate
             // aggregation lands within 2x of the paper's reported delta.
             let mixed: Vec<Precision> = (0..8)
-                .map(|k| if k % 2 == 0 { Precision::Int8 } else { Precision::Fp16 })
+                .map(|k| {
+                    if k % 2 == 0 {
+                        Precision::Int8
+                    } else {
+                        Precision::Fp16
+                    }
+                })
                 .collect();
             let d_mixed = m.degradation(&shares, &mixed, 0.5);
             let (_, baseline, delta) = match id {
@@ -570,8 +748,14 @@ mod tests {
                 _ => continue,
             };
             let _ = baseline;
-            assert!(d_mixed > 0.0 && d_mixed < 2.0 * delta + 1e-9, "{id}: {d_mixed}");
-            assert!(d_int8 > d_mixed * 0.5, "{id}: int8 {d_int8} vs mixed {d_mixed}");
+            assert!(
+                d_mixed > 0.0 && d_mixed < 2.0 * delta + 1e-9,
+                "{id}: {d_mixed}"
+            );
+            assert!(
+                d_int8 > d_mixed * 0.5,
+                "{id}: int8 {d_int8} vs mixed {d_mixed}"
+            );
         }
     }
 

@@ -229,10 +229,20 @@ mod tests {
     fn gpu_faster_than_cpu_for_big_layers() {
         let p = platform();
         let w = workload(500_000_000);
-        let gpu = layer_cost(&p, p.id_by_name("gpu").unwrap(), &w, LayerContext::default())
-            .unwrap();
-        let cpu = layer_cost(&p, p.id_by_name("cpu").unwrap(), &w, LayerContext::default())
-            .unwrap();
+        let gpu = layer_cost(
+            &p,
+            p.id_by_name("gpu").unwrap(),
+            &w,
+            LayerContext::default(),
+        )
+        .unwrap();
+        let cpu = layer_cost(
+            &p,
+            p.id_by_name("cpu").unwrap(),
+            &w,
+            LayerContext::default(),
+        )
+        .unwrap();
         assert!(gpu.latency < cpu.latency);
     }
 
@@ -248,10 +258,20 @@ mod tests {
             param_bytes: 1 << 8,
             domain: Domain::Ann,
         };
-        let gpu =
-            layer_cost(&p, p.id_by_name("gpu").unwrap(), &w, LayerContext::default()).unwrap();
-        let cpu =
-            layer_cost(&p, p.id_by_name("cpu").unwrap(), &w, LayerContext::default()).unwrap();
+        let gpu = layer_cost(
+            &p,
+            p.id_by_name("gpu").unwrap(),
+            &w,
+            LayerContext::default(),
+        )
+        .unwrap();
+        let cpu = layer_cost(
+            &p,
+            p.id_by_name("cpu").unwrap(),
+            &w,
+            LayerContext::default(),
+        )
+        .unwrap();
         assert!(cpu.latency < gpu.latency);
     }
 

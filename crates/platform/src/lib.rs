@@ -45,7 +45,7 @@ pub use latency::{layer_cost, transfer_cost, CostEstimate, LayerContext};
 pub use pe::{PeId, PeKind, Platform, ProcessingElement};
 pub use profile::NetworkProfile;
 pub use schedule::{list_schedule, SchedNode, Schedule};
-pub use timeline::DeviceTimeline;
+pub use timeline::{DeviceTimeline, ReservationTimeline};
 
 use core::fmt;
 use ev_core::Timestamp;
@@ -122,10 +122,9 @@ impl fmt::Display for PlatformError {
                 f,
                 "queue {queue} reservation at {requested} precedes free time {free_at}"
             ),
-            PlatformError::ProfileShapeMismatch { layers, densities } => write!(
-                f,
-                "profile got {densities} densities for {layers} layers"
-            ),
+            PlatformError::ProfileShapeMismatch { layers, densities } => {
+                write!(f, "profile got {densities} densities for {layers} layers")
+            }
         }
     }
 }

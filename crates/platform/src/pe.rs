@@ -10,8 +10,8 @@
 //! Network Mapper's search exercises.
 
 use crate::PlatformError;
-use ev_nn::Precision;
 use core::fmt;
+use ev_nn::Precision;
 
 /// Kind of processing element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -317,10 +317,7 @@ impl Platform {
         let gpu = ProcessingElement {
             name: "gpu".to_string(),
             kind: PeKind::Gpu,
-            peak_macs: vec![
-                (Precision::Fp32, 0.23e12),
-                (Precision::Fp16, 0.35e12),
-            ],
+            peak_macs: vec![(Precision::Fp32, 0.23e12), (Precision::Fp16, 0.35e12)],
             efficiency_max: 0.5,
             efficiency_single: 0.3,
             dispatch_overhead_s: 40e-6,
@@ -349,7 +346,9 @@ impl Platform {
     ///
     /// Returns [`PlatformError::UnknownPe`] for out-of-range ids.
     pub fn element(&self, id: PeId) -> Result<&ProcessingElement, PlatformError> {
-        self.elements.get(id.0).ok_or(PlatformError::UnknownPe { id })
+        self.elements
+            .get(id.0)
+            .ok_or(PlatformError::UnknownPe { id })
     }
 
     /// Looks an element up by name.

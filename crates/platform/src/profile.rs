@@ -176,7 +176,9 @@ mod tests {
     fn density_override_changes_costs() {
         let platform = Platform::xavier_agx();
         // MVSEC scale: compute dominates dispatch, so density is visible.
-        let graph = NetworkId::AdaptiveSpikeNet.build(&ZooConfig::mvsec()).unwrap();
+        let graph = NetworkId::AdaptiveSpikeNet
+            .build(&ZooConfig::mvsec())
+            .unwrap();
         let workloads = graph.workloads();
         let sparse = NetworkProfile::record(&platform, &workloads, None).unwrap();
         let dense_densities = vec![1.0; workloads.len()];

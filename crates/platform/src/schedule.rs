@@ -150,10 +150,7 @@ pub fn list_schedule(nodes: &[SchedNode], queue_count: usize) -> Result<Schedule
         ready.extend(newly);
     }
     if order.len() != nodes.len() {
-        let stuck = indegree
-            .iter()
-            .position(|d| *d > 0)
-            .unwrap_or(0);
+        let stuck = indegree.iter().position(|d| *d > 0).unwrap_or(0);
         return Err(PlatformError::CyclicDependency { node: stuck });
     }
 

@@ -9,6 +9,79 @@
 use crate::PlatformError;
 use ev_core::{TimeDelta, Timestamp};
 
+/// The shared accounting API of per-queue reservation trackers.
+///
+/// The unified execution engine (`ev_edge::exec`) is written against this
+/// trait so the same dispatch loop can run over the serial
+/// [`DeviceTimeline`] or a multi-threaded implementation where every
+/// queue is owned by a worker thread (see `ev_edge::exec::parallel`).
+pub trait ReservationTimeline {
+    /// Number of reservation queues.
+    fn queues(&self) -> usize;
+
+    /// Earliest time work ready at `ready` can start on `queue`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError>;
+
+    /// Reserves `queue` for `[start, start + duration)`; returns the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues, or
+    /// [`PlatformError::ReservationConflict`] when `start` precedes the
+    /// queue's free time.
+    fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError>;
+
+    /// Busy time accumulated on `queue`.
+    fn busy_time(&self, queue: usize) -> TimeDelta;
+
+    /// Reserves `queue` at the earliest feasible start for work ready at
+    /// `ready`; returns `(start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReservationTimeline::earliest_start`] /
+    /// [`ReservationTimeline::reserve`] errors.
+    fn reserve_next(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<(Timestamp, Timestamp), PlatformError> {
+        let start = self.earliest_start(queue, ready)?;
+        let end = self.reserve(queue, start, duration)?;
+        Ok((start, end))
+    }
+
+    /// Utilization of `queue` over `[0, horizon)`.
+    fn utilization(&self, queue: usize, horizon: TimeDelta) -> f64 {
+        if horizon.as_micros() <= 0 {
+            return 0.0;
+        }
+        self.busy_time(queue).as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    /// Per-queue utilizations over `[0, horizon)`.
+    fn utilizations(&self, horizon: TimeDelta) -> Vec<f64> {
+        (0..self.queues())
+            .map(|q| self.utilization(q, horizon))
+            .collect()
+    }
+
+    /// Busy time summed over every queue.
+    fn total_busy(&self) -> TimeDelta {
+        (0..self.queues()).fold(TimeDelta::ZERO, |acc, q| acc + self.busy_time(q))
+    }
+}
+
 /// Per-queue reservation tracker in simulated time.
 ///
 /// # Examples
@@ -59,15 +132,16 @@ impl DeviceTimeline {
     /// # Errors
     ///
     /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
-    pub fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
-        let free = self
-            .free_at
-            .get(queue)
-            .ok_or(PlatformError::InvalidQueue {
-                node: 0,
-                queue,
-                queues: self.free_at.len(),
-            })?;
+    pub fn earliest_start(
+        &self,
+        queue: usize,
+        ready: Timestamp,
+    ) -> Result<Timestamp, PlatformError> {
+        let free = self.free_at.get(queue).ok_or(PlatformError::InvalidQueue {
+            node: 0,
+            queue,
+            queues: self.free_at.len(),
+        })?;
         Ok(ready.max(*free))
     }
 
@@ -154,6 +228,29 @@ impl DeviceTimeline {
             return 0.0;
         }
         self.busy_time(queue).as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+impl ReservationTimeline for DeviceTimeline {
+    fn queues(&self) -> usize {
+        DeviceTimeline::queues(self)
+    }
+
+    fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
+        DeviceTimeline::earliest_start(self, queue, ready)
+    }
+
+    fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        DeviceTimeline::reserve(self, queue, start, duration)
+    }
+
+    fn busy_time(&self, queue: usize) -> TimeDelta {
+        DeviceTimeline::busy_time(self, queue)
     }
 }
 

@@ -14,7 +14,11 @@ const QUEUES: usize = 4;
 /// strictly smaller), guaranteeing acyclicity.
 fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Vec<SchedNode>> {
     prop::collection::vec(
-        (0usize..QUEUES, 1i64..500, prop::collection::vec(any::<prop::sample::Index>(), 0..3)),
+        (
+            0usize..QUEUES,
+            1i64..500,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
         1..max_nodes,
     )
     .prop_map(|raw| {
@@ -38,12 +42,7 @@ fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Vec<SchedNode>> {
 fn critical_path(nodes: &[SchedNode]) -> i64 {
     let mut longest = vec![0i64; nodes.len()];
     for (i, n) in nodes.iter().enumerate() {
-        let base = n
-            .deps
-            .iter()
-            .map(|&d| longest[d])
-            .max()
-            .unwrap_or(0);
+        let base = n.deps.iter().map(|&d| longest[d]).max().unwrap_or(0);
         longest[i] = base + n.duration.as_micros();
     }
     longest.into_iter().max().unwrap_or(0)

@@ -7,8 +7,8 @@
 //! paper §4.1). Entries are kept canonical: sorted by `(channel, row, col)`
 //! with unique coordinates (duplicates accumulate on construction).
 
-use crate::SparseError;
 use crate::dense::Tensor;
+use crate::SparseError;
 use core::fmt;
 
 /// One nonzero site of a sparse `[C, H, W]` tensor.
@@ -417,13 +417,9 @@ mod tests {
 
     #[test]
     fn zeros_are_dropped() {
-        let t = SparseTensor::from_entries(
-            1,
-            2,
-            2,
-            vec![entry(0, 0, 0, 1.0), entry(0, 0, 0, -1.0)],
-        )
-        .unwrap();
+        let t =
+            SparseTensor::from_entries(1, 2, 2, vec![entry(0, 0, 0, 1.0), entry(0, 0, 0, -1.0)])
+                .unwrap();
         assert!(t.is_empty());
     }
 
@@ -441,11 +437,8 @@ mod tests {
 
     #[test]
     fn dense_round_trip() {
-        let dense = Tensor::from_vec(
-            &[2, 2, 2],
-            vec![0.0, 1.0, 0.0, 0.0, -3.0, 0.0, 0.0, 0.5],
-        )
-        .unwrap();
+        let dense =
+            Tensor::from_vec(&[2, 2, 2], vec![0.0, 1.0, 0.0, 0.0, -3.0, 0.0, 0.0, 0.5]).unwrap();
         let sparse = SparseTensor::from_dense(&dense, 0.0).unwrap();
         assert_eq!(sparse.nnz(), 3);
         assert_eq!(sparse.to_dense(), dense);
@@ -465,7 +458,11 @@ mod tests {
             2,
             2,
             2,
-            vec![entry(0, 0, 0, 1.0), entry(1, 0, 0, 1.0), entry(0, 1, 1, 1.0)],
+            vec![
+                entry(0, 0, 0, 1.0),
+                entry(1, 0, 0, 1.0),
+                entry(0, 1, 1, 1.0),
+            ],
         )
         .unwrap();
         assert!((t.density() - 3.0 / 8.0).abs() < 1e-12);
@@ -478,13 +475,9 @@ mod tests {
     fn add_merges_and_cancels() {
         let a = SparseTensor::from_entries(1, 2, 2, vec![entry(0, 0, 0, 1.0), entry(0, 1, 1, 2.0)])
             .unwrap();
-        let b = SparseTensor::from_entries(
-            1,
-            2,
-            2,
-            vec![entry(0, 0, 0, -1.0), entry(0, 0, 1, 4.0)],
-        )
-        .unwrap();
+        let b =
+            SparseTensor::from_entries(1, 2, 2, vec![entry(0, 0, 0, -1.0), entry(0, 0, 1, 4.0)])
+                .unwrap();
         let sum = a.add(&b).unwrap();
         assert_eq!(sum.nnz(), 2); // (0,0) cancels
         assert_eq!(sum.get(0, 0, 1), 4.0);

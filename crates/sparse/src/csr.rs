@@ -4,9 +4,9 @@
 //! sparse activation row-vector (or batch) multiplies a dense weight matrix
 //! with work proportional to the nonzeros.
 
-use crate::SparseError;
 use crate::dense::Tensor;
 use crate::opcount::OpCount;
+use crate::SparseError;
 use core::fmt;
 
 /// A sparse matrix in Compressed Sparse Row format.
@@ -40,7 +40,10 @@ impl CsrMatrix {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        assert!(n_rows > 0 && n_cols > 0, "matrix dimensions must be nonzero");
+        assert!(
+            n_rows > 0 && n_cols > 0,
+            "matrix dimensions must be nonzero"
+        );
         CsrMatrix {
             n_rows,
             n_cols,
@@ -301,12 +304,8 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
     }
 
     #[test]

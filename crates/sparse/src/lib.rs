@@ -133,7 +133,10 @@ impl fmt::Display for SparseError {
                 "kernel {kernel} does not fit input {input} with padding {padding}"
             ),
             SparseError::EvenSubmanifoldKernel { kh, kw } => {
-                write!(f, "submanifold convolution requires odd kernels, got {kh}x{kw}")
+                write!(
+                    f,
+                    "submanifold convolution requires odd kernels, got {kh}x{kw}"
+                )
             }
             SparseError::EmptyInput => f.write_str("operation requires at least one input"),
         }

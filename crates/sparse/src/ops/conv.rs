@@ -442,7 +442,11 @@ pub fn conv2d_im2col(
     out_mat.reshape(&[c_out, ho, wo])?;
     let ops = OpCount {
         macs: mm_ops.macs,
-        adds: if bias.is_some() { (c_out * n) as u64 } else { 0 },
+        adds: if bias.is_some() {
+            (c_out * n) as u64
+        } else {
+            0
+        },
         bytes_read: mm_ops.bytes_read + (input.len() * 4) as u64,
         bytes_written: mm_ops.bytes_written,
     };
@@ -606,8 +610,7 @@ mod tests {
     fn dense_conv_bias_and_padding() {
         let input = Tensor::full(&[1, 2, 2], 1.0);
         let weight = Tensor::full(&[1, 1, 3, 3], 1.0);
-        let (out, ops) =
-            conv2d_dense(&input, &weight, Some(&[10.0]), Conv2dSpec::same(3)).unwrap();
+        let (out, ops) = conv2d_dense(&input, &weight, Some(&[10.0]), Conv2dSpec::same(3)).unwrap();
         assert_eq!(out.shape(), &[1, 2, 2]);
         // Each output sees the 4 ones minus those padded away: corners see 4.
         assert_eq!(out.get(&[0, 0, 0]), 14.0);
@@ -659,8 +662,8 @@ mod tests {
     #[test]
     fn sparse_work_scales_with_events() {
         let weight = Tensor::full(&[4, 2, 3, 3], 0.1);
-        let one = SparseTensor::from_entries(2, 32, 32, vec![SparseEntry::new(0, 5, 5, 1.0)])
-            .unwrap();
+        let one =
+            SparseTensor::from_entries(2, 32, 32, vec![SparseEntry::new(0, 5, 5, 1.0)]).unwrap();
         let many = SparseTensor::from_entries(
             2,
             32,
@@ -707,8 +710,7 @@ mod tests {
         let sparse_in = SparseTensor::from_dense(&dense_in, 0.0).unwrap();
         let mut weight = Tensor::zeros(&[3, 2, 3, 3]);
         weight.fill_pseudorandom(11, 1.0);
-        let (dense_out, _) =
-            conv2d_dense(&dense_in, &weight, None, Conv2dSpec::same(3)).unwrap();
+        let (dense_out, _) = conv2d_dense(&dense_in, &weight, None, Conv2dSpec::same(3)).unwrap();
         let (sub_out, _) = conv2d_submanifold(&sparse_in, &weight, None).unwrap();
         for &(y, x) in &sparse_in.active_sites() {
             for co in 0..3u32 {
@@ -783,8 +785,7 @@ mod tests {
     fn conv_transpose_bias_and_validation() {
         let input = Tensor::full(&[1, 2, 2], 0.0);
         let weight = Tensor::full(&[1, 2, 2, 2], 1.0);
-        let (out, _) =
-            conv_transpose2d_dense(&input, &weight, Some(&[1.0, -1.0]), 2, 0).unwrap();
+        let (out, _) = conv_transpose2d_dense(&input, &weight, Some(&[1.0, -1.0]), 2, 0).unwrap();
         assert_eq!(out.get(&[0, 0, 0]), 1.0);
         assert_eq!(out.get(&[1, 0, 0]), -1.0);
         let bad_weight = Tensor::full(&[2, 2, 2, 2], 1.0);

@@ -36,7 +36,11 @@ impl Pool2dSpec {
     }
 }
 
-fn pool2d<F>(input: &Tensor, spec: Pool2dSpec, mut reduce: F) -> Result<(Tensor, OpCount), SparseError>
+fn pool2d<F>(
+    input: &Tensor,
+    spec: Pool2dSpec,
+    mut reduce: F,
+) -> Result<(Tensor, OpCount), SparseError>
 where
     F: FnMut(&[f32]) -> f32,
 {
@@ -184,7 +188,10 @@ mod tests {
     #[test]
     fn overlapping_stride() {
         let t = Tensor::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let spec = Pool2dSpec { kernel: 1, stride: 1 };
+        let spec = Pool2dSpec {
+            kernel: 1,
+            stride: 1,
+        };
         let (out, _) = max_pool2d(&t, spec).unwrap();
         assert_eq!(out.shape(), &[1, 1, 4]);
     }

@@ -13,9 +13,8 @@ const C: usize = 2;
 
 fn arb_entries(max: usize) -> impl Strategy<Value = Vec<SparseEntry>> {
     prop::collection::vec(
-        (0..C as u32, 0..H as u32, 0..W as u32, -4i8..=4).prop_map(|(c, r, col, v)| {
-            SparseEntry::new(c, r, col, v as f32 * 0.5)
-        }),
+        (0..C as u32, 0..H as u32, 0..W as u32, -4i8..=4)
+            .prop_map(|(c, r, col, v)| SparseEntry::new(c, r, col, v as f32 * 0.5)),
         0..max,
     )
 }

@@ -10,9 +10,7 @@
 use ev_core::time::{TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
 use ev_edge::dsfa::{CMode, DsfaConfig};
-use ev_edge::multipipe::{
-    run_multi_task_streams, MultiTaskRuntimeConfig, StreamTask,
-};
+use ev_edge::multipipe::{run_multi_task_streams, MultiTaskRuntimeConfig, StreamTask};
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
 use ev_edge::nmp::fitness::FitnessConfig;
@@ -88,11 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 t.max_latency.as_millis_f64(),
             );
         }
-        let busiest = report
-            .utilization
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let busiest = report.utilization.iter().cloned().fold(0.0f64, f64::max);
         println!(
             "  makespan {:.1} ms, energy {}, busiest engine at {:.0}%\n",
             report.makespan.as_secs_f64() * 1e3,

@@ -48,10 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut iou_sum = 0.0;
     let mut steps = 0;
     for k in 0..10u64 {
-        let window = TimeWindow::with_duration(
-            Timestamp::from_millis(k * 10),
-            TimeDelta::from_millis(10),
-        );
+        let window =
+            TimeWindow::with_duration(Timestamp::from_millis(k * 10), TimeDelta::from_millis(10));
         let events = camera.simulate(&scene, window)?;
         // One sparse frame for the whole step: DOTIE favours fine temporal
         // resolution, but 10 ms suffices for this slow crossing.

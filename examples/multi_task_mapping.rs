@@ -71,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .entry(format!("{}@{}", element.name, a.precision))
                 .or_insert(0usize) += 1;
         }
-        let summary: Vec<String> = per_pe
-            .iter()
-            .map(|(k, v)| format!("{v}x {k}"))
-            .collect();
+        let summary: Vec<String> = per_pe.iter().map(|(k, v)| format!("{v}x {k}")).collect();
         println!(
             "  {:<16} deg {:.3} (ΔA {:.3}): {}",
             task.name,

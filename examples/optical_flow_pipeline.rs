@@ -8,9 +8,7 @@
 
 use ev_core::time::{TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
-use ev_edge::pipeline::{
-    run_single_task, PipelineOptions, PipelineSetup, PipelineVariant,
-};
+use ev_edge::pipeline::{run_single_task, PipelineOptions, PipelineSetup, PipelineVariant};
 use ev_nn::zoo::{NetworkId, ZooConfig};
 use ev_platform::pe::Platform;
 

@@ -54,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Crop the central region and downsample 2x.
     let cropped = crop(&refr, 45, 2, 256, 256)?;
     let small = downsample(&cropped, 2)?;
-    println!(
-        "crop+down:  {} events ({})",
-        small.len(),
-        small.geometry()
-    );
+    println!("crop+down:  {} events ({})", small.len(), small.geometry());
 
     // 4. Persist as binary AER and read back.
     let bytes = aer::encode(&small);

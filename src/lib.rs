@@ -32,9 +32,7 @@ pub mod prelude {
     pub use ev_datasets::mvsec::SequenceId;
     pub use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig};
     pub use ev_edge::e2sf::{E2sf, E2sfConfig};
-    pub use ev_edge::pipeline::{
-        run_single_task, PipelineOptions, PipelineSetup, PipelineVariant,
-    };
+    pub use ev_edge::pipeline::{run_single_task, PipelineOptions, PipelineSetup, PipelineVariant};
     pub use ev_nn::zoo::{NetworkId, ZooConfig};
     pub use ev_platform::pe::Platform;
 }

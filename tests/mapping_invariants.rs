@@ -16,13 +16,7 @@ fn problem(networks: &[NetworkId]) -> MultiTaskProblem {
     let cfg = ZooConfig::mvsec();
     let tasks = networks
         .iter()
-        .map(|&n| {
-            TaskSpec::new(
-                n.build(&cfg).expect("buildable"),
-                n.accuracy_model(),
-                0.1,
-            )
-        })
+        .map(|&n| TaskSpec::new(n.build(&cfg).expect("buildable"), n.accuracy_model(), 0.1))
         .collect();
     MultiTaskProblem::new(Platform::xavier_agx(), tasks).expect("valid problem")
 }

@@ -4,9 +4,7 @@
 //! Absolute numbers are platform-model outputs and are recorded in
 //! EXPERIMENTS.md; these tests pin down the claims that must not regress.
 
-use ev_bench::experiments::{
-    figure1, figure3, figure5, figure8, figure9, figure10, table1,
-};
+use ev_bench::experiments::{figure1, figure10, figure3, figure5, figure8, figure9, table1};
 
 #[test]
 fn figure1_dense_processing_wastes_most_operations() {

@@ -1,0 +1,268 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled token parsing (the environment has no `syn`/`quote`),
+//! covering the three shapes this workspace derives:
+//!
+//! * structs with named fields,
+//! * newtype (single-field tuple) structs,
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving type.
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Newtype { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]` / `#![...]`) starting at `i`; returns the
+/// index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(bang)) = tokens.get(i) {
+                    if bang.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+                    _ => return i,
+                }
+            }
+            _ => return i,
+        }
+    }
+    i
+}
+
+/// Skips an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant list on top-level commas (angle-bracket aware).
+fn top_level_segments(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in cannot derive generic type `{name}`"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!("unit struct `{name}` is not supported")),
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let mut fields = Vec::new();
+            for segment in top_level_segments(&body_tokens) {
+                let mut j = skip_attrs(&segment, 0);
+                j = skip_vis(&segment, j);
+                match segment.get(j) {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    None => continue,
+                    _ => return Err(format!("unparseable field in `{name}`")),
+                }
+            }
+            Ok(Shape::Named { name, fields })
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            if top_level_segments(&body_tokens).len() == 1 {
+                Ok(Shape::Newtype { name })
+            } else {
+                Err(format!(
+                    "serde stand-in only derives single-field tuple structs; `{name}` has more"
+                ))
+            }
+        }
+        ("enum", Delimiter::Brace) => {
+            let mut variants = Vec::new();
+            for segment in top_level_segments(&body_tokens) {
+                let j = skip_attrs(&segment, 0);
+                match segment.get(j) {
+                    Some(TokenTree::Ident(id)) => {
+                        if segment.len() > j + 1 {
+                            return Err(format!(
+                                "serde stand-in only derives unit enum variants; \
+                                 `{name}::{id}` carries data"
+                            ));
+                        }
+                        variants.push(id.to_string());
+                    }
+                    None => continue,
+                    _ => return Err(format!("unparseable variant in `{name}`")),
+                }
+            }
+            Ok(Shape::UnitEnum { name, variants })
+        }
+        _ => Err(format!("unsupported shape for `{name}`")),
+    }
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::get_field(entries, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let entries = value.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\
+                                 concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value.as_str() {{\n\
+                             Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             None => Err(::serde::DeError::custom(\
+                                 concat!(\"expected string for \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
