@@ -6,7 +6,25 @@
 //! ordering: events are scheduled at absolute simulated timestamps and
 //! popped in `(time, payload)` order, with payload `Ord` as the
 //! deterministic tie-break (lower task index first, matching the serial
-//! engines this module replaced).
+//! engines this module replaced). The pipelined runtime's k-way merge
+//! over per-task frame channels reproduces exactly this pop order (see
+//! [`crate::exec::pipelined`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_core::Timestamp;
+//! use ev_edge::exec::clock::EventClock;
+//!
+//! let mut clock = EventClock::new(Timestamp::ZERO);
+//! clock.schedule(Timestamp::from_millis(8), 1usize);
+//! clock.schedule(Timestamp::from_millis(3), 0);
+//! clock.schedule(Timestamp::from_millis(8), 0); // same instant: task 0 first
+//! assert_eq!(clock.next_event(), Some((Timestamp::from_millis(3), 0)));
+//! assert_eq!(clock.next_event(), Some((Timestamp::from_millis(8), 0)));
+//! assert_eq!(clock.next_event(), Some((Timestamp::from_millis(8), 1)));
+//! assert_eq!(clock.now(), Timestamp::from_millis(8));
+//! ```
 
 use ev_core::Timestamp;
 use std::cmp::Reverse;

@@ -77,11 +77,114 @@ impl EngineReport {
     }
 }
 
+/// The task-facing surface of an execution engine: what runtime drivers
+/// (periodic arrivals, streaming frontends, the pipelined stage loop)
+/// need in order to deliver inputs and advance simulated time.
+///
+/// Implemented by [`ExecEngine`] itself and by the task-partitioned
+/// [`crate::exec::sharded::ShardedEngine`], so every driver in
+/// [`crate::multipipe`] is written once and runs over either.
+pub trait TaskEngine {
+    /// Number of tasks the engine serves.
+    fn task_count(&self) -> usize;
+
+    /// Records one frontend-level input arrival for `task` without
+    /// enqueuing anything.
+    fn note_arrival(&mut self, task: usize);
+
+    /// Enqueues a job on `task`'s bounded queue without counting an
+    /// arrival (overload discards the oldest pending input, §4.2).
+    fn enqueue(&mut self, task: usize, job: JobInput);
+
+    /// Delivers an input to `task`: counts the arrival and enqueues it.
+    fn submit(&mut self, task: usize, job: JobInput) {
+        self.note_arrival(task);
+        self.enqueue(task, job);
+    }
+
+    /// Whether `task` has no inference in flight at `time` (DSFA's
+    /// hardware-availability signal, paper §4.2).
+    fn task_idle_at(&self, task: usize, time: Timestamp) -> bool {
+        self.task_free_at(task) <= time
+    }
+
+    /// When `task`'s in-flight inference finishes.
+    fn task_free_at(&self, task: usize) -> Timestamp;
+
+    /// Every task's free time, in task order (the state vector the
+    /// pipelined frontend's lockstep feedback channel carries).
+    fn task_free_times(&self) -> Vec<Timestamp> {
+        (0..self.task_count())
+            .map(|t| self.task_free_at(t))
+            .collect()
+    }
+
+    /// Services every task that can make progress at `now`, in task
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch errors.
+    fn service_all(&mut self, now: Timestamp, model: &mut dyn JobModel) -> Result<(), EvEdgeError>;
+
+    /// Runs everything still queued for `task`, regardless of time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch errors.
+    fn drain(&mut self, task: usize, model: &mut dyn JobModel) -> Result<(), EvEdgeError>;
+
+    /// Runs everything still queued, task by task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch errors.
+    fn drain_all(&mut self, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        for task in 0..self.task_count() {
+            self.drain(task, model)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the run: charges `static_power_w` over the makespan and
+    /// produces the unified report.
+    fn finish(self, static_power_w: f64) -> EngineReport
+    where
+        Self: Sized;
+}
+
 /// The unified streaming execution engine.
 ///
 /// Generic over the timeline so the identical dispatch loop drives the
 /// serial [`ev_platform::DeviceTimeline`] or the thread-per-queue
 /// [`crate::exec::parallel::ParallelTimeline`].
+///
+/// # Examples
+///
+/// A one-task engine dispatching fixed-duration jobs through a
+/// [`crate::exec::job::BatchCostModel`]:
+///
+/// ```
+/// use ev_core::{TimeDelta, Timestamp};
+/// use ev_edge::exec::engine::ExecEngine;
+/// use ev_edge::exec::job::{BatchCostModel, JobInput};
+/// use ev_platform::energy::Energy;
+/// use ev_platform::timeline::DeviceTimeline;
+///
+/// # fn main() -> Result<(), ev_edge::EvEdgeError> {
+/// let mut engine = ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 1, 4)?;
+/// let mut model = BatchCostModel::new(0, |_density, _batch| {
+///     Ok((TimeDelta::from_millis(10), Energy::from_joules(0.5)))
+/// });
+/// engine.submit(0, JobInput::arrival(Timestamp::ZERO));
+/// engine.submit(0, JobInput::arrival(Timestamp::from_millis(2)));
+/// engine.drain(0, &mut model)?;
+/// let report = engine.finish(0.0);
+/// assert_eq!(report.per_task[0].completed, 2);
+/// assert_eq!(report.makespan, TimeDelta::from_millis(20));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct ExecEngine<T: ReservationTimeline> {
     start: Timestamp,
@@ -291,6 +394,36 @@ impl<T: ReservationTimeline> ExecEngine<T> {
             energy,
             utilization: self.timeline.utilizations(makespan),
         }
+    }
+}
+
+impl<T: ReservationTimeline> TaskEngine for ExecEngine<T> {
+    fn task_count(&self) -> usize {
+        ExecEngine::task_count(self)
+    }
+
+    fn note_arrival(&mut self, task: usize) {
+        ExecEngine::note_arrival(self, task);
+    }
+
+    fn enqueue(&mut self, task: usize, job: JobInput) {
+        ExecEngine::enqueue(self, task, job);
+    }
+
+    fn task_free_at(&self, task: usize) -> Timestamp {
+        ExecEngine::task_free_at(self, task)
+    }
+
+    fn service_all(&mut self, now: Timestamp, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        ExecEngine::service_all(self, now, model)
+    }
+
+    fn drain(&mut self, task: usize, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        ExecEngine::drain(self, task, model)
+    }
+
+    fn finish(self, static_power_w: f64) -> EngineReport {
+        ExecEngine::finish(self, static_power_w)
     }
 }
 

@@ -203,17 +203,59 @@ impl<'a> SchedGraphBuilder<'a> {
 /// This is the contention model of the multi-task runtime (paper §4.2 /
 /// Figure 9): concurrent tasks compete for the same queues first-come-
 /// first-served.
+///
+/// Reservations are batched per job: maximal runs of layers whose
+/// predecessors all live on the same processing element collapse into
+/// one [`ReservationTimeline::reserve_run`] chain, so a whole single-PE
+/// network costs one timeline call (one channel round trip on the
+/// message-passing [`crate::exec::parallel::ParallelTimeline`]) instead
+/// of one per layer. The produced reservations are identical to the
+/// per-layer sequence: within a FIFO queue, a layer whose dependencies
+/// all precede it on that queue always starts exactly when the previous
+/// reservation ends.
 #[derive(Debug)]
 pub struct MappedJobModel<'a> {
     problem: &'a MultiTaskProblem,
     candidate: &'a Candidate,
+    /// Scratch for the pending same-queue run (reused across dispatches).
+    run_durations: Vec<TimeDelta>,
+    run_layers: Vec<usize>,
 }
 
 impl<'a> MappedJobModel<'a> {
     /// A model executing `candidate` over `problem`'s tasks.
     pub fn new(problem: &'a MultiTaskProblem, candidate: &'a Candidate) -> Self {
-        MappedJobModel { problem, candidate }
+        MappedJobModel {
+            problem,
+            candidate,
+            run_durations: Vec::new(),
+            run_layers: Vec::new(),
+        }
     }
+}
+
+/// Reserves the pending run as one back-to-back chain and records the
+/// completion time of every layer in it.
+fn flush_run(
+    timeline: &mut dyn ReservationTimeline,
+    queue: usize,
+    ready: Timestamp,
+    durations: &mut Vec<TimeDelta>,
+    layers: &mut Vec<usize>,
+    end_of: &mut [Timestamp],
+    last_end: &mut Timestamp,
+) -> Result<(), EvEdgeError> {
+    if durations.is_empty() {
+        return Ok(());
+    }
+    let slots = timeline.reserve_run(queue, ready, durations)?;
+    for (&l, &(_, end)) in layers.iter().zip(&slots) {
+        end_of[l] = end;
+        *last_end = (*last_end).max(end);
+    }
+    durations.clear();
+    layers.clear();
+    Ok(())
 }
 
 impl JobModel for MappedJobModel<'_> {
@@ -230,6 +272,14 @@ impl JobModel for MappedJobModel<'_> {
         let mut end_of: Vec<Timestamp> = vec![ready; graph.len()];
         let mut energy = Energy::ZERO;
         let mut last_end = ready;
+        // The pending run: consecutive layers on `run_queue` whose
+        // dependencies are all internal to that queue. An errored
+        // dispatch may have left stale entries in the scratch buffers —
+        // this job starts from a clean run.
+        self.run_durations.clear();
+        self.run_layers.clear();
+        let mut run_queue = usize::MAX;
+        let mut run_ready = ready;
         for layer in graph.layers() {
             let l = layer.id.0;
             let global = self.problem.global_index(task, l);
@@ -246,6 +296,32 @@ impl JobModel for MappedJobModel<'_> {
                     precision: a.precision,
                 })?;
             energy += cost.energy;
+            // A layer extends the run when every predecessor shares its
+            // processing element (no transfer nodes) and the run already
+            // targets that queue: its dependency-ready time can never
+            // exceed the previous slot's end, so chaining is exact.
+            let all_preds_same_pe = graph.predecessors(LayerId(l)).iter().all(|pred| {
+                self.candidate
+                    .assignment(self.problem.global_index(task, pred.0))
+                    .pe
+                    == a.pe
+            });
+            if all_preds_same_pe && run_queue == a.pe.0 && !self.run_durations.is_empty() {
+                self.run_durations.push(cost.latency);
+                self.run_layers.push(l);
+                continue;
+            }
+            flush_run(
+                timeline,
+                run_queue,
+                run_ready,
+                &mut self.run_durations,
+                &mut self.run_layers,
+                &mut end_of,
+                &mut last_end,
+            )?;
+            // Cross-PE edges pay unified-memory transfers; their ends
+            // feed the new run's first-slot ready time.
             let mut dep_ready = ready;
             for pred in graph.predecessors(LayerId(l)) {
                 let pa = self
@@ -261,10 +337,20 @@ impl JobModel for MappedJobModel<'_> {
                 }
                 dep_ready = dep_ready.max(pred_end);
             }
-            let (_, end) = timeline.reserve_next(a.pe.0, dep_ready, cost.latency)?;
-            end_of[l] = end;
-            last_end = last_end.max(end);
+            run_queue = a.pe.0;
+            run_ready = dep_ready;
+            self.run_durations.push(cost.latency);
+            self.run_layers.push(l);
         }
+        flush_run(
+            timeline,
+            run_queue,
+            run_ready,
+            &mut self.run_durations,
+            &mut self.run_layers,
+            &mut end_of,
+            &mut last_end,
+        )?;
         Ok((last_end, energy))
     }
 }

@@ -10,7 +10,22 @@
 //!   processing-element queue is owned by a dedicated worker thread fed
 //!   over bounded channels. The engine's dispatch loop blocks on each
 //!   reservation reply, so simulated-time semantics stay deterministic
-//!   while reservations execute on real threads.
+//!   while reservations execute on real threads. The batched
+//!   [`ReservationTimeline::reserve_next`] / `reserve_run` entry points
+//!   are each served in a *single* round trip, so a whole same-PE layer
+//!   chain costs one message instead of two per layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_edge::exec::parallel::parallel_map;
+//!
+//! // Order-preserving: results land at their input index no matter
+//! // which worker computed them.
+//! let squares = parallel_map(4, (0u64..16).collect(), |x| x * x);
+//! assert_eq!(squares[5], 25);
+//! assert_eq!(squares.len(), 16);
+//! ```
 
 use ev_core::{TimeDelta, Timestamp};
 use ev_platform::{PlatformError, ReservationTimeline};
@@ -98,6 +113,16 @@ enum Request {
         TimeDelta,
         SyncSender<Result<Timestamp, PlatformError>>,
     ),
+    /// Reserve the earliest feasible slot for work ready at the
+    /// timestamp — `earliest_start` + `reserve` in one round trip.
+    ReserveNext(Timestamp, TimeDelta, SyncSender<(Timestamp, Timestamp)>),
+    /// Reserve a back-to-back run of slots, the first at the earliest
+    /// feasible start — one round trip for a whole dependency chain.
+    ReserveRun(
+        Timestamp,
+        Vec<TimeDelta>,
+        SyncSender<Vec<(Timestamp, Timestamp)>>,
+    ),
     /// Read the queue's accumulated busy time.
     BusyTime(SyncSender<TimeDelta>),
 }
@@ -148,6 +173,24 @@ fn worker_loop(queue: usize, rx: Receiver<Request>) {
                     Ok(free_at)
                 };
                 let _ = reply.send(outcome);
+            }
+            Request::ReserveNext(ready, duration, reply) => {
+                let start = ready.max(free_at);
+                free_at = start + duration;
+                busy += duration;
+                let _ = reply.send((start, free_at));
+            }
+            Request::ReserveRun(ready, durations, reply) => {
+                let mut slots = Vec::with_capacity(durations.len());
+                let mut next_ready = ready;
+                for duration in durations {
+                    let start = next_ready.max(free_at);
+                    free_at = start + duration;
+                    busy += duration;
+                    next_ready = free_at;
+                    slots.push((start, free_at));
+                }
+                let _ = reply.send(slots);
             }
             Request::BusyTime(reply) => {
                 let _ = reply.send(busy);
@@ -244,6 +287,45 @@ impl ReservationTimeline for ParallelTimeline {
             .expect("queue worker alive");
         reply_rx.recv().expect("queue worker replies")
     }
+
+    // The default `reserve_next` costs two round trips (earliest_start
+    // + reserve); the worker can do both in one message.
+    fn reserve_next(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<(Timestamp, Timestamp), PlatformError> {
+        let worker = self.worker(queue)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        worker
+            .tx
+            .send(Request::ReserveNext(ready, duration, reply_tx))
+            .expect("queue worker alive");
+        Ok(reply_rx.recv().expect("queue worker replies"))
+    }
+
+    // A whole same-queue dependency chain in one round trip instead of
+    // two per link (the ROADMAP-flagged hot-path cost).
+    fn reserve_run(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        durations: &[TimeDelta],
+    ) -> Result<Vec<(Timestamp, Timestamp)>, PlatformError> {
+        if durations.is_empty() {
+            // Zero slots reserve nothing; like the trait's default impl
+            // (zero `reserve_next` calls), the queue is never touched.
+            return Ok(Vec::new());
+        }
+        let worker = self.worker(queue)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        worker
+            .tx
+            .send(Request::ReserveRun(ready, durations.to_vec(), reply_tx))
+            .expect("queue worker alive");
+        Ok(reply_rx.recv().expect("queue worker replies"))
+    }
 }
 
 #[cfg(test)]
@@ -326,5 +408,41 @@ mod tests {
     fn invalid_queue_rejected() {
         let tl = ParallelTimeline::new(2);
         assert!(tl.earliest_start(5, Timestamp::ZERO).is_err());
+    }
+
+    #[test]
+    fn batched_runs_match_device_timeline() {
+        let mut serial = DeviceTimeline::new(2);
+        let mut parallel = ParallelTimeline::new(2);
+        let ms = |v| Timestamp::from_millis(v);
+        let d = |v| TimeDelta::from_millis(v);
+        // Interleave single reservations with batched runs on both
+        // queues; every slot must match the serial timeline.
+        let s0 = serial.reserve_next(0, ms(3), d(5)).unwrap();
+        let p0 = parallel.reserve_next(0, ms(3), d(5)).unwrap();
+        assert_eq!(s0, p0);
+        for (queue, ready, durations) in [
+            (0usize, 0u64, vec![4i64, 2, 9]),
+            (1, 5, vec![1, 1]),
+            (0, 40, vec![3]),
+        ] {
+            let durations: Vec<TimeDelta> =
+                durations.into_iter().map(TimeDelta::from_millis).collect();
+            let s = serial.reserve_run(queue, ms(ready), &durations).unwrap();
+            let p = parallel.reserve_run(queue, ms(ready), &durations).unwrap();
+            assert_eq!(s, p, "queue {queue} run from {ready}");
+        }
+        assert!(parallel.reserve_run(1, ms(0), &[]).unwrap().is_empty());
+        // Zero slots touch no queue — matching the trait default, even
+        // for out-of-range queues.
+        assert!(parallel.reserve_run(7, ms(0), &[]).unwrap().is_empty());
+        assert!(serial.reserve_run(7, ms(0), &[]).unwrap().is_empty());
+        assert!(parallel.reserve_run(7, ms(0), &[d(1)]).is_err());
+        for q in 0..2 {
+            assert_eq!(
+                ReservationTimeline::busy_time(&serial, q),
+                parallel.busy_time(q)
+            );
+        }
     }
 }

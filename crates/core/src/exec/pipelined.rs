@@ -1,0 +1,393 @@
+//! The pipelined streaming runtime: frontend stages on worker threads.
+//!
+//! The serial streaming drivers run E2SF slicing, DSFA selection and
+//! inference dispatch inside one loop — event preprocessing for slice
+//! *k+1* cannot start before inference for slice *k* has been issued. A
+//! stage-pipelined event platform (HOMI-style) overlaps them instead.
+//! [`run_pipelined_streams`] arranges the Figure 4 system as real
+//! threads connected by bounded channels:
+//!
+//! ```text
+//!  E2SF worker (task 0) ──frames──▶ ┐
+//!  E2SF worker (task 1) ──frames──▶ ├─ DSFA stage thread ──arrivals──▶ engine loop
+//!  …                                ┘   (ordered merge +      ▲        (caller thread:
+//!   bounded SyncChannels,               selection)            │         bounded queues,
+//!   one message per interval)                     free-times  └──────── dispatch,
+//!                                                 feedback (on demand)  accounting)
+//! ```
+//!
+//! * **E2SF workers** (one per task) generate each task's event stream
+//!   and bin it interval by interval, sending each interval's sparse
+//!   frames downstream as one message. They run freely ahead of the
+//!   engine, bounded only by the channel capacity (backpressure blocks
+//!   the producer — frames are never discarded in flight).
+//! * The **DSFA stage thread** merges the per-task frame streams into
+//!   the global arrival order and applies each task's Dynamic Sparse
+//!   Frame Aggregator, including the §4.2 early-flush rule. Arrivals
+//!   travel to the engine in batches.
+//! * The **engine loop** (the caller's thread) feeds every arrival into
+//!   the engine's bounded inference queues — the oldest-drop rule of
+//!   §4.2 applies at this channel boundary, exactly as in the serial
+//!   drivers — services pending inferences, and owns all accounting.
+//!
+//! # Determinism
+//!
+//! Reports are bitwise identical to the serial drivers for any channel
+//! capacity:
+//!
+//! * each producer emits its task's frames in ready-time order, and the
+//!   stage thread's k-way merge picks the minimum `(ready, task)` head —
+//!   exactly the [`crate::exec::clock::EventClock`] pop order the serial
+//!   driver uses;
+//! * DSFA's early-flush decision consumes the engine's idleness signal
+//!   (`task_free[t] <= ready`), which lives one thread downstream. The
+//!   stage thread keeps a *stale* copy of the per-task free times and
+//!   exploits two exact facts: free times are monotone non-decreasing,
+//!   so a stale `free[t] > ready` already proves the task busy; and
+//!   flushing an empty aggregator is a no-op, so idleness is irrelevant
+//!   while nothing is buffered. Only when the aggregator holds frames
+//!   *and* the stale free time has been overtaken does the stage issue a
+//!   sync request and block for fresh state — which reflects every
+//!   arrival sent so far, i.e. exactly the serial loop's view. All other
+//!   arrivals stream down the channel without any round trip;
+//! * simulated time is carried *in* the messages, so thread scheduling
+//!   never influences any modeled quantity.
+
+use crate::exec::engine::{EngineReport, TaskEngine};
+use crate::exec::job::{JobInput, JobModel};
+use crate::exec::stage::{DsfaStage, Stage};
+use crate::frame::SparseFrame;
+use crate::EvEdgeError;
+use ev_core::{TimeWindow, Timestamp};
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Arrivals buffered per [`StageMsg::Batch`] before the stage flushes
+/// the batch downstream regardless of sync needs.
+const ARRIVAL_BATCH: usize = 16;
+
+/// One frame's worth of frontend output: the arrival bookkeeping plus
+/// everything DSFA emitted in response (early-flushed batches first,
+/// then batches completed by the frame itself).
+struct Arrival {
+    task: usize,
+    ready: Timestamp,
+    jobs: Vec<JobInput>,
+}
+
+/// What the DSFA stage thread sends to the engine loop.
+enum StageMsg {
+    /// Apply the arrivals in order; no reply expected.
+    Batch(Vec<Arrival>),
+    /// Apply the arrivals in order, then reply with the per-task free
+    /// times (the stage needs fresh idleness state).
+    Sync(Vec<Arrival>),
+    /// End-of-stream flush for `task`: enqueue `jobs`, drain the task,
+    /// then reply with the per-task free times.
+    Tail { task: usize, jobs: Vec<JobInput> },
+    /// A frontend stage failed; the run must abort with this error.
+    Abort(EvEdgeError),
+}
+
+/// An interval's frames (in ready order) or a frontend failure, as sent
+/// by an E2SF worker.
+pub type FrameBatchResult = Result<Vec<SparseFrame>, EvEdgeError>;
+
+/// The per-task frame queues the stage thread merges.
+struct MergeHeads {
+    receivers: Vec<Receiver<FrameBatchResult>>,
+    /// Buffered frames per task, in ready order; `None` receiver slots
+    /// are exhausted.
+    buffers: Vec<VecDeque<SparseFrame>>,
+    open: Vec<bool>,
+}
+
+impl MergeHeads {
+    fn new(receivers: Vec<Receiver<FrameBatchResult>>) -> Self {
+        let tasks = receivers.len();
+        MergeHeads {
+            receivers,
+            buffers: (0..tasks).map(|_| VecDeque::new()).collect(),
+            open: vec![true; tasks],
+        }
+    }
+
+    /// Blocks until task `t` has a buffered frame or its stream ends.
+    fn fill(&mut self, task: usize) -> Result<(), EvEdgeError> {
+        while self.open[task] && self.buffers[task].is_empty() {
+            match self.receivers[task].recv() {
+                Ok(batch) => self.buffers[task].extend(batch?),
+                Err(_) => self.open[task] = false,
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the next frame in global `(ready, task)` order — the
+    /// [`crate::exec::clock::EventClock`] order of the serial drivers.
+    fn next(&mut self) -> Result<Option<(usize, SparseFrame)>, EvEdgeError> {
+        for task in 0..self.receivers.len() {
+            self.fill(task)?;
+        }
+        let task = match self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter_map(|(t, buf)| buf.front().map(|f| (f.ready_at(), t)))
+            .min()
+        {
+            Some((_, t)) => t,
+            None => return Ok(None),
+        };
+        let frame = self.buffers[task].pop_front().expect("selected head");
+        debug_assert!(
+            self.buffers[task]
+                .front()
+                .is_none_or(|next| next.ready_at() >= frame.ready_at()),
+            "per-task frame streams must be ready-ordered"
+        );
+        Ok(Some((task, frame)))
+    }
+}
+
+/// The DSFA stage thread: ordered merge, aggregation, on-demand sync.
+fn stage_loop(
+    receivers: Vec<Receiver<FrameBatchResult>>,
+    mut frontends: Vec<DsfaStage>,
+    window: TimeWindow,
+    msg_tx: &SyncSender<StageMsg>,
+    free_rx: &Receiver<Vec<Timestamp>>,
+) {
+    let tasks = frontends.len();
+    // Stale lower bounds on the engine's per-task free times (free
+    // times never decrease, so `stale[t] > ready` is already proof of
+    // busyness).
+    let mut free = vec![window.start(); tasks];
+    let mut pending: Vec<Arrival> = Vec::new();
+    let run = |free: &mut Vec<Timestamp>| -> Result<bool, EvEdgeError> {
+        let mut merge = MergeHeads::new(receivers);
+        while let Some((task, frame)) = merge.next()? {
+            let ready = frame.ready_at();
+            // The §4.2 early-flush decision needs *fresh* engine state
+            // only when something is buffered (flushing an empty
+            // aggregator is a no-op) and the stale free time no longer
+            // proves the task busy.
+            if frontends[task].has_buffered() && free[task] <= ready {
+                if msg_tx
+                    .send(StageMsg::Sync(std::mem::take(&mut pending)))
+                    .is_err()
+                {
+                    return Ok(false);
+                }
+                match free_rx.recv() {
+                    Ok(times) => *free = times,
+                    Err(_) => return Ok(false),
+                }
+            }
+            let mut jobs = Vec::new();
+            if frontends[task].has_buffered() && free[task] <= ready {
+                jobs.extend(frontends[task].flush(ready)?);
+            }
+            jobs.extend(frontends[task].push(frame)?);
+            pending.push(Arrival { task, ready, jobs });
+            if pending.len() >= ARRIVAL_BATCH
+                && msg_tx
+                    .send(StageMsg::Batch(std::mem::take(&mut pending)))
+                    .is_err()
+            {
+                return Ok(false);
+            }
+        }
+        // End of every stream: flush each task's aggregator at its tail
+        // instant and let the engine drain, in task order. The tail
+        // instants need fresh free times after *all* arrivals.
+        if msg_tx
+            .send(StageMsg::Sync(std::mem::take(&mut pending)))
+            .is_err()
+        {
+            return Ok(false);
+        }
+        match free_rx.recv() {
+            Ok(times) => *free = times,
+            Err(_) => return Ok(false),
+        }
+        for (task, frontend) in frontends.iter_mut().enumerate() {
+            let tail = free[task].max(window.end());
+            let jobs = frontend.flush(tail)?;
+            if msg_tx.send(StageMsg::Tail { task, jobs }).is_err() {
+                return Ok(false);
+            }
+            match free_rx.recv() {
+                Ok(times) => *free = times,
+                Err(_) => return Ok(false),
+            }
+        }
+        Ok(true)
+    };
+    if let Err(e) = run(&mut free) {
+        let _ = msg_tx.send(StageMsg::Abort(e));
+    }
+}
+
+/// Runs a multi-task streaming scenario through the stage-pipelined
+/// runtime: one E2SF producer per task, a DSFA stage thread, and the
+/// engine loop on the calling thread.
+///
+/// `producers[t]` generates task `t`'s sparse-frame stream in ready-time
+/// order, sending each interval's frames (or a failure) through the
+/// provided channel; it runs on its own worker thread.
+/// `channel_capacity` bounds every inter-stage channel (`0` =
+/// rendezvous).
+///
+/// The report is bitwise identical to the serial streaming driver for
+/// any `channel_capacity` — see the [module docs](self).
+///
+/// # Panics
+///
+/// Panics when `frontends`, `producers` and the engine's task count
+/// disagree — a driver wiring bug, not a runtime condition (the
+/// higher-level [`crate::multipipe`] drivers validate scenario shapes
+/// and return [`EvEdgeError::PeriodCountMismatch`] instead).
+///
+/// # Errors
+///
+/// Propagates frontend (E2SF/DSFA) and dispatch errors.
+pub fn run_pipelined_streams<E, P>(
+    mut engine: E,
+    frontends: Vec<DsfaStage>,
+    producers: Vec<P>,
+    model: &mut dyn JobModel,
+    window: TimeWindow,
+    channel_capacity: usize,
+    static_power_w: f64,
+) -> Result<EngineReport, EvEdgeError>
+where
+    E: TaskEngine,
+    P: FnOnce(SyncSender<FrameBatchResult>) + Send,
+{
+    assert_eq!(
+        frontends.len(),
+        producers.len(),
+        "one DSFA frontend per producer"
+    );
+    assert_eq!(
+        frontends.len(),
+        engine.task_count(),
+        "one frontend per engine task"
+    );
+    std::thread::scope(|scope| {
+        let mut frame_rxs = Vec::with_capacity(producers.len());
+        for producer in producers {
+            let (tx, rx) = sync_channel::<FrameBatchResult>(channel_capacity);
+            scope.spawn(move || producer(tx));
+            frame_rxs.push(rx);
+        }
+        let (msg_tx, msg_rx) = sync_channel::<StageMsg>(channel_capacity.max(1));
+        let (free_tx, free_rx) = sync_channel::<Vec<Timestamp>>(1);
+        scope.spawn(move || stage_loop(frame_rxs, frontends, window, &msg_tx, &free_rx));
+
+        fn apply<E: TaskEngine>(
+            engine: &mut E,
+            model: &mut dyn JobModel,
+            arrivals: Vec<Arrival>,
+        ) -> Result<(), EvEdgeError> {
+            for Arrival { task, ready, jobs } in arrivals {
+                engine.note_arrival(task);
+                for job in jobs {
+                    engine.enqueue(task, job);
+                }
+                engine.service_all(ready, model)?;
+            }
+            Ok(())
+        }
+        for msg in msg_rx {
+            match msg {
+                StageMsg::Batch(arrivals) => apply(&mut engine, model, arrivals)?,
+                StageMsg::Sync(arrivals) => {
+                    apply(&mut engine, model, arrivals)?;
+                    if free_tx.send(engine.task_free_times()).is_err() {
+                        break;
+                    }
+                }
+                StageMsg::Tail { task, jobs } => {
+                    for job in jobs {
+                        engine.enqueue(task, job);
+                    }
+                    engine.drain(task, model)?;
+                    if free_tx.send(engine.task_free_times()).is_err() {
+                        break;
+                    }
+                }
+                StageMsg::Abort(e) => return Err(e),
+            }
+        }
+        Ok(engine.finish(static_power_w))
+    })
+}
+
+/// Runs a periodic-arrival scenario through a two-stage pipeline: a
+/// producer thread emits `(ready, task)` arrivals in global time order
+/// over a bounded channel, the engine loop (the calling thread)
+/// submits and services them. Arrival times are data-independent, so no
+/// feedback channel is needed and the report is trivially identical to
+/// the serial driver for any `channel_capacity`.
+///
+/// # Errors
+///
+/// Propagates dispatch errors.
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::{TimeDelta, Timestamp};
+/// use ev_edge::exec::engine::ExecEngine;
+/// use ev_edge::exec::job::BatchCostModel;
+/// use ev_edge::exec::pipelined::run_pipelined_arrivals;
+/// use ev_platform::energy::Energy;
+/// use ev_platform::timeline::DeviceTimeline;
+///
+/// # fn main() -> Result<(), ev_edge::EvEdgeError> {
+/// let engine = ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 1, 4)?;
+/// let mut model = BatchCostModel::new(0, |_density, _batch| {
+///     Ok((TimeDelta::from_millis(4), Energy::from_joules(0.1)))
+/// });
+/// // Producer thread: arrivals every 10 ms.
+/// let report = run_pipelined_arrivals(
+///     engine,
+///     |tx| {
+///         for k in 0..3u64 {
+///             if tx.send((Timestamp::from_millis(10 * k), 0)).is_err() {
+///                 return;
+///             }
+///         }
+///     },
+///     &mut model,
+///     2,
+///     0.0,
+/// )?;
+/// assert_eq!(report.per_task[0].completed, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_pipelined_arrivals<E, P>(
+    mut engine: E,
+    producer: P,
+    model: &mut dyn JobModel,
+    channel_capacity: usize,
+    static_power_w: f64,
+) -> Result<EngineReport, EvEdgeError>
+where
+    E: TaskEngine,
+    P: FnOnce(SyncSender<(Timestamp, usize)>) + Send,
+{
+    std::thread::scope(|scope| {
+        let (tx, rx) = sync_channel::<(Timestamp, usize)>(channel_capacity.max(1));
+        scope.spawn(move || producer(tx));
+        for (arrival, task) in rx {
+            engine.submit(task, JobInput::arrival(arrival));
+            engine.service_all(arrival, model)?;
+        }
+        engine.drain_all(model)?;
+        Ok(engine.finish(static_power_w))
+    })
+}

@@ -1,0 +1,378 @@
+//! Task-sharded execution over one shared reservation timeline.
+//!
+//! A multi-task scenario does not need one monolithic engine: each task's
+//! bounded queue, latency accounting and drop counters are independent —
+//! only the *platform* (the reservation timeline and its PE queues) is
+//! shared. [`ShardedEngine`] exploits that: tasks are distributed over
+//! per-shard [`ExecEngine`] instances that all reserve device time on a
+//! single [`SharedTimeline`], so per-task state is isolated per shard
+//! while contention still plays out on one platform.
+//!
+//! # Determinism
+//!
+//! Reports are bitwise identical to the monolithic engine for any shard
+//! count:
+//!
+//! * dispatch order is preserved — [`TaskEngine::service_all`] and
+//!   [`TaskEngine::drain_all`] visit tasks in *global* task order, so the
+//!   shared timeline sees exactly the serial reservation sequence;
+//! * energy is accumulated in that same global dispatch order by the
+//!   sharded engine itself (floating-point addition is not associative,
+//!   so per-shard partial sums would not be bitwise stable);
+//! * every per-task statistic lives in exactly one shard and never
+//!   crosses a float-summation boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_core::{TimeDelta, Timestamp};
+//! use ev_edge::exec::engine::TaskEngine;
+//! use ev_edge::exec::job::{BatchCostModel, JobInput};
+//! use ev_edge::exec::sharded::ShardedEngine;
+//! use ev_platform::energy::Energy;
+//! use ev_platform::timeline::DeviceTimeline;
+//!
+//! # fn main() -> Result<(), ev_edge::EvEdgeError> {
+//! // Two tasks, two shards, one shared single-queue platform.
+//! let mut engine =
+//!     ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 2, 4, 2)?;
+//! let mut model = BatchCostModel::new(0, |_density, _batch| {
+//!     Ok((TimeDelta::from_millis(5), Energy::from_joules(1.0)))
+//! });
+//! engine.submit(0, JobInput::arrival(Timestamp::ZERO));
+//! engine.submit(1, JobInput::arrival(Timestamp::ZERO));
+//! engine.drain_all(&mut model)?;
+//! let report = engine.finish(0.0);
+//! // The two jobs serialized on the one shared queue.
+//! assert_eq!(report.makespan, TimeDelta::from_millis(10));
+//! assert_eq!(report.completed(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
+use crate::exec::job::{JobInput, JobModel};
+use crate::EvEdgeError;
+use ev_core::{TimeDelta, Timestamp};
+use ev_platform::energy::Energy;
+use ev_platform::{PlatformError, ReservationTimeline};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A cloneable handle to one reservation timeline, letting several
+/// engine shards contend for the same device queues.
+///
+/// All handles alias the same underlying timeline; the sharded engine
+/// serializes dispatch, so interior mutability is uncontended.
+pub struct SharedTimeline<T: ReservationTimeline> {
+    inner: Rc<RefCell<T>>,
+}
+
+impl<T: ReservationTimeline> SharedTimeline<T> {
+    /// Wraps `timeline` in a shareable handle.
+    pub fn new(timeline: T) -> Self {
+        SharedTimeline {
+            inner: Rc::new(RefCell::new(timeline)),
+        }
+    }
+}
+
+impl<T: ReservationTimeline> Clone for SharedTimeline<T> {
+    fn clone(&self) -> Self {
+        SharedTimeline {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ReservationTimeline> core::fmt::Debug for SharedTimeline<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SharedTimeline")
+            .field("queues", &self.inner.borrow().queues())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: ReservationTimeline> ReservationTimeline for SharedTimeline<T> {
+    fn queues(&self) -> usize {
+        self.inner.borrow().queues()
+    }
+
+    fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
+        self.inner.borrow().earliest_start(queue, ready)
+    }
+
+    fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        self.inner.borrow_mut().reserve(queue, start, duration)
+    }
+
+    fn busy_time(&self, queue: usize) -> TimeDelta {
+        self.inner.borrow().busy_time(queue)
+    }
+
+    // Forward the batched entry points so a message-passing inner
+    // timeline keeps its single-round-trip overrides.
+    fn reserve_next(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<(Timestamp, Timestamp), PlatformError> {
+        self.inner.borrow_mut().reserve_next(queue, ready, duration)
+    }
+
+    fn reserve_run(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        durations: &[TimeDelta],
+    ) -> Result<Vec<(Timestamp, Timestamp)>, PlatformError> {
+        self.inner.borrow_mut().reserve_run(queue, ready, durations)
+    }
+}
+
+/// Rewrites a shard-local task index back to the scenario's global task
+/// index before handing the job to the real model, and accumulates the
+/// returned energy in global dispatch order.
+struct GlobalTaskModel<'a> {
+    inner: &'a mut dyn JobModel,
+    task: usize,
+    energy: &'a mut Energy,
+}
+
+impl JobModel for GlobalTaskModel<'_> {
+    fn dispatch(
+        &mut self,
+        _local_task: usize,
+        job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError> {
+        let (end, energy) = self.inner.dispatch(self.task, job, ready, timeline)?;
+        *self.energy += energy;
+        Ok((end, energy))
+    }
+}
+
+/// A multi-task engine whose tasks are partitioned over independent
+/// [`ExecEngine`] shards contending for one [`SharedTimeline`].
+///
+/// See the [module docs](self) for the determinism argument; job
+/// records are not supported (shards would record local task indices),
+/// so [`EngineReport::jobs`] is always empty.
+#[derive(Debug)]
+pub struct ShardedEngine<T: ReservationTimeline> {
+    timeline: SharedTimeline<T>,
+    shards: Vec<ExecEngine<SharedTimeline<T>>>,
+    /// Global task index → (shard, shard-local task index).
+    placement: Vec<(usize, usize)>,
+    start: Timestamp,
+    /// Busy energy accumulated in global dispatch order.
+    energy: Energy,
+}
+
+impl<T: ReservationTimeline> ShardedEngine<T> {
+    /// Partitions `tasks` tasks round-robin over `shards` engine shards
+    /// (`0` means one shard per task) that share `timeline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvEdgeError::InvalidQueueCapacity`] when
+    /// `queue_capacity` is zero.
+    pub fn new(
+        start: Timestamp,
+        timeline: T,
+        tasks: usize,
+        queue_capacity: usize,
+        shards: usize,
+    ) -> Result<Self, EvEdgeError> {
+        let timeline = SharedTimeline::new(timeline);
+        let shard_count = if shards == 0 {
+            tasks.max(1)
+        } else {
+            shards.min(tasks.max(1))
+        };
+        let mut per_shard = vec![0usize; shard_count];
+        let mut placement = Vec::with_capacity(tasks);
+        for task in 0..tasks {
+            let shard = task % shard_count;
+            placement.push((shard, per_shard[shard]));
+            per_shard[shard] += 1;
+        }
+        let shards = per_shard
+            .iter()
+            .map(|&count| ExecEngine::new(start, timeline.clone(), count, queue_capacity))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine {
+            timeline,
+            shards,
+            placement,
+            start,
+            energy: Energy::ZERO,
+        })
+    }
+
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn place(&self, task: usize) -> (usize, usize) {
+        self.placement[task]
+    }
+}
+
+impl<T: ReservationTimeline> TaskEngine for ShardedEngine<T> {
+    fn task_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    fn note_arrival(&mut self, task: usize) {
+        let (shard, local) = self.place(task);
+        self.shards[shard].note_arrival(local);
+    }
+
+    fn enqueue(&mut self, task: usize, job: JobInput) {
+        let (shard, local) = self.place(task);
+        self.shards[shard].enqueue(local, job);
+    }
+
+    fn task_free_at(&self, task: usize) -> Timestamp {
+        let (shard, local) = self.place(task);
+        self.shards[shard].task_free_at(local)
+    }
+
+    fn service_all(&mut self, now: Timestamp, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        // Global task order: the shared timeline must see exactly the
+        // monolithic engine's reservation sequence.
+        for task in 0..self.placement.len() {
+            let (shard, local) = self.place(task);
+            let mut global = GlobalTaskModel {
+                inner: model,
+                task,
+                energy: &mut self.energy,
+            };
+            self.shards[shard].service(local, now, &mut global)?;
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self, task: usize, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        let (shard, local) = self.place(task);
+        let mut global = GlobalTaskModel {
+            inner: model,
+            task,
+            energy: &mut self.energy,
+        };
+        self.shards[shard].drain(local, &mut global)
+    }
+
+    fn finish(self, static_power_w: f64) -> EngineReport {
+        let makespan_end = self
+            .shards
+            .iter()
+            .map(ExecEngine::makespan_end)
+            .max()
+            .unwrap_or(self.start);
+        let makespan = makespan_end - self.start;
+        let busy_time = self.timeline.total_busy();
+        let utilization = self.timeline.utilizations(makespan);
+        let shard_reports: Vec<EngineReport> =
+            self.shards.into_iter().map(|s| s.finish(0.0)).collect();
+        let per_task = self
+            .placement
+            .iter()
+            .map(|&(shard, local)| shard_reports[shard].per_task[local].clone())
+            .collect();
+        let energy = self.energy + Energy::from_joules(static_power_w * makespan.as_secs_f64());
+        EngineReport {
+            per_task,
+            jobs: Vec::new(),
+            makespan,
+            busy_time,
+            energy,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_platform::timeline::DeviceTimeline;
+
+    fn fixed_model(
+        duration_ms: i64,
+    ) -> crate::exec::job::BatchCostModel<
+        impl FnMut(f64, usize) -> Result<(TimeDelta, Energy), EvEdgeError>,
+    > {
+        crate::exec::job::BatchCostModel::new(0, move |_d, _b| {
+            Ok((
+                TimeDelta::from_millis(duration_ms),
+                Energy::from_joules(0.25),
+            ))
+        })
+    }
+
+    fn drive<E: TaskEngine>(mut engine: E, tasks: usize) -> EngineReport {
+        let mut model = fixed_model(7);
+        for step in 0..5u64 {
+            for task in 0..tasks {
+                engine.submit(task, JobInput::arrival(Timestamp::from_millis(step * 3)));
+            }
+            engine
+                .service_all(Timestamp::from_millis(step * 3), &mut model)
+                .unwrap();
+        }
+        engine.drain_all(&mut model).unwrap();
+        engine.finish(1.5)
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_for_any_shard_count() {
+        let tasks = 3;
+        let reference = drive(
+            ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(2), tasks, 2).unwrap(),
+            tasks,
+        );
+        for shards in [0, 1, 2, 3, 5] {
+            let sharded = drive(
+                ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(2), tasks, 2, shards)
+                    .unwrap(),
+                tasks,
+            );
+            assert_eq!(reference, sharded, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn placement_is_round_robin() {
+        let engine = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 5, 1, 2).unwrap();
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(
+            engine.placement,
+            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn shard_count_clamped_to_tasks() {
+        let engine = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 2, 1, 9).unwrap();
+        assert_eq!(engine.shard_count(), 2);
+        let auto = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 4, 1, 0).unwrap();
+        assert_eq!(auto.shard_count(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(matches!(
+            ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 2, 0, 0),
+            Err(EvEdgeError::InvalidQueueCapacity { .. })
+        ));
+    }
+}

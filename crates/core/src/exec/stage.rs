@@ -7,7 +7,32 @@
 //! lives in [`crate::exec::engine::ExecEngine`]). The [`Stage`] trait
 //! makes that composition explicit: each stage consumes inputs, may emit
 //! zero or more outputs per input, and can be flushed at a simulated
-//! instant (DSFA's hardware-availability rule).
+//! instant (DSFA's hardware-availability rule). The same stages run
+//! inline (serial drivers) or on worker threads (the pipelined runtime,
+//! [`crate::exec::pipelined`]) — a stage never knows which.
+//!
+//! # Examples
+//!
+//! ```
+//! use ev_core::event::{Event, Polarity, SensorGeometry};
+//! use ev_core::stream::EventSlice;
+//! use ev_core::{TimeWindow, Timestamp};
+//! use ev_edge::e2sf::E2sfConfig;
+//! use ev_edge::exec::stage::{DirectStage, E2sfStage, Stage};
+//!
+//! # fn main() -> Result<(), ev_edge::EvEdgeError> {
+//! let events = EventSlice::new(
+//!     SensorGeometry::DAVIS346,
+//!     vec![Event::new(10, 20, Timestamp::from_millis(1), Polarity::On)],
+//! )?;
+//! // E2SF slicing composed with the identity frontend: one inference
+//! // input per sparse frame.
+//! let mut chain = E2sfStage::new(E2sfConfig::new(4), events).then(DirectStage);
+//! let jobs = chain.push(TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(8)))?;
+//! assert_eq!(jobs.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::dsfa::{Dsfa, DsfaConfig, MergedBatch};
 use crate::e2sf::{E2sf, E2sfConfig};
@@ -145,6 +170,13 @@ impl DsfaStage {
     /// the accuracy model's aggregation term).
     pub fn aggregation_aggressiveness(&self) -> f64 {
         self.dsfa.aggregation_aggressiveness()
+    }
+
+    /// Whether any frames are buffered awaiting aggregation. While
+    /// empty, [`Stage::flush`] is a no-op — the signal the pipelined
+    /// runtime uses to skip hardware-availability syncs (§4.2).
+    pub fn has_buffered(&self) -> bool {
+        self.dsfa.occupancy() > 0
     }
 }
 

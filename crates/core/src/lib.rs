@@ -37,7 +37,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dsfa;
@@ -49,20 +49,26 @@ pub mod queue;
 
 /// The unified streaming execution core shared by every runtime: the
 /// discrete-event clock, the job model, the dispatch/accounting engine,
-/// composable frontend stages, and the multi-threaded parallel runtime.
+/// composable frontend stages, and the multi-threaded runtimes
+/// (thread-per-queue reservations, stage-pipelined frontends, and
+/// task-sharded engines over one shared timeline).
 pub mod exec {
     pub mod clock;
     pub mod engine;
     pub mod job;
     pub mod parallel;
+    pub mod pipelined;
+    pub mod sharded;
     pub mod stage;
 
     pub use clock::EventClock;
-    pub use engine::{EngineReport, ExecEngine, TaskStats};
+    pub use engine::{EngineReport, ExecEngine, TaskEngine, TaskStats};
     pub use job::{
         BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
     };
     pub use parallel::{parallel_map, ParallelTimeline};
+    pub use pipelined::{run_pipelined_arrivals, run_pipelined_streams};
+    pub use sharded::{ShardedEngine, SharedTimeline};
     pub use stage::{Compose, DirectStage, DsfaStage, E2sfStage, Stage};
 }
 

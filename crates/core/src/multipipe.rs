@@ -8,26 +8,60 @@
 //! overload (§4.2). This is the runtime view of the Figure 9 scenario.
 //!
 //! Both drivers here are thin shells over the unified [`crate::exec`]
-//! core: an [`EventClock`] orders arrivals, the [`ExecEngine`] owns the
+//! core: an [`EventClock`] orders arrivals, a [`TaskEngine`] owns the
 //! bounded queues and all latency/energy accounting, and a
 //! [`MappedJobModel`] reserves the shared processing-element queues layer
-//! by layer. Setting [`MultiTaskRuntimeConfig::parallel`] swaps the
-//! serial timeline for the thread-per-queue
-//! [`crate::exec::parallel::ParallelTimeline`] with bitwise-identical
-//! results.
+//! by layer. [`MultiTaskRuntimeConfig::mode`] selects *how* that engine
+//! executes — serially, over thread-per-queue reservations, behind a
+//! stage-pipelined frontend, or sharded across per-task engines — with
+//! bitwise-identical reports in every mode (see [`ExecMode`]).
 
 use crate::exec::clock::EventClock;
-use crate::exec::engine::{EngineReport, ExecEngine};
+use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
 use crate::exec::job::{JobInput, MappedJobModel};
 use crate::exec::parallel::ParallelTimeline;
-use crate::exec::stage::{DsfaStage, Stage};
+use crate::exec::pipelined::{run_pipelined_arrivals, run_pipelined_streams, FrameBatchResult};
+use crate::exec::sharded::ShardedEngine;
+use crate::exec::stage::{DsfaStage, E2sfStage, Stage};
 use crate::nmp::candidate::Candidate;
 use crate::nmp::multitask::MultiTaskProblem;
 use crate::EvEdgeError;
 use ev_core::{TimeDelta, TimeWindow};
 use ev_platform::energy::Energy;
 use ev_platform::timeline::DeviceTimeline;
-use ev_platform::ReservationTimeline;
+use std::sync::mpsc::SyncSender;
+
+/// How the multi-task engine executes. Every mode produces bitwise-
+/// identical reports — the mode chooses *where the wall-clock time
+/// goes*, never what the simulation computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread, serial [`DeviceTimeline`] — the reference semantics.
+    Serial,
+    /// Device reservations on the thread-per-queue
+    /// [`crate::exec::parallel::ParallelTimeline`] (one worker thread
+    /// per PE queue, bounded channels).
+    ThreadPerQueue,
+    /// Frontend stages (E2SF slicing, DSFA selection) on worker threads
+    /// connected to the engine by bounded channels, overlapping event
+    /// preprocessing for slice *k+1* with inference for slice *k* (see
+    /// [`crate::exec::pipelined`]).
+    Pipelined {
+        /// Bounded-channel capacity between stages (`0` = rendezvous).
+        channel_capacity: usize,
+    },
+    /// Tasks sharded across per-task [`ExecEngine`] instances that
+    /// share one reservation timeline (see [`crate::exec::sharded`]).
+    Sharded {
+        /// Engine-shard count (`0` = one shard per task).
+        shards: usize,
+    },
+}
+
+impl ExecMode {
+    /// The default channel capacity of [`ExecMode::Pipelined`].
+    pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
+}
 
 /// Configuration of a runtime multi-task simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,25 +70,42 @@ pub struct MultiTaskRuntimeConfig {
     pub window: TimeWindow,
     /// Per-task inference-queue capacity (pending inputs before drops).
     pub queue_capacity: usize,
-    /// Run device reservations on the thread-per-queue parallel runtime
-    /// instead of the serial timeline (identical results).
-    pub parallel: bool,
+    /// Execution mode (identical results, different wall-clock shape).
+    pub mode: ExecMode,
 }
 
 impl MultiTaskRuntimeConfig {
-    /// A window with depth-2 queues on the serial timeline.
+    /// A window with depth-2 queues on the serial engine.
     pub fn new(window: TimeWindow) -> Self {
         MultiTaskRuntimeConfig {
             window,
             queue_capacity: 2,
-            parallel: false,
+            mode: ExecMode::Serial,
         }
     }
 
     /// Switches device reservations to the thread-per-queue runtime.
     #[must_use]
     pub fn with_parallel_runtime(mut self) -> Self {
-        self.parallel = true;
+        self.mode = ExecMode::ThreadPerQueue;
+        self
+    }
+
+    /// Runs frontend stages on worker threads behind bounded channels
+    /// of the default capacity.
+    #[must_use]
+    pub fn with_pipelined_frontend(mut self) -> Self {
+        self.mode = ExecMode::Pipelined {
+            channel_capacity: ExecMode::DEFAULT_CHANNEL_CAPACITY,
+        };
+        self
+    }
+
+    /// Shards tasks across per-task engines over one shared timeline
+    /// (`0` = one shard per task).
+    #[must_use]
+    pub fn with_sharded_engines(mut self, shards: usize) -> Self {
+        self.mode = ExecMode::Sharded { shards };
         self
     }
 }
@@ -162,60 +213,133 @@ pub fn run_multi_task_runtime(
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     validated_periods(problem, periods)?;
     let queues = problem.platform().queue_count();
-    if config.parallel {
-        run_periodic(
-            problem,
-            candidate,
-            periods,
-            config,
-            ParallelTimeline::new(queues),
-        )
-    } else {
-        run_periodic(
-            problem,
-            candidate,
-            periods,
-            config,
-            DeviceTimeline::new(queues),
-        )
+    let tasks = problem.tasks().len();
+    let start = config.window.start();
+    match config.mode {
+        ExecMode::Serial => {
+            let engine = ExecEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_periodic(problem, candidate, periods, config, engine)
+        }
+        ExecMode::ThreadPerQueue => {
+            let engine = ExecEngine::new(
+                start,
+                ParallelTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_periodic(problem, candidate, periods, config, engine)
+        }
+        ExecMode::Sharded { shards } => {
+            let engine = ShardedEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+                shards,
+            )?;
+            run_periodic(problem, candidate, periods, config, engine)
+        }
+        ExecMode::Pipelined { channel_capacity } => {
+            let engine = ExecEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_periodic_pipelined(
+                problem,
+                candidate,
+                periods,
+                config,
+                engine,
+                channel_capacity,
+            )
+        }
     }
 }
 
-fn run_periodic<T: ReservationTimeline>(
+/// Schedules every periodic arrival of the window in global time order,
+/// invoking `deliver(arrival, task)`; `deliver` returns `false` to stop
+/// early (a pipelined consumer hung up).
+fn for_each_periodic_arrival(
+    window: TimeWindow,
+    periods: &[TimeDelta],
+    mut deliver: impl FnMut(ev_core::Timestamp, usize) -> bool,
+) {
+    // Arrivals in global time order, ties broken by task index.
+    let mut clock: EventClock<usize> = EventClock::new(window.start());
+    if window.start() < window.end() {
+        for task in 0..periods.len() {
+            clock.schedule(window.start(), task);
+        }
+    }
+    while let Some((arrival, task)) = clock.next_event() {
+        let next = arrival + periods[task];
+        if next < window.end() {
+            clock.schedule(next, task);
+        }
+        if !deliver(arrival, task) {
+            return;
+        }
+    }
+}
+
+fn run_periodic<E: TaskEngine>(
     problem: &MultiTaskProblem,
     candidate: &Candidate,
     periods: &[TimeDelta],
     config: MultiTaskRuntimeConfig,
-    timeline: T,
+    mut engine: E,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     let tasks = problem.tasks();
-    let mut engine = ExecEngine::new(
-        config.window.start(),
-        timeline,
-        tasks.len(),
-        config.queue_capacity,
-    )?;
     let mut model = MappedJobModel::new(problem, candidate);
-
-    // Arrivals in global time order, ties broken by task index.
-    let mut clock: EventClock<usize> = EventClock::new(config.window.start());
-    if config.window.start() < config.window.end() {
-        for task in 0..tasks.len() {
-            clock.schedule(config.window.start(), task);
-        }
-    }
-    while let Some((arrival, task)) = clock.next_event() {
+    let mut outcome = Ok(());
+    for_each_periodic_arrival(config.window, periods, |arrival, task| {
         engine.submit(task, JobInput::arrival(arrival));
-        let next = arrival + periods[task];
-        if next < config.window.end() {
-            clock.schedule(next, task);
-        }
         // Greedy: run every pending inference whose task is free by now.
-        engine.service_all(arrival, &mut model)?;
-    }
+        outcome = engine.service_all(arrival, &mut model);
+        outcome.is_ok()
+    });
+    outcome?;
     engine.drain_all(&mut model)?;
 
     let report = engine.finish(problem.platform().static_power_w);
+    Ok(MultiTaskRuntimeReport::from_engine(
+        report,
+        tasks.iter().map(|t| t.name.clone()),
+    ))
+}
+
+/// The periodic driver with arrival generation on a producer thread:
+/// the two-stage pipeline of [`crate::exec::pipelined`].
+fn run_periodic_pipelined<E: TaskEngine>(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    periods: &[TimeDelta],
+    config: MultiTaskRuntimeConfig,
+    engine: E,
+    channel_capacity: usize,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    let tasks = problem.tasks();
+    let mut model = MappedJobModel::new(problem, candidate);
+    let window = config.window;
+    let producer = move |tx: SyncSender<(ev_core::Timestamp, usize)>| {
+        for_each_periodic_arrival(window, periods, |arrival, task| {
+            tx.send((arrival, task)).is_ok()
+        });
+    };
+    let report = run_pipelined_arrivals(
+        engine,
+        producer,
+        &mut model,
+        channel_capacity,
+        problem.platform().static_power_w,
+    )?;
     Ok(MultiTaskRuntimeReport::from_engine(
         report,
         tasks.iter().map(|t| t.name.clone()),
@@ -253,41 +377,72 @@ pub fn run_multi_task_streams(
     config: MultiTaskRuntimeConfig,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     let queues = problem.platform().queue_count();
-    if config.parallel {
-        run_streams(
-            problem,
-            candidate,
-            streams,
-            config,
-            ParallelTimeline::new(queues),
-        )
-    } else {
-        run_streams(
-            problem,
-            candidate,
-            streams,
-            config,
-            DeviceTimeline::new(queues),
-        )
+    let tasks = problem.tasks().len();
+    if streams.len() != tasks {
+        return Err(EvEdgeError::PeriodCountMismatch {
+            tasks,
+            periods: streams.len(),
+        });
+    }
+    let start = config.window.start();
+    match config.mode {
+        ExecMode::Serial => {
+            let engine = ExecEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_streams(problem, candidate, streams, config, engine)
+        }
+        ExecMode::ThreadPerQueue => {
+            let engine = ExecEngine::new(
+                start,
+                ParallelTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_streams(problem, candidate, streams, config, engine)
+        }
+        ExecMode::Sharded { shards } => {
+            let engine = ShardedEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+                shards,
+            )?;
+            run_streams(problem, candidate, streams, config, engine)
+        }
+        ExecMode::Pipelined { channel_capacity } => {
+            let engine = ExecEngine::new(
+                start,
+                DeviceTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            run_streams_pipelined(
+                problem,
+                candidate,
+                streams,
+                config,
+                engine,
+                channel_capacity,
+            )
+        }
     }
 }
 
-fn run_streams<T: ReservationTimeline>(
+fn run_streams<E: TaskEngine>(
     problem: &MultiTaskProblem,
     candidate: &Candidate,
     streams: &[StreamTask],
     config: MultiTaskRuntimeConfig,
-    timeline: T,
+    mut engine: E,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     use crate::e2sf::{E2sf, E2sfConfig};
 
     let tasks = problem.tasks();
-    if streams.len() != tasks.len() {
-        return Err(EvEdgeError::PeriodCountMismatch {
-            tasks: tasks.len(),
-            periods: streams.len(),
-        });
-    }
 
     // Frontend: per-task frame streams (precomputed — generation is
     // deterministic and arrival times are data-independent).
@@ -304,12 +459,6 @@ fn run_streams<T: ReservationTimeline>(
         .iter()
         .map(|s| DsfaStage::new(s.dsfa))
         .collect::<Result<_, _>>()?;
-    let mut engine = ExecEngine::new(
-        config.window.start(),
-        timeline,
-        tasks.len(),
-        config.queue_capacity,
-    )?;
     let mut model = MappedJobModel::new(problem, candidate);
 
     // Global arrival order: (ready time, task, frame index).
@@ -345,6 +494,67 @@ fn run_streams<T: ReservationTimeline>(
     }
 
     let report = engine.finish(problem.platform().static_power_w);
+    Ok(MultiTaskRuntimeReport::from_engine(
+        report,
+        tasks.iter().map(|t| t.name.clone()),
+    ))
+}
+
+/// The streaming driver with its frontend stages on worker threads:
+/// per-task E2SF producers slice events interval by interval while the
+/// DSFA stage thread merges, aggregates and feeds the engine loop — the
+/// full three-stage pipeline of [`crate::exec::pipelined`].
+fn run_streams_pipelined<E: TaskEngine>(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    streams: &[StreamTask],
+    config: MultiTaskRuntimeConfig,
+    engine: E,
+    channel_capacity: usize,
+) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
+    use crate::e2sf::E2sfConfig;
+
+    let tasks = problem.tasks();
+    let window = config.window;
+    let frontends: Vec<DsfaStage> = streams
+        .iter()
+        .map(|s| DsfaStage::new(s.dsfa))
+        .collect::<Result<_, _>>()?;
+    // One E2SF producer per task: generate the event stream, then slice
+    // it interval by interval, sending each interval's frames downstream
+    // as one message the moment they exist.
+    let producers: Vec<_> = streams
+        .iter()
+        .map(|stream| {
+            let sequence = stream.sequence.clone();
+            let bins = stream.bins_per_interval;
+            move |tx: SyncSender<FrameBatchResult>| {
+                let produce = || -> Result<(), EvEdgeError> {
+                    let events = sequence.generate(window)?;
+                    let mut e2sf = E2sfStage::new(E2sfConfig::new(bins), events);
+                    for interval in sequence.frame_intervals(window) {
+                        if tx.send(Ok(e2sf.push(interval)?)).is_err() {
+                            return Ok(()); // consumer gone
+                        }
+                    }
+                    Ok(())
+                };
+                if let Err(e) = produce() {
+                    let _ = tx.send(Err(e));
+                }
+            }
+        })
+        .collect();
+    let mut model = MappedJobModel::new(problem, candidate);
+    let report = run_pipelined_streams(
+        engine,
+        frontends,
+        producers,
+        &mut model,
+        window,
+        channel_capacity,
+        problem.platform().static_power_w,
+    )?;
     Ok(MultiTaskRuntimeReport::from_engine(
         report,
         tasks.iter().map(|t| t.name.clone()),
@@ -537,6 +747,73 @@ mod tests {
         )
         .unwrap();
         assert_eq!(serial, parallel, "thread-per-queue runtime must be exact");
+    }
+
+    #[test]
+    fn pipelined_and_sharded_runtime_match_serial_exactly() {
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let periods = [TimeDelta::from_millis(5), TimeDelta::from_millis(9)];
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
+        for capacity in [0usize, 1, 8] {
+            let mut config = window_ms(60);
+            config.mode = ExecMode::Pipelined {
+                channel_capacity: capacity,
+            };
+            let pipelined = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+            assert_eq!(serial, pipelined, "channel capacity {capacity}");
+        }
+        for shards in [0usize, 1, 2] {
+            let sharded = run_multi_task_runtime(
+                &p,
+                &candidate,
+                &periods,
+                window_ms(60).with_sharded_engines(shards),
+            )
+            .unwrap();
+            assert_eq!(serial, sharded, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn pipelined_streams_match_serial_for_any_capacity() {
+        use ev_datasets::mvsec::SequenceId;
+        let p = problem();
+        let candidate = baseline::rr_network(&p);
+        let streams = vec![
+            StreamTask {
+                sequence: SequenceId::IndoorFlying2.sequence(),
+                bins_per_interval: 8,
+                dsfa: crate::dsfa::DsfaConfig::default(),
+            },
+            StreamTask {
+                sequence: SequenceId::DenseTown10.sequence(),
+                bins_per_interval: 4,
+                dsfa: crate::dsfa::DsfaConfig {
+                    cmode: crate::dsfa::CMode::CBatch,
+                    mb_size: 1,
+                    ..crate::dsfa::DsfaConfig::default()
+                },
+            },
+        ];
+        let serial = run_multi_task_streams(&p, &candidate, &streams, window_ms(60)).unwrap();
+        assert!(serial.per_task.iter().all(|t| t.completed > 0));
+        for capacity in [0usize, 1, 2, 16] {
+            let mut config = window_ms(60);
+            config.mode = ExecMode::Pipelined {
+                channel_capacity: capacity,
+            };
+            let pipelined = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+            assert_eq!(serial, pipelined, "channel capacity {capacity}");
+        }
+        let sharded = run_multi_task_streams(
+            &p,
+            &candidate,
+            &streams,
+            window_ms(60).with_sharded_engines(0),
+        )
+        .unwrap();
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! The inference-queue drop rule of §4.2 affects which frames contribute
 //! to accuracy, not the latency results, and is reflected through the
 //! DSFA aggregation term of the accuracy model.
+//!
+//! This driver runs its one task serially — with a single task there is
+//! no cross-stream merge to pipeline and no contention to shard. The
+//! concurrent execution modes (thread-per-queue reservations, the
+//! stage-pipelined frontend, task-sharded engines) live in the
+//! multi-task drivers of [`crate::multipipe`], selected by
+//! [`crate::multipipe::ExecMode`].
 
 use crate::dsfa::DsfaConfig;
 use crate::e2sf::E2sfConfig;

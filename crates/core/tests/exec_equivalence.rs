@@ -1,13 +1,19 @@
 //! Engine equivalence: the multi-task runtime is the unified exec
 //! engine — a single-task problem run through `run_multi_task_runtime`
 //! must produce exactly the counts, latencies, energy and makespan of
-//! the same workload driven through `ExecEngine` directly.
+//! the same workload driven through `ExecEngine` directly — and every
+//! execution mode (thread-per-queue, stage-pipelined, task-sharded) is
+//! the serial engine: reports are bitwise identical for any channel
+//! capacity and shard count.
 
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::mvsec::SequenceId;
 use ev_edge::exec::clock::EventClock;
 use ev_edge::exec::engine::ExecEngine;
 use ev_edge::exec::job::{JobInput, MappedJobModel};
-use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
+use ev_edge::multipipe::{
+    run_multi_task_runtime, run_multi_task_streams, ExecMode, MultiTaskRuntimeConfig, StreamTask,
+};
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
 use ev_edge::EvEdgeError;
@@ -24,6 +30,31 @@ fn single_task_problem() -> MultiTaskProblem {
             NetworkId::Dotie.accuracy_model(),
             0.04,
         )],
+    )
+    .unwrap()
+}
+
+fn three_task_problem() -> MultiTaskProblem {
+    let cfg = ZooConfig::mvsec();
+    MultiTaskProblem::new(
+        Platform::xavier_agx(),
+        vec![
+            TaskSpec::new(
+                NetworkId::Dotie.build(&cfg).unwrap(),
+                NetworkId::Dotie.accuracy_model(),
+                0.04,
+            ),
+            TaskSpec::new(
+                NetworkId::E2Depth.build(&cfg).unwrap(),
+                NetworkId::E2Depth.accuracy_model(),
+                0.02,
+            ),
+            TaskSpec::new(
+                NetworkId::SpikeFlowNet.build(&cfg).unwrap(),
+                NetworkId::SpikeFlowNet.accuracy_model(),
+                0.03,
+            ),
+        ],
     )
     .unwrap()
 }
@@ -116,6 +147,106 @@ fn overloaded_single_task_drops_identically() {
         multi.per_task[0].mean_latency,
         single.per_task[0].mean_latency
     );
+}
+
+/// Every execution mode of the periodic runtime is the serial engine:
+/// identical drop counts, latencies, energy, makespan and utilization
+/// for any worker/channel/shard count.
+#[test]
+fn every_exec_mode_matches_serial_periodic_runtime() {
+    let problem = three_task_problem();
+    let candidate = baseline::rr_layer(&problem);
+    let periods = [
+        TimeDelta::from_millis(4),
+        TimeDelta::from_millis(6),
+        TimeDelta::from_millis(9),
+    ];
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(70));
+    let serial_config = MultiTaskRuntimeConfig::new(window);
+    let serial = run_multi_task_runtime(&problem, &candidate, &periods, serial_config).unwrap();
+    assert!(serial.per_task.iter().all(|t| t.completed > 0));
+
+    let modes = [
+        ExecMode::ThreadPerQueue,
+        ExecMode::Pipelined {
+            channel_capacity: 0,
+        },
+        ExecMode::Pipelined {
+            channel_capacity: 1,
+        },
+        ExecMode::Pipelined {
+            channel_capacity: 32,
+        },
+        ExecMode::Sharded { shards: 0 },
+        ExecMode::Sharded { shards: 1 },
+        ExecMode::Sharded { shards: 2 },
+        ExecMode::Sharded { shards: 3 },
+    ];
+    for mode in modes {
+        let mut config = serial_config;
+        config.mode = mode;
+        let report = run_multi_task_runtime(&problem, &candidate, &periods, config).unwrap();
+        assert_eq!(serial, report, "mode {mode:?}");
+    }
+}
+
+/// The full streaming scenario (E2SF + DSFA frontends) is bitwise
+/// identical across modes too — including the pipelined runtime whose
+/// frontend stages run on worker threads.
+#[test]
+fn every_exec_mode_matches_serial_streams() {
+    let problem = three_task_problem();
+    let candidate = baseline::rr_network(&problem);
+    let streams = vec![
+        StreamTask {
+            sequence: SequenceId::IndoorFlying1.sequence(),
+            bins_per_interval: 6,
+            dsfa: ev_edge::dsfa::DsfaConfig::default(),
+        },
+        StreamTask {
+            sequence: SequenceId::OutdoorDay1.sequence(),
+            bins_per_interval: 4,
+            dsfa: ev_edge::dsfa::DsfaConfig {
+                cmode: ev_edge::dsfa::CMode::CBatch,
+                mb_size: 1,
+                ..ev_edge::dsfa::DsfaConfig::default()
+            },
+        },
+        StreamTask {
+            sequence: SequenceId::DenseTown10.sequence(),
+            bins_per_interval: 8,
+            dsfa: ev_edge::dsfa::DsfaConfig {
+                ebuf_size: 4,
+                mb_size: 2,
+                ..ev_edge::dsfa::DsfaConfig::default()
+            },
+        },
+    ];
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(50));
+    let serial_config = MultiTaskRuntimeConfig::new(window);
+    let serial = run_multi_task_streams(&problem, &candidate, &streams, serial_config).unwrap();
+    assert!(serial.per_task.iter().all(|t| t.arrivals > 0));
+
+    let modes = [
+        ExecMode::ThreadPerQueue,
+        ExecMode::Pipelined {
+            channel_capacity: 0,
+        },
+        ExecMode::Pipelined {
+            channel_capacity: 2,
+        },
+        ExecMode::Pipelined {
+            channel_capacity: 64,
+        },
+        ExecMode::Sharded { shards: 0 },
+        ExecMode::Sharded { shards: 2 },
+    ];
+    for mode in modes {
+        let mut config = serial_config;
+        config.mode = mode;
+        let report = run_multi_task_streams(&problem, &candidate, &streams, config).unwrap();
+        assert_eq!(serial, report, "mode {mode:?}");
+    }
 }
 
 #[test]

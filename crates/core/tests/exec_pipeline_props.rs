@@ -1,0 +1,127 @@
+//! Property tests for the execution modes: across random scenarios,
+//! queue capacities, channel capacities and shard counts, the pipelined
+//! and sharded runtimes report exactly the serial engine's drop counts,
+//! latencies, energy, makespan and utilization.
+
+use ev_core::{TimeDelta, TimeWindow, Timestamp};
+use ev_datasets::mvsec::SequenceId;
+use ev_edge::dsfa::{CMode, DsfaConfig};
+use ev_edge::multipipe::{
+    run_multi_task_runtime, run_multi_task_streams, ExecMode, MultiTaskRuntimeConfig, StreamTask,
+};
+use ev_edge::nmp::baseline;
+use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use ev_nn::zoo::{NetworkId, ZooConfig};
+use ev_platform::pe::Platform;
+use proptest::prelude::*;
+
+const NETWORKS: [NetworkId; 3] = [
+    NetworkId::Dotie,
+    NetworkId::E2Depth,
+    NetworkId::SpikeFlowNet,
+];
+const SEQUENCES: [SequenceId; 3] = [
+    SequenceId::IndoorFlying1,
+    SequenceId::OutdoorDay1,
+    SequenceId::DenseTown10,
+];
+
+fn problem(tasks: usize) -> MultiTaskProblem {
+    let cfg = ZooConfig::mvsec();
+    MultiTaskProblem::new(
+        Platform::xavier_agx(),
+        NETWORKS
+            .iter()
+            .take(tasks)
+            .map(|&n| TaskSpec::new(n.build(&cfg).unwrap(), n.accuracy_model(), 0.05))
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Periodic runtime: serial ≡ pipelined ≡ sharded for random
+    /// scenarios, queue capacities, channel capacities and shard counts.
+    #[test]
+    fn periodic_modes_agree(
+        tasks in 1usize..4,
+        period_base in 2i64..9,
+        window_ms in 20u64..60,
+        queue_capacity in 1usize..4,
+        channel_capacity in 0usize..9,
+        shards in 0usize..4,
+        layer_wise in any::<bool>(),
+    ) {
+        let p = problem(tasks);
+        let candidate = if layer_wise {
+            baseline::rr_layer(&p)
+        } else {
+            baseline::rr_network(&p)
+        };
+        let periods: Vec<TimeDelta> = (0..tasks)
+            .map(|t| TimeDelta::from_millis(period_base + 2 * t as i64))
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+
+        config.mode = ExecMode::Pipelined { channel_capacity };
+        let pipelined = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &pipelined);
+
+        config.mode = ExecMode::Sharded { shards };
+        let sharded = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &sharded);
+    }
+
+    /// Streaming runtime (E2SF + DSFA frontends on worker threads):
+    /// serial ≡ pipelined ≡ sharded for random frontend configurations
+    /// and channel capacities.
+    #[test]
+    fn streaming_modes_agree(
+        tasks in 1usize..4,
+        bins in 2usize..9,
+        window_ms in 15u64..45,
+        queue_capacity in 1usize..4,
+        channel_capacity in 0usize..9,
+        shards in 0usize..4,
+        cbatch in any::<bool>(),
+    ) {
+        let p = problem(tasks);
+        let candidate = baseline::rr_network(&p);
+        let streams: Vec<StreamTask> = (0..tasks)
+            .map(|t| StreamTask {
+                sequence: SEQUENCES[t].sequence(),
+                bins_per_interval: bins,
+                dsfa: if cbatch {
+                    DsfaConfig {
+                        cmode: CMode::CBatch,
+                        mb_size: 1,
+                        ..DsfaConfig::default()
+                    }
+                } else {
+                    DsfaConfig::default()
+                },
+            })
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+
+        config.mode = ExecMode::Pipelined { channel_capacity };
+        let pipelined = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+        prop_assert_eq!(&serial, &pipelined);
+
+        config.mode = ExecMode::Sharded { shards };
+        let sharded = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+        prop_assert_eq!(&serial, &sharded);
+    }
+}

@@ -61,6 +61,57 @@ pub trait ReservationTimeline {
         Ok((start, end))
     }
 
+    /// Reserves `durations.len()` back-to-back slots on `queue`: the
+    /// first at the earliest feasible start for work ready at `ready`,
+    /// each subsequent slot exactly when its predecessor ends. Returns
+    /// every slot's `(start, end)`.
+    ///
+    /// This is the batching entry point for dependency *chains* that
+    /// stay on one queue (e.g. consecutive network layers mapped to the
+    /// same processing element): the result is identical to calling
+    /// [`ReservationTimeline::reserve_next`] once per slot, but a
+    /// message-passing implementation can satisfy the whole run in a
+    /// single round trip (see `ev_edge::exec::parallel`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReservationTimeline::reserve_next`] errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ev_platform::timeline::DeviceTimeline;
+    /// use ev_platform::ReservationTimeline;
+    /// use ev_core::{TimeDelta, Timestamp};
+    ///
+    /// # fn main() -> Result<(), ev_platform::PlatformError> {
+    /// let mut tl = DeviceTimeline::new(1);
+    /// let slots = tl.reserve_run(
+    ///     0,
+    ///     Timestamp::from_millis(5),
+    ///     &[TimeDelta::from_millis(10), TimeDelta::from_millis(3)],
+    /// )?;
+    /// assert_eq!(slots[0], (Timestamp::from_millis(5), Timestamp::from_millis(15)));
+    /// assert_eq!(slots[1], (Timestamp::from_millis(15), Timestamp::from_millis(18)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn reserve_run(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        durations: &[TimeDelta],
+    ) -> Result<Vec<(Timestamp, Timestamp)>, PlatformError> {
+        let mut slots = Vec::with_capacity(durations.len());
+        let mut next_ready = ready;
+        for &duration in durations {
+            let slot = self.reserve_next(queue, next_ready, duration)?;
+            next_ready = slot.1;
+            slots.push(slot);
+        }
+        Ok(slots)
+    }
+
     /// Utilization of `queue` over `[0, horizon)`.
     fn utilization(&self, queue: usize, horizon: TimeDelta) -> f64 {
         if horizon.as_micros() <= 0 {
@@ -307,5 +358,35 @@ mod tests {
         let tl = DeviceTimeline::new(1);
         assert!(tl.earliest_start(3, ms(0)).is_err());
         assert!(tl.free_at(3).is_err());
+    }
+
+    #[test]
+    fn reserve_run_matches_per_slot_reservations() {
+        let durations = [
+            TimeDelta::from_millis(4),
+            TimeDelta::from_millis(1),
+            TimeDelta::from_millis(7),
+        ];
+        let mut run_tl = DeviceTimeline::new(1);
+        // A prior reservation so the run starts behind existing work.
+        run_tl
+            .reserve(0, ms(0), TimeDelta::from_millis(10))
+            .unwrap();
+        let slots = run_tl.reserve_run(0, ms(2), &durations).unwrap();
+
+        let mut step_tl = DeviceTimeline::new(1);
+        step_tl
+            .reserve(0, ms(0), TimeDelta::from_millis(10))
+            .unwrap();
+        let mut expected = Vec::new();
+        let mut ready = ms(2);
+        for &d in &durations {
+            let slot = ReservationTimeline::reserve_next(&mut step_tl, 0, ready, d).unwrap();
+            ready = slot.1;
+            expected.push(slot);
+        }
+        assert_eq!(slots, expected);
+        assert_eq!(run_tl, step_tl);
+        assert!(run_tl.reserve_run(0, ms(0), &[]).unwrap().is_empty());
     }
 }
