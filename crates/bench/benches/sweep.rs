@@ -1,0 +1,46 @@
+//! Serial vs parallel NMP configuration-sweep throughput.
+//!
+//! The sweep engine fans whole configuration cells (each a complete
+//! evolutionary search plus a runtime playback) out across the
+//! exec-core worker pool. Cells are embarrassingly parallel and share
+//! no mutable state, so on an N-core host `sweep_parallel` should
+//! approach N× the serial throughput while producing bitwise-identical
+//! reports; on a single-core CI container the two track within noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ev_edge::nmp::sweep::{
+    run_sweep, PlatformPreset, SearchAlgorithm, SweepSpec, TaskMix, ZooPreset,
+};
+
+fn bench_spec() -> SweepSpec {
+    SweepSpec {
+        base_seed: 0xBE7C,
+        populations: vec![4, 8],
+        generations: vec![3, 6],
+        mutation_layers: vec![1, 2],
+        elite_fractions: vec![0.25],
+        queue_capacities: vec![2],
+        platforms: vec![PlatformPreset::XavierAgx],
+        task_mixes: vec![TaskMix::AllSnn],
+        algorithms: vec![SearchAlgorithm::Evolutionary],
+        zoo: ZooPreset::Small,
+        runtime_window_ms: 10,
+        keep_history: false,
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let spec = bench_spec();
+    let mut group = c.benchmark_group("nmp_sweep");
+    group.sample_size(10);
+
+    for (label, workers) in [("sweep_serial", 1usize), ("sweep_parallel", 0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_sweep(&spec, workers).expect("sweep succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

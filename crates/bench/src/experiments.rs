@@ -12,7 +12,9 @@ use ev_edge::nmp::baseline;
 use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
 use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
 use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
-use ev_edge::nmp::random_search::run_random_search;
+use ev_edge::nmp::sweep::{
+    run_sweep, PlatformPreset, SearchAlgorithm, SweepReport, SweepSpec, TaskMix, ZooPreset,
+};
 use ev_edge::pipeline::{run_single_task, PipelineOptions, PipelineSetup, PipelineVariant};
 use ev_edge::{E2sf, E2sfConfig};
 use ev_nn::forward::{Activation, Executor};
@@ -38,15 +40,7 @@ pub fn sequence_for(network: NetworkId) -> SequenceId {
 
 /// The ΔA threshold per network (the paper's Table 2 deltas).
 pub fn delta_a_for(network: NetworkId) -> f64 {
-    match network {
-        NetworkId::SpikeFlowNet => 0.03,
-        NetworkId::FusionFlowNet => 0.07,
-        NetworkId::AdaptiveSpikeNet => 0.09,
-        NetworkId::Halsie => 2.13,
-        NetworkId::E2Depth => 0.02,
-        NetworkId::Dotie => 0.04,
-        NetworkId::EvFlowNet => 0.04,
-    }
+    network.delta_a()
 }
 
 fn analysis_window(quick: bool) -> TimeWindow {
@@ -497,25 +491,45 @@ pub struct Fig10Result {
     pub improvement_over_random: f64,
 }
 
-/// Regenerates Figure 10 on the mixed SNN-ANN configuration.
+/// The 1×1-grid sweep behind Figure 10: one evolutionary cell and one
+/// random-search cell on the mixed SNN-ANN configuration.
+fn figure10_spec(quick: bool) -> SweepSpec {
+    let config = nmp_config(quick);
+    SweepSpec {
+        base_seed: config.seed,
+        populations: vec![config.population],
+        generations: vec![config.generations],
+        mutation_layers: vec![config.mutation_layers],
+        elite_fractions: vec![config.elite_fraction],
+        queue_capacities: vec![2],
+        platforms: vec![PlatformPreset::XavierAgx],
+        task_mixes: vec![TaskMix::MixedSnnAnn],
+        algorithms: vec![SearchAlgorithm::Evolutionary, SearchAlgorithm::Random],
+        zoo: ZooPreset::Mvsec,
+        runtime_window_ms: if quick { 20 } else { 50 },
+        keep_history: true,
+    }
+}
+
+/// Regenerates Figure 10 on the mixed SNN-ANN configuration, entirely
+/// via the [`ev_edge::nmp::sweep`] engine (a 2-cell sweep over the
+/// algorithm axis).
 ///
 /// # Errors
 ///
 /// Propagates search errors.
 pub fn figure10(quick: bool) -> Result<Fig10Result, Box<dyn Error>> {
-    let networks = vec![
-        NetworkId::FusionFlowNet,
-        NetworkId::Halsie,
-        NetworkId::Dotie,
-        NetworkId::E2Depth,
-    ];
-    let problem = build_problem(&networks)?;
-    let config = nmp_config(quick);
-    let nmp = run_nmp(&problem, config, FitnessConfig::default())?;
-    // Random search with an identical evaluation budget but no baseline
-    // seeding (pure random sampling, as the paper compares against).
-    let random = run_random_search(&problem, config, FitnessConfig::default())?;
-    let to_points = |history: &[ev_edge::nmp::evolution::GenerationStat]| {
+    let report = run_sweep(&figure10_spec(quick), 0)?;
+    let by_algorithm = |algorithm: SearchAlgorithm| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.cell.algorithm == algorithm)
+            .expect("both algorithm cells swept")
+    };
+    let nmp = by_algorithm(SearchAlgorithm::Evolutionary);
+    let random = by_algorithm(SearchAlgorithm::Random);
+    let to_points = |history: &[ev_edge::nmp::sweep::TrajectoryPoint]| {
         history
             .iter()
             .map(|g| GenPoint {
@@ -525,15 +539,103 @@ pub fn figure10(quick: bool) -> Result<Fig10Result, Box<dyn Error>> {
             })
             .collect::<Vec<_>>()
     };
-    let nmp_ms = nmp.report.max_latency.as_secs_f64() * 1e3;
-    let random_ms = random.report.max_latency.as_secs_f64() * 1e3;
     Ok(Fig10Result {
-        nmp_history: to_points(&nmp.history),
-        random_history: to_points(&random.history),
-        nmp_best_ms: nmp_ms,
-        random_best_ms: random_ms,
-        improvement_over_random: random_ms / nmp_ms,
+        nmp_history: to_points(&nmp.trajectory.history),
+        random_history: to_points(&random.trajectory.history),
+        nmp_best_ms: nmp.best_latency_ms,
+        random_best_ms: random.best_latency_ms,
+        improvement_over_random: random.best_latency_ms / nmp.best_latency_ms,
     })
+}
+
+// ---------------------------------------------------------------------
+// Configuration-sweep grids (Figure 10 ablation subsystem)
+// ---------------------------------------------------------------------
+
+/// The default configuration-sweep grid of `ext_sweep_grid` and the
+/// golden-report tests. Quick mode is a 24-cell (3×2×2×2) grid over
+/// population × generations × mutation strength × queue capacity on a
+/// reduced-scale custom SNN mix; full mode ablates platform class and
+/// workload mix at MVSEC scale.
+pub fn sweep_grid_spec(quick: bool) -> SweepSpec {
+    if quick {
+        SweepSpec {
+            base_seed: 0xF1610,
+            populations: vec![4, 8, 12],
+            generations: vec![4, 8],
+            mutation_layers: vec![1, 2],
+            elite_fractions: vec![0.25],
+            queue_capacities: vec![1, 4],
+            platforms: vec![PlatformPreset::XavierAgx],
+            task_mixes: vec![TaskMix::Custom {
+                networks: vec![NetworkId::Dotie, NetworkId::AdaptiveSpikeNet],
+                delta_scale: 1.5,
+            }],
+            algorithms: vec![SearchAlgorithm::Evolutionary],
+            zoo: ZooPreset::Small,
+            runtime_window_ms: 10,
+            keep_history: false,
+        }
+    } else {
+        SweepSpec {
+            base_seed: 0xF1610,
+            populations: vec![16, 32],
+            generations: vec![10, 30],
+            mutation_layers: vec![1, 2, 6],
+            elite_fractions: vec![0.1, 0.25],
+            queue_capacities: vec![2],
+            platforms: vec![
+                PlatformPreset::XavierAgx,
+                PlatformPreset::OrinLike,
+                PlatformPreset::NanoLike,
+            ],
+            task_mixes: vec![TaskMix::AllSnn, TaskMix::MixedSnnAnn],
+            algorithms: vec![SearchAlgorithm::Evolutionary],
+            zoo: ZooPreset::Mvsec,
+            runtime_window_ms: 40,
+            keep_history: false,
+        }
+    }
+}
+
+/// Runs the default configuration-sweep grid (`0` workers = machine
+/// parallelism).
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn sweep_grid(quick: bool, workers: usize) -> Result<SweepReport, Box<dyn Error>> {
+    Ok(run_sweep(&sweep_grid_spec(quick), workers)?)
+}
+
+/// Renders a sweep's per-cell results as an aligned text table (shared
+/// by the `fig10_search --grid` and `ext_sweep_grid` binaries).
+pub fn sweep_cells_table(report: &SweepReport) -> crate::report::TextTable {
+    let mut table = crate::report::TextTable::new([
+        "cell", "alg", "platform", "mix", "pop", "gens", "mut", "elite", "cap", "score", "best ms",
+        "feas", "evals", "drop", "util",
+    ]);
+    for (i, c) in report.cells.iter().enumerate() {
+        let marker = if i == report.best_cell { "*" } else { "" };
+        table.row([
+            format!("{i}{marker}"),
+            c.cell.algorithm.name().to_string(),
+            c.cell.platform.name().to_string(),
+            c.cell.task_mix.name(),
+            c.cell.population.to_string(),
+            c.cell.generations.to_string(),
+            c.cell.mutation_layers.to_string(),
+            format!("{:.2}", c.cell.elite_fraction),
+            c.cell.queue_capacity.to_string(),
+            format!("{:.5}", c.best_score),
+            format!("{:.2}", c.best_latency_ms),
+            if c.feasible { "yes" } else { "NO" }.to_string(),
+            c.evaluations.to_string(),
+            c.runtime.dropped.to_string(),
+            format!("{:.2}", c.runtime.mean_utilization),
+        ]);
+    }
+    table
 }
 
 // ---------------------------------------------------------------------

@@ -10,6 +10,7 @@
 //! | `fig8_single_task` | Figure 8 — single-task speedups |
 //! | `fig9_multi_task` | Figure 9 — multi-task mapping comparison |
 //! | `fig10_search` | Figure 10 — search convergence & vs random |
+//! | `ext_sweep_grid` | Extension — parallel NMP configuration-sweep grid |
 //! | `table1_networks` | Table 1 — network summary |
 //! | `table2_accuracy` | Table 2 — accuracy baseline vs Ev-Edge |
 //!

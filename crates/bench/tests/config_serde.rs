@@ -78,3 +78,87 @@ fn zoo_config_round_trips() {
     assert_eq!(round_trip(&cfg), cfg);
     assert_eq!(round_trip(&NetworkId::Halsie), NetworkId::Halsie);
 }
+
+#[test]
+fn sweep_spec_round_trips() {
+    use ev_edge::nmp::sweep::{PlatformPreset, SearchAlgorithm, SweepSpec, TaskMix, ZooPreset};
+    use ev_nn::zoo::NetworkId;
+    let spec = SweepSpec {
+        base_seed: 0xABCD_EF01_2345,
+        populations: vec![8, 16, 32],
+        generations: vec![5, 20],
+        mutation_layers: vec![1, 3],
+        elite_fractions: vec![0.125, 0.5],
+        queue_capacities: vec![1, 2, 8],
+        platforms: vec![PlatformPreset::OrinLike, PlatformPreset::NanoLike],
+        task_mixes: vec![
+            TaskMix::AllAnn,
+            TaskMix::Custom {
+                networks: vec![NetworkId::Dotie, NetworkId::Halsie],
+                delta_scale: 0.75,
+            },
+        ],
+        algorithms: vec![SearchAlgorithm::Evolutionary, SearchAlgorithm::Random],
+        zoo: ZooPreset::Small,
+        runtime_window_ms: 17,
+        keep_history: true,
+    };
+    assert_eq!(round_trip(&spec), spec);
+}
+
+// The two derive shapes added for `SweepSpec`: struct-variant enums
+// (externally tagged) and multi-field tuple structs (arrays).
+#[test]
+fn struct_variant_enums_round_trip_and_tag_externally() {
+    use ev_edge::nmp::sweep::TaskMix;
+    use ev_nn::zoo::NetworkId;
+    let unit = TaskMix::MixedSnnAnn;
+    assert_eq!(round_trip(&unit), unit);
+    assert_eq!(
+        serde_json::to_string(&unit).unwrap(),
+        "\"MixedSnnAnn\"",
+        "unit variants stay bare strings"
+    );
+    let custom = TaskMix::Custom {
+        networks: vec![NetworkId::EvFlowNet],
+        delta_scale: 2.5,
+    };
+    assert_eq!(round_trip(&custom), custom);
+    let json = serde_json::to_string(&custom).unwrap();
+    assert_eq!(
+        json, "{\"Custom\":{\"networks\":[\"EvFlowNet\"],\"delta_scale\":2.5}}",
+        "struct variants are single-key objects"
+    );
+    // Unknown variants and malformed bodies are rejected, not defaulted.
+    assert!(serde_json::from_str::<TaskMix>("\"NoSuchMix\"").is_err());
+    assert!(serde_json::from_str::<TaskMix>("{\"Custom\":{}}").is_err());
+}
+
+#[test]
+fn multi_field_tuple_structs_round_trip_as_arrays() {
+    use ev_edge::nmp::sweep::CellCoords;
+    let coords = CellCoords(1, 2, 3, 4, 5, 6, 7, 8);
+    assert_eq!(round_trip(&coords), coords);
+    assert_eq!(serde_json::to_string(&coords).unwrap(), "[1,2,3,4,5,6,7,8]");
+    // Arity is enforced on the way back in.
+    assert!(serde_json::from_str::<CellCoords>("[1,2,3]").is_err());
+}
+
+#[test]
+fn sweep_report_round_trips() {
+    use ev_edge::nmp::sweep::{
+        run_sweep, SearchAlgorithm, SweepReport, SweepSpec, TaskMix, ZooPreset,
+    };
+    let spec = SweepSpec {
+        populations: vec![3],
+        generations: vec![2],
+        task_mixes: vec![TaskMix::AllSnn],
+        algorithms: vec![SearchAlgorithm::Evolutionary, SearchAlgorithm::Random],
+        zoo: ZooPreset::Small,
+        runtime_window_ms: 5,
+        ..SweepSpec::default()
+    };
+    let report = run_sweep(&spec, 0).expect("sweep runs");
+    let back: SweepReport = round_trip(&report);
+    assert_eq!(back, report);
+}

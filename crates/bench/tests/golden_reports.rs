@@ -1,0 +1,116 @@
+//! Golden-report conformance: the quick-mode Figure 8, Figure 9 and
+//! configuration-sweep reports are compared field by field against
+//! snapshots under `tests/golden/`, with explicit f64 *bit* equality —
+//! any drift in the simulation, the search, or the report schema fails
+//! loudly with the exact JSON path that moved.
+//!
+//! To regenerate the snapshots after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ev-bench --test golden_reports
+//! ```
+
+use ev_bench::experiments::{figure8, figure9, sweep_grid};
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Collects every field-level difference between two value trees.
+/// Floats must match *bitwise*; integer nodes compare by value across
+/// the `Int`/`UInt` split (the JSON parser picks the narrowest type).
+fn diff(path: &str, golden: &Value, actual: &Value, out: &mut Vec<String>) {
+    match (golden, actual) {
+        (Value::Float(g), Value::Float(a)) => {
+            if g.to_bits() != a.to_bits() {
+                out.push(format!(
+                    "{path}: golden {g:?} (bits {:#018x}) != actual {a:?} (bits {:#018x})",
+                    g.to_bits(),
+                    a.to_bits()
+                ));
+            }
+        }
+        (Value::Int(g), Value::Int(a)) if g == a => {}
+        (Value::UInt(g), Value::UInt(a)) if g == a => {}
+        (Value::Int(g), Value::UInt(a)) | (Value::UInt(a), Value::Int(g))
+            if *g >= 0 && *g as u64 == *a => {}
+        (Value::Bool(g), Value::Bool(a)) if g == a => {}
+        (Value::String(g), Value::String(a)) if g == a => {}
+        (Value::Null, Value::Null) => {}
+        (Value::Array(g), Value::Array(a)) => {
+            if g.len() != a.len() {
+                out.push(format!("{path}: array length {} != {}", g.len(), a.len()));
+                return;
+            }
+            for (i, (gi, ai)) in g.iter().zip(a).enumerate() {
+                diff(&format!("{path}[{i}]"), gi, ai, out);
+            }
+        }
+        (Value::Object(g), Value::Object(a)) => {
+            for (key, gv) in g {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => diff(&format!("{path}.{key}"), gv, av, out),
+                    None => out.push(format!("{path}.{key}: missing from actual report")),
+                }
+            }
+            for (key, _) in a {
+                if !g.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in golden snapshot"));
+                }
+            }
+        }
+        (g, a) => out.push(format!("{path}: golden {g:?} != actual {a:?}")),
+    }
+}
+
+fn assert_matches_golden<T: Serialize>(name: &str, report: &T) {
+    let actual = report.to_value();
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, json + "\n").expect("write golden");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden snapshot {}: {e}\n\
+             (run `UPDATE_GOLDEN=1 cargo test -p ev-bench --test golden_reports` \
+             to create it)",
+            path.display()
+        )
+    });
+    let golden: Value = serde_json::from_str(&text).expect("golden snapshot parses");
+    let mut mismatches = Vec::new();
+    diff("$", &golden, &actual, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "{name} drifted from its golden snapshot ({} mismatches):\n{}\n\
+         If the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn figure8_quick_report_matches_golden() {
+    let rows = figure8(true).expect("experiment runs");
+    assert_matches_golden("fig8_quick.json", &rows);
+}
+
+#[test]
+fn figure9_quick_report_matches_golden() {
+    let rows = figure9(true).expect("experiment runs");
+    assert_matches_golden("fig9_quick.json", &rows);
+}
+
+#[test]
+fn sweep_quick_report_matches_golden() {
+    let report = sweep_grid(true, 0).expect("sweep runs");
+    assert_matches_golden("sweep_quick.json", &report);
+}

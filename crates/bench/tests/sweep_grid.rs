@@ -1,0 +1,42 @@
+//! Integration pins for the NMP configuration-sweep subsystem: the
+//! quick grid is the acceptance-criteria 3×2×2×2 (24-cell) sweep, its
+//! JSON report is byte-identical for 1 and 8 workers, and a spec
+//! round-tripped through JSON replays the sweep exactly (the
+//! `ext_sweep_grid --spec` path).
+
+use ev_bench::experiments::sweep_grid_spec;
+use ev_edge::nmp::sweep::{run_sweep, SweepSpec};
+
+#[test]
+fn quick_grid_is_the_acceptance_24_cell_sweep() {
+    let spec = sweep_grid_spec(true);
+    let cells = spec.cells().expect("valid spec");
+    assert_eq!(spec.populations.len(), 3);
+    assert_eq!(spec.generations.len(), 2);
+    assert_eq!(spec.mutation_layers.len(), 2);
+    assert_eq!(spec.queue_capacities.len(), 2);
+    assert_eq!(cells.len(), 24, "3x2x2x2 grid");
+}
+
+#[test]
+fn sweep_json_is_bitwise_identical_for_workers_1_and_8() {
+    let spec = sweep_grid_spec(true);
+    let serial = run_sweep(&spec, 1).expect("serial sweep runs");
+    let parallel = run_sweep(&spec, 8).expect("8-worker sweep runs");
+    let serial_json = serde_json::to_string_pretty(&serial).expect("serializes");
+    let parallel_json = serde_json::to_string_pretty(&parallel).expect("serializes");
+    // Byte-identical JSON: every f64 in every cell report has the same
+    // bit pattern regardless of the worker count.
+    assert_eq!(serial_json, parallel_json);
+}
+
+#[test]
+fn spec_round_tripped_through_json_replays_identically() {
+    let spec = sweep_grid_spec(true);
+    let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+    let replayed: SweepSpec = serde_json::from_str(&json).expect("spec deserializes");
+    assert_eq!(replayed, spec);
+    let original = run_sweep(&spec, 2).expect("sweep runs");
+    let replay = run_sweep(&replayed, 2).expect("replayed sweep runs");
+    assert_eq!(original, replay);
+}

@@ -104,6 +104,45 @@ where
         .collect()
 }
 
+/// Fallible [`parallel_map`]: applies `f` to every item on the worker
+/// pool and returns the results in input order, or the error of the
+/// *first failing item in input order* — exactly what a serial
+/// `items.into_iter().map(f).collect::<Result<_, _>>()` would return
+/// when every item is evaluated. All items run to completion before the
+/// error is selected, so the outcome is identical for any worker count.
+///
+/// This is the generic fan-out used for non-candidate work items (e.g.
+/// whole NMP configuration cells in [`crate::nmp::sweep`]).
+///
+/// # Errors
+///
+/// Returns the first error in input order.
+///
+/// # Examples
+///
+/// ```
+/// use ev_edge::exec::parallel::parallel_try_map;
+///
+/// let ok: Result<Vec<u64>, &str> =
+///     parallel_try_map(4, (1u64..9).collect(), |x| Ok(x * 2));
+/// assert_eq!(ok.unwrap()[0], 2);
+///
+/// let err: Result<Vec<u64>, String> =
+///     parallel_try_map(4, (1u64..9).collect(), |x| {
+///         if x % 3 == 0 { Err(format!("bad {x}")) } else { Ok(x) }
+///     });
+/// assert_eq!(err.unwrap_err(), "bad 3"); // first in input order, not time
+/// ```
+pub fn parallel_try_map<T, R, E, F>(workers: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    parallel_map(workers, items, f).into_iter().collect()
+}
+
 enum Request {
     /// Earliest feasible start for work ready at the timestamp.
     EarliestStart(Timestamp, SyncSender<Timestamp>),
@@ -355,6 +394,24 @@ mod tests {
             })
         });
         assert!(outcome.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn parallel_try_map_propagates_first_error_in_input_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for workers in [1, 2, 8] {
+            let out: Result<Vec<u32>, String> = parallel_try_map(workers, items.clone(), |x| {
+                if x == 7 || x == 93 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            // Item 93 may *finish* first on some schedules; input order wins.
+            assert_eq!(out.unwrap_err(), "bad 7", "workers = {workers}");
+        }
+        let ok: Result<Vec<u32>, String> = parallel_try_map(4, items.clone(), |x| Ok(x + 1));
+        assert_eq!(ok.unwrap(), (1..101).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -66,13 +66,14 @@ pub mod exec {
     pub use job::{
         BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
     };
-    pub use parallel::{parallel_map, ParallelTimeline};
+    pub use parallel::{parallel_map, parallel_try_map, ParallelTimeline};
     pub use pipelined::{run_pipelined_arrivals, run_pipelined_streams};
     pub use sharded::{ShardedEngine, SharedTimeline};
     pub use stage::{Compose, DirectStage, DsfaStage, E2sfStage, Stage};
 }
 
-/// The Network Mapper and its baselines.
+/// The Network Mapper, its baselines, and the configuration-sweep
+/// engine ablating the search itself (Figure 10).
 pub mod nmp {
     pub mod baseline;
     pub mod candidate;
@@ -80,6 +81,12 @@ pub mod nmp {
     pub mod fitness;
     pub mod multitask;
     pub mod random_search;
+    pub mod sweep;
+
+    pub use sweep::{
+        run_cells, run_sweep, PlatformPreset, SearchAlgorithm, SweepCell, SweepCellReport,
+        SweepReport, SweepSpec, TaskMix, ZooPreset,
+    };
 }
 
 pub use dsfa::{CMode, Dsfa, DsfaConfig, MergedBatch};
@@ -154,6 +161,11 @@ pub enum EvEdgeError {
         /// The rejected capacity.
         capacity: usize,
     },
+    /// A configuration-sweep grid has a degenerate axis.
+    InvalidSweepSpec {
+        /// The offending axis of the [`nmp::SweepSpec`].
+        axis: &'static str,
+    },
     /// Sparse-tensor failure.
     Sparse(ev_sparse::SparseError),
     /// Network-substrate failure.
@@ -202,6 +214,9 @@ impl fmt::Display for EvEdgeError {
             }
             EvEdgeError::InvalidQueueCapacity { capacity } => {
                 write!(f, "inference queue capacity {capacity} must be nonzero")
+            }
+            EvEdgeError::InvalidSweepSpec { axis } => {
+                write!(f, "sweep spec axis `{axis}` is degenerate")
             }
             EvEdgeError::Sparse(e) => write!(f, "sparse substrate: {e}"),
             EvEdgeError::Nn(e) => write!(f, "network substrate: {e}"),

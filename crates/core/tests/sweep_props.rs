@@ -1,0 +1,122 @@
+//! Property tests for the NMP configuration-sweep engine: for random
+//! small specs, results are identical for any worker count, each cell's
+//! report is invariant under cell-ordering shuffles, and per-cell seeds
+//! are pairwise distinct.
+
+use ev_edge::nmp::sweep::{
+    run_cells, run_sweep, same_search, PlatformPreset, SearchAlgorithm, SweepSpec, TaskMix,
+    ZooPreset,
+};
+use proptest::prelude::*;
+
+/// A small random-but-valid spec (tiny budgets; reduced-scale graphs).
+fn spec_from(
+    pops: Vec<usize>,
+    gens: Vec<usize>,
+    caps: Vec<usize>,
+    elite: f64,
+    base_seed: u64,
+    two_platforms: bool,
+) -> SweepSpec {
+    SweepSpec {
+        base_seed,
+        populations: pops,
+        generations: gens,
+        mutation_layers: vec![1],
+        elite_fractions: vec![elite],
+        queue_capacities: caps,
+        platforms: if two_platforms {
+            vec![PlatformPreset::XavierAgx, PlatformPreset::NanoLike]
+        } else {
+            vec![PlatformPreset::XavierAgx]
+        },
+        task_mixes: vec![TaskMix::AllSnn],
+        algorithms: vec![SearchAlgorithm::Evolutionary],
+        zoo: ZooPreset::Small,
+        runtime_window_ms: 4,
+        keep_history: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sweep_is_worker_count_invariant(
+        pops in prop::collection::vec(2usize..5, 1..3),
+        gens in prop::collection::vec(1usize..3, 1..3),
+        caps in prop::collection::vec(1usize..4, 1..3),
+        elite in 0.1f64..0.9,
+        base_seed in 0u64..1_000_000,
+        two_platforms in any::<bool>(),
+    ) {
+        let spec = spec_from(pops, gens, caps, elite, base_seed, two_platforms);
+        let serial = run_sweep(&spec, 1).expect("serial sweep runs");
+        for workers in [2usize, 7] {
+            let parallel = run_sweep(&spec, workers).expect("parallel sweep runs");
+            prop_assert_eq!(&serial, &parallel, "workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn cell_reports_are_invariant_under_ordering_shuffles(
+        pops in prop::collection::vec(2usize..4, 1..3),
+        caps in prop::collection::vec(1usize..3, 1..3),
+        base_seed in 0u64..1_000_000,
+        rotation in any::<prop::sample::Index>(),
+        swap_a in any::<prop::sample::Index>(),
+        swap_b in any::<prop::sample::Index>(),
+    ) {
+        let spec = spec_from(pops, vec![1, 2], caps, 0.25, base_seed, false);
+        let cells = spec.cells().expect("valid spec");
+        let canonical = run_cells(&spec, &cells, 2).expect("canonical order runs");
+
+        // A deterministic "shuffle": rotate, then swap two positions.
+        let mut shuffled = cells.clone();
+        shuffled.rotate_left(rotation.index(cells.len()));
+        shuffled.swap(swap_a.index(cells.len()), swap_b.index(cells.len()));
+        let reports = run_cells(&spec, &shuffled, 2).expect("shuffled order runs");
+
+        // Each cell's report is the same wherever it sits in the list.
+        for (cell, report) in shuffled.iter().zip(&reports) {
+            let twin = canonical
+                .iter()
+                .find(|r| r.cell.coords == cell.coords)
+                .expect("cell present in canonical run");
+            prop_assert_eq!(twin, report);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_pairwise_distinct_across_searches(
+        pops in prop::collection::vec(2usize..8, 1..4),
+        gens in prop::collection::vec(1usize..6, 1..4),
+        caps in prop::collection::vec(1usize..5, 1..4),
+        elite in 0.05f64..1.0,
+        base_seed in 0u64..u64::MAX,
+    ) {
+        let spec = SweepSpec {
+            algorithms: vec![SearchAlgorithm::Evolutionary, SearchAlgorithm::Random],
+            ..spec_from(pops, gens, caps, elite, base_seed, true)
+        };
+        let cells = spec.cells().expect("valid spec");
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                if same_search(&cells[i], &cells[j]) {
+                    // Queue capacity is playback-only: capacity twins
+                    // intentionally share the search seed.
+                    prop_assert_eq!(cells[i].seed, cells[j].seed);
+                    prop_assert!(cells[i].queue_capacity != cells[j].queue_capacity);
+                } else {
+                    prop_assert!(
+                        cells[i].seed != cells[j].seed,
+                        "search-distinct cells {} and {} share seed {:#x}",
+                        i,
+                        j,
+                        cells[i].seed
+                    );
+                }
+            }
+        }
+    }
+}

@@ -621,6 +621,22 @@ impl NetworkId {
         AccuracyModel::new(metric, baseline, delta * 1.2, delta * 0.4)
     }
 
+    /// The network's allowed metric degradation ΔA (the paper's Table 2
+    /// deltas, in the metric's own unit) — the Equation 2 constraint the
+    /// Network Mapper enforces.
+    pub fn delta_a(self) -> f64 {
+        match self {
+            NetworkId::SpikeFlowNet => 0.03,
+            NetworkId::FusionFlowNet => 0.07,
+            NetworkId::AdaptiveSpikeNet => 0.09,
+            NetworkId::Halsie => 2.13,
+            NetworkId::E2Depth => 0.02,
+            NetworkId::Dotie => 0.04,
+            // EV-FlowNet is not in Table 2; SpikeFlowNet-like budget.
+            NetworkId::EvFlowNet => 0.04,
+        }
+    }
+
     /// Expected (SNN, ANN) parametered-layer counts per Table 1.
     pub fn expected_layer_counts(self) -> (usize, usize) {
         match self {

@@ -4,7 +4,9 @@
 //! the small serialization surface the workspace needs: a JSON-shaped
 //! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits over it, and
 //! derive macros (re-exported from `serde_derive`) covering named-field
-//! structs, newtype structs and unit-variant enums — exactly the shapes
+//! structs, tuple structs (newtype and multi-field, serialized as
+//! arrays), and enums mixing unit variants (strings) with struct
+//! variants (externally tagged single-key objects) — exactly the shapes
 //! this repository derives. `serde_json` prints and parses the tree.
 
 #![warn(missing_docs)]
@@ -56,6 +58,18 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()
             .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 

@@ -1,21 +1,43 @@
 //! Derive macros for the vendored `serde` stand-in.
 //!
 //! Hand-rolled token parsing (the environment has no `syn`/`quote`),
-//! covering the three shapes this workspace derives:
+//! covering the shapes this workspace derives:
 //!
 //! * structs with named fields,
 //! * newtype (single-field tuple) structs,
-//! * enums whose variants are all unit variants.
+//! * multi-field tuple structs (serialized as arrays),
+//! * enums mixing unit variants (serialized as strings) and
+//!   struct variants (externally tagged: `{"Variant": {fields}}`).
 //!
 //! Anything else produces a `compile_error!` naming the limitation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One enum variant: a unit variant, or a struct variant with named
+/// fields.
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field names for a struct variant.
+    fields: Option<Vec<String>>,
+}
+
 /// The parsed shape of a deriving type.
 enum Shape {
-    Named { name: String, fields: Vec<String> },
-    Newtype { name: String },
-    UnitEnum { name: String, variants: Vec<String> },
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Newtype {
+        name: String,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -113,49 +135,63 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
     match (kind.as_str(), body.delimiter()) {
         ("struct", Delimiter::Brace) => {
-            let mut fields = Vec::new();
-            for segment in top_level_segments(&body_tokens) {
-                let mut j = skip_attrs(&segment, 0);
-                j = skip_vis(&segment, j);
-                match segment.get(j) {
-                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
-                    None => continue,
-                    _ => return Err(format!("unparseable field in `{name}`")),
-                }
-            }
+            let fields = named_fields(&body_tokens, &name)?;
             Ok(Shape::Named { name, fields })
         }
-        ("struct", Delimiter::Parenthesis) => {
-            if top_level_segments(&body_tokens).len() == 1 {
-                Ok(Shape::Newtype { name })
-            } else {
-                Err(format!(
-                    "serde stand-in only derives single-field tuple structs; `{name}` has more"
-                ))
-            }
-        }
+        ("struct", Delimiter::Parenthesis) => match top_level_segments(&body_tokens).len() {
+            0 => Err(format!("empty tuple struct `{name}` is not supported")),
+            1 => Ok(Shape::Newtype { name }),
+            arity => Ok(Shape::Tuple { name, arity }),
+        },
         ("enum", Delimiter::Brace) => {
             let mut variants = Vec::new();
             for segment in top_level_segments(&body_tokens) {
                 let j = skip_attrs(&segment, 0);
                 match segment.get(j) {
                     Some(TokenTree::Ident(id)) => {
-                        if segment.len() > j + 1 {
-                            return Err(format!(
-                                "serde stand-in only derives unit enum variants; \
-                                 `{name}::{id}` carries data"
-                            ));
-                        }
-                        variants.push(id.to_string());
+                        let fields = match segment.get(j + 1) {
+                            None => None,
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                Some(named_fields(
+                                    &g.stream().into_iter().collect::<Vec<_>>(),
+                                    &format!("{name}::{id}"),
+                                )?)
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "serde stand-in only derives unit or struct enum \
+                                     variants; `{name}::{id}` is neither"
+                                ))
+                            }
+                        };
+                        variants.push(Variant {
+                            name: id.to_string(),
+                            fields,
+                        });
                     }
                     None => continue,
                     _ => return Err(format!("unparseable variant in `{name}`")),
                 }
             }
-            Ok(Shape::UnitEnum { name, variants })
+            Ok(Shape::Enum { name, variants })
         }
         _ => Err(format!("unsupported shape for `{name}`")),
     }
+}
+
+/// Extracts the field names of a brace-delimited named-field body.
+fn named_fields(body_tokens: &[TokenTree], owner: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for segment in top_level_segments(body_tokens) {
+        let mut j = skip_attrs(&segment, 0);
+        j = skip_vis(&segment, j);
+        match segment.get(j) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => continue,
+            _ => return Err(format!("unparseable field in `{owner}`")),
+        }
+    }
+    Ok(fields)
 }
 
 /// Derives `serde::Serialize` (value-tree flavour).
@@ -186,15 +222,54 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  }}\n\
              }}"
         ),
-        Shape::UnitEnum { name, variants } => {
-            let arms: String = variants
-                .iter()
-                .map(|v| format!("{name}::{v} => {v:?},"))
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            // Externally tagged, like real serde: unit variants are bare
+            // strings, struct variants are single-key objects.
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String({vname:?}.to_string()),"
+                        ),
+                        Some(fields) => {
+                            let bindings = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
                      }}\n\
                  }}"
             )
@@ -241,24 +316,83 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}\n\
              }}"
         ),
-        Shape::UnitEnum { name, variants } => {
-            let arms: String = variants
-                .iter()
-                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(value: &::serde::Value) -> \
                          ::std::result::Result<Self, ::serde::DeError> {{\n\
-                         match value.as_str() {{\n\
-                             Some(s) => match s {{\n\
-                                 {arms}\n\
-                                 other => Err(::serde::DeError::custom(format!(\
-                                     \"unknown variant `{{other}}` for {name}\"))),\n\
-                             }},\n\
-                             None => Err(::serde::DeError::custom(\
-                                 concat!(\"expected string for \", stringify!({name})))),\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}({items})),\n\
+                             _ => Err(::serde::DeError::custom(concat!(\
+                                 \"expected {arity}-element array for \", \
+                                 stringify!({name})))),\n\
                          }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => return Ok({name}::{vname}),")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(fields, {f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => {{\n\
+                             let fields = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(concat!(\
+                                     \"expected object body for \", \
+                                     stringify!({name}::{vname}))))?;\n\
+                             return Ok({name}::{vname} {{ {inits} }});\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let Some(s) = value.as_str() {{\n\
+                             match s {{\n\
+                                 {unit_arms}\n\
+                                 other => return Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         if let Some(entries) = value.as_object() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     other => return Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::custom(concat!(\
+                             \"expected string or single-key object for \", \
+                             stringify!({name}))))\n\
                      }}\n\
                  }}"
             )
