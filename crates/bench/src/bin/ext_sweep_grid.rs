@@ -15,7 +15,7 @@
 //!   the built-in grid; a previous report's `"spec"` field replays that
 //!   sweep exactly.
 
-use ev_bench::experiments::{sweep_cells_table, sweep_grid_spec};
+use ev_bench::experiments::{load_sweep_spec, sweep_cells_table, sweep_grid_spec};
 use ev_bench::report::{write_json, CommonArgs};
 use ev_edge::nmp::sweep::{run_sweep, SweepSpec};
 
@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let spec: SweepSpec = match &spec_path {
-        Some(path) => serde_json::from_str(&std::fs::read_to_string(path)?)
-            .map_err(|e| format!("{path}: {e}"))?,
+        Some(path) => load_sweep_spec(std::path::Path::new(path))?,
         None => sweep_grid_spec(args.quick),
     };
 

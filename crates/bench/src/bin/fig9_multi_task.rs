@@ -1,13 +1,21 @@
 //! Figure 9: multi-task latency of NMP vs round-robin scheduling.
 //! Paper: 1.43×–1.81× over RR-Network, 1.24×–1.41× over RR-Layer;
 //! NMP-FP is 1.05×–1.22× slower than NMP.
+//!
+//! `--tuned <tune.json>` replays the NMP search configuration an
+//! `ext_autotune` run selected for Xavier AGX instead of the
+//! hard-coded one (sweep → tune → replay).
 
-use ev_bench::experiments::figure9;
+use ev_bench::experiments::{figure9, figure9_with, tuned_replay_config};
 use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    let rows = figure9(args.quick)?;
+    args.reject_unknown(&["--tuned"], &[])?;
+    let rows = match tuned_replay_config(&args)? {
+        Some(config) => figure9_with(config)?,
+        None => figure9(args.quick)?,
+    };
 
     println!("Figure 9 — multi-task execution latency");
     println!();

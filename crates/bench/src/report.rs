@@ -107,6 +107,44 @@ impl CommonArgs {
         }
         out
     }
+
+    /// Whether a bare flag appears among the remaining arguments.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// The value following a `--flag value` pair in the remaining
+    /// arguments, if present.
+    pub fn flag_value(&self, flag: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Rejects leftover arguments a binary does not understand:
+    /// everything in `rest` must be one of `value_flags` (which consume
+    /// the following argument) or `bare_flags`. A behavior-changing
+    /// flag that is mistyped (`--tune` for `--tuned`, `--tuned=x`)
+    /// must fail loudly rather than silently run the default path.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unrecognized argument.
+    pub fn reject_unknown(&self, value_flags: &[&str], bare_flags: &[&str]) -> Result<(), String> {
+        let mut iter = self.rest.iter();
+        while let Some(arg) = iter.next() {
+            if value_flags.contains(&arg.as_str()) {
+                // Its value (if any) is consumed; a missing value is
+                // the consuming parser's error to report.
+                iter.next();
+            } else if !bare_flags.contains(&arg.as_str()) {
+                return Err(format!("unknown argument `{arg}`"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Smoke coverage for every `fig*` experiment binary (plus the
+//! auto-tune extension): each one must exit 0 in `--quick` mode and
+//! print a non-empty report. Several of these binaries previously had
+//! zero test coverage — a broken CLI path could ship while the library
+//! tests stayed green.
+
+use std::process::Command;
+
+fn run_quick(exe: &str, extra: &[&str]) -> String {
+    let mut cmd = Command::new(exe);
+    cmd.arg("--quick").args(extra);
+    let output = cmd.output().unwrap_or_else(|e| panic!("spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {extra:?} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    assert!(
+        stdout.trim().len() > 40,
+        "{exe} printed no meaningful report:\n{stdout}"
+    );
+    stdout
+}
+
+#[test]
+fn fig1_sparsity_ops_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig1_sparsity_ops"), &[]);
+    assert!(out.contains("Figure 1"));
+}
+
+#[test]
+fn fig2_representations_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig2_representations"), &[]);
+    assert!(out.contains("Figure 2"));
+}
+
+#[test]
+fn fig3_frame_density_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig3_frame_density"), &[]);
+    assert!(out.contains("Figure 3"));
+}
+
+#[test]
+fn fig5_temporal_density_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig5_temporal_density"), &[]);
+    assert!(out.contains("Figure 5"));
+}
+
+#[test]
+fn fig8_single_task_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig8_single_task"), &[]);
+    assert!(out.contains("Figure 8"));
+    assert!(out.contains("Combined speedup range"));
+}
+
+#[test]
+fn fig9_multi_task_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig9_multi_task"), &[]);
+    assert!(out.contains("Figure 9"));
+}
+
+#[test]
+fn fig10_search_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig10_search"), &[]);
+    assert!(out.contains("Figure 10a"));
+    assert!(out.contains("Figure 10b"));
+}
+
+#[test]
+fn fig10_search_grid_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_fig10_search"), &["--grid"]);
+    assert!(out.contains("Best cell"));
+}
+
+#[test]
+fn ext_autotune_quick_smoke() {
+    let out = run_quick(env!("CARGO_BIN_EXE_ext_autotune"), &["--no-compare"]);
+    assert!(out.contains("Auto-tuning"));
+    assert!(out.contains("operating points selected"));
+}

@@ -1,8 +1,9 @@
-//! Golden-report conformance: the quick-mode Figure 8, Figure 9 and
-//! configuration-sweep reports are compared field by field against
-//! snapshots under `tests/golden/`, with explicit f64 *bit* equality —
-//! any drift in the simulation, the search, or the report schema fails
-//! loudly with the exact JSON path that moved.
+//! Golden-report conformance: the quick-mode Figure 8, Figure 9,
+//! Figure 10, configuration-sweep and auto-tune reports are compared
+//! field by field against snapshots under `tests/golden/`, with
+//! explicit f64 *bit* equality — any drift in the simulation, the
+//! search, or the report schema fails loudly with the exact JSON path
+//! that moved.
 //!
 //! To regenerate the snapshots after an intentional change:
 //!
@@ -10,7 +11,8 @@
 //! UPDATE_GOLDEN=1 cargo test -p ev-bench --test golden_reports
 //! ```
 
-use ev_bench::experiments::{figure8, figure9, sweep_grid};
+use ev_bench::experiments::{autotune, figure10, figure8, figure9, sweep_grid};
+use ev_edge::nmp::tune::TuneObjective;
 use serde::{Serialize, Value};
 use std::path::PathBuf;
 
@@ -113,4 +115,19 @@ fn figure9_quick_report_matches_golden() {
 fn sweep_quick_report_matches_golden() {
     let report = sweep_grid(true, 0).expect("sweep runs");
     assert_matches_golden("sweep_quick.json", &report);
+}
+
+// The quick-mode Figure 10 report (the 2-cell algorithm sweep the
+// default `fig10_search` invocation prints); its `--grid` mode is the
+// sweep pinned by `sweep_quick.json` above.
+#[test]
+fn figure10_quick_report_matches_golden() {
+    let report = figure10(true).expect("experiment runs");
+    assert_matches_golden("fig10_quick.json", &report);
+}
+
+#[test]
+fn tune_quick_report_matches_golden() {
+    let report = autotune(true, 0, TuneObjective::Latency).expect("autotune runs");
+    assert_matches_golden("tune_quick.json", &report);
 }

@@ -415,6 +415,30 @@ mod tests {
     }
 
     #[test]
+    fn first_input_order_error_wins_even_when_later_errors_finish_first() {
+        // Multiple failing items with adversarial timing: the
+        // lowest-index failure (item 3) sleeps while a pack of
+        // higher-index failures complete instantly, so on any real
+        // schedule the pool *observes* the later errors long before the
+        // earlier one exists. The selected error must still be the
+        // first in input order — the guarantee sweep/tune fan-outs rely
+        // on when several cells fail at once (a serial run would have
+        // surfaced exactly that cell's error).
+        for workers in [2usize, 4, 8] {
+            let out: Result<Vec<u32>, String> =
+                parallel_try_map(workers, (0..64u32).collect(), |x| match x {
+                    3 => {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        Err("bad 3".to_string())
+                    }
+                    x if x >= 40 => Err(format!("bad {x}")),
+                    x => Ok(x),
+                });
+            assert_eq!(out.unwrap_err(), "bad 3", "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn parallel_map_handles_empty_and_tiny_inputs() {
         assert_eq!(parallel_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(parallel_map(4, vec![7u32], |x| x + 1), vec![8]);

@@ -82,10 +82,14 @@ pub mod nmp {
     pub mod multitask;
     pub mod random_search;
     pub mod sweep;
+    pub mod tune;
 
     pub use sweep::{
         run_cells, run_sweep, PlatformPreset, SearchAlgorithm, SweepCell, SweepCellReport,
         SweepReport, SweepSpec, TaskMix, ZooPreset,
+    };
+    pub use tune::{
+        rank_cells, AutoTuner, CellObjective, TuneObjective, TuneReport, TuneSelection,
     };
 }
 
@@ -166,6 +170,13 @@ pub enum EvEdgeError {
         /// The offending axis of the [`nmp::SweepSpec`].
         axis: &'static str,
     },
+    /// An auto-tuning pass was given a sweep report with no cells.
+    EmptySweepReport,
+    /// An unrecognized auto-tuning objective name.
+    UnknownObjective {
+        /// The rejected name.
+        name: String,
+    },
     /// Sparse-tensor failure.
     Sparse(ev_sparse::SparseError),
     /// Network-substrate failure.
@@ -217,6 +228,15 @@ impl fmt::Display for EvEdgeError {
             }
             EvEdgeError::InvalidSweepSpec { axis } => {
                 write!(f, "sweep spec axis `{axis}` is degenerate")
+            }
+            EvEdgeError::EmptySweepReport => {
+                f.write_str("auto-tuning needs a sweep report with at least one cell")
+            }
+            EvEdgeError::UnknownObjective { name } => {
+                write!(
+                    f,
+                    "unknown tuning objective `{name}` (latency | energy | edp)"
+                )
             }
             EvEdgeError::Sparse(e) => write!(f, "sparse substrate: {e}"),
             EvEdgeError::Nn(e) => write!(f, "network substrate: {e}"),

@@ -528,6 +528,26 @@ pub struct SweepCell {
     pub seed: u64,
 }
 
+impl SweepCell {
+    /// The cell's search parameters as a replayable [`NmpConfig`] with
+    /// the given candidate-evaluation fan-out (`0` = machine
+    /// parallelism; results are bitwise identical for any value). This
+    /// is both what the sweep engine runs and what
+    /// [`crate::nmp::tune`] emits for `--tuned` replays.
+    pub fn nmp_config(&self, workers: usize) -> NmpConfig {
+        NmpConfig {
+            population: self.population,
+            generations: self.generations,
+            mutation_layers: self.mutation_layers,
+            elite_fraction: self.elite_fraction,
+            seed: self.seed,
+            fp_only: false,
+            seed_baselines: true,
+            workers,
+        }
+    }
+}
+
 /// One generation of a cell's convergence curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -728,16 +748,7 @@ fn run_cell_search(
     cell: &SweepCell,
     inner_workers: usize,
 ) -> Result<crate::nmp::evolution::SearchResult, EvEdgeError> {
-    let config = NmpConfig {
-        population: cell.population,
-        generations: cell.generations,
-        mutation_layers: cell.mutation_layers,
-        elite_fraction: cell.elite_fraction,
-        seed: cell.seed,
-        fp_only: false,
-        seed_baselines: true,
-        workers: inner_workers,
-    };
+    let config = cell.nmp_config(inner_workers);
     match cell.algorithm {
         SearchAlgorithm::Evolutionary => run_nmp(problem, config, FitnessConfig::default()),
         SearchAlgorithm::Random => run_random_search(problem, config, FitnessConfig::default()),

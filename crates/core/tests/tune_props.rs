@@ -1,0 +1,220 @@
+//! Property tests for the auto-tuner: the selected winner per
+//! (platform, task-mix) pair is invariant under sweep worker count and
+//! cell-order shuffles (including duplicated cells), and the built-in
+//! objectives are monotone — scaling every latency scales scores but
+//! never flips a ranking.
+
+use ev_edge::nmp::sweep::{
+    run_cells, run_sweep, CellCoords, PlatformPreset, RuntimeSummary, SearchAlgorithm, SweepCell,
+    SweepCellReport, SweepReport, SweepSpec, TaskMix, TrajectorySummary, ZooPreset,
+};
+use ev_edge::nmp::tune::{rank_cells, AutoTuner, TuneObjective};
+use proptest::prelude::*;
+
+/// A small random-but-valid spec (tiny budgets; reduced-scale graphs).
+fn spec_from(pops: Vec<usize>, caps: Vec<usize>, base_seed: u64, two_platforms: bool) -> SweepSpec {
+    SweepSpec {
+        base_seed,
+        populations: pops,
+        generations: vec![2],
+        mutation_layers: vec![1],
+        elite_fractions: vec![0.25],
+        queue_capacities: caps,
+        platforms: if two_platforms {
+            vec![PlatformPreset::XavierAgx, PlatformPreset::NanoLike]
+        } else {
+            vec![PlatformPreset::XavierAgx]
+        },
+        task_mixes: vec![TaskMix::AllSnn],
+        algorithms: vec![SearchAlgorithm::Evolutionary],
+        zoo: ZooPreset::Small,
+        runtime_window_ms: 4,
+        keep_history: false,
+    }
+}
+
+/// A synthetic cell report whose ranking-relevant fields are the given
+/// latency/energy/feasibility; coords make the cell key unique.
+fn synthetic(
+    coords: CellCoords,
+    latency_ms: f64,
+    energy_mj: f64,
+    feasible: bool,
+) -> SweepCellReport {
+    SweepCellReport {
+        cell: SweepCell {
+            coords,
+            population: 4,
+            generations: 2,
+            mutation_layers: 1,
+            elite_fraction: 0.25,
+            queue_capacity: 2,
+            platform: PlatformPreset::XavierAgx,
+            task_mix: TaskMix::AllSnn,
+            algorithm: SearchAlgorithm::Evolutionary,
+            seed: coords.0 as u64,
+        },
+        best_score: latency_ms,
+        best_latency_ms: latency_ms,
+        best_energy_mj: energy_mj,
+        feasible,
+        evaluations: 1,
+        cache_hits: 0,
+        trajectory: TrajectorySummary {
+            first_best: latency_ms,
+            final_best: latency_ms,
+            final_mean: latency_ms,
+            improvement: 1.0,
+            generations_to_1pct: 0,
+            history: Vec::new(),
+        },
+        runtime: RuntimeSummary {
+            completed: 1,
+            dropped: 0,
+            worst_mean_latency_ms: latency_ms,
+            mean_utilization: 0.5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tuned selections are identical whether the sweep ran on 1, 2
+    /// or 7 workers.
+    #[test]
+    fn winner_is_worker_count_invariant(
+        pops in prop::collection::vec(2usize..5, 1..3),
+        caps in prop::collection::vec(1usize..4, 1..3),
+        base_seed in 0u64..1_000_000,
+        two_platforms in any::<bool>(),
+    ) {
+        let spec = spec_from(pops, caps, base_seed, two_platforms);
+        let tuner = AutoTuner::new(TuneObjective::Edp);
+        let serial = tuner.tune_spec(&spec, 1).expect("serial tune runs");
+        for workers in [2usize, 7] {
+            let parallel = tuner.tune_spec(&spec, workers).expect("parallel tune runs");
+            prop_assert_eq!(&serial, &parallel, "workers = {}", workers);
+        }
+    }
+
+    /// Shuffling — and duplicating — the evaluated cells never changes
+    /// which operating point the tuner selects.
+    #[test]
+    fn winner_is_invariant_under_cell_shuffle_and_duplication(
+        pops in prop::collection::vec(2usize..4, 1..3),
+        caps in prop::collection::vec(1usize..3, 1..3),
+        base_seed in 0u64..1_000_000,
+        rotation in any::<prop::sample::Index>(),
+        dup in any::<prop::sample::Index>(),
+    ) {
+        let spec = spec_from(pops, caps, base_seed, true);
+        let canonical = run_sweep(&spec, 2).expect("sweep runs");
+        let tuner = AutoTuner::new(TuneObjective::Latency);
+        let baseline = tuner.tune(&canonical).expect("tune runs");
+
+        // Re-evaluate the cells in a rotated order with one duplicate
+        // appended; the playbacks land in the given order, so this is a
+        // genuinely shuffled report of the same sweep.
+        let cells = spec.cells().expect("valid spec");
+        let mut shuffled = cells.clone();
+        shuffled.rotate_left(rotation.index(cells.len()));
+        shuffled.push(shuffled[dup.index(shuffled.len())].clone());
+        let reports = run_cells(&spec, &shuffled, 2).expect("shuffled cells run");
+        let shuffled_report = SweepReport {
+            spec: spec.clone(),
+            best_cell: 0,
+            total_evaluations: 0,
+            total_cache_hits: 0,
+            distinct_problems: 0,
+            distinct_searches: 0,
+            cells: reports,
+        };
+        let shuffled_tune = tuner.tune(&shuffled_report).expect("tune runs");
+
+        prop_assert_eq!(baseline.selections.len(), shuffled_tune.selections.len());
+        for (a, b) in baseline.selections.iter().zip(&shuffled_tune.selections) {
+            // The duplicate inflates `candidates` for its group; every
+            // decision-bearing field must be untouched.
+            prop_assert_eq!(&a.platform, &b.platform);
+            prop_assert_eq!(&a.task_mix, &b.task_mix);
+            prop_assert_eq!(&a.config, &b.config);
+            prop_assert_eq!(a.queue_capacity, b.queue_capacity);
+            prop_assert_eq!(a.coords, b.coords);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scaling every latency *and* every energy by a positive power of
+    /// two scales all three objectives' scores exactly (Latency and
+    /// Energy by the factor, EDP by its square) and leaves every
+    /// ranking unchanged — no objective's check is vacuous, since each
+    /// one's inputs move.
+    #[test]
+    fn objective_scaling_never_flips_a_ranking(
+        cells in prop::collection::vec(
+            (1u64..1_000_000, 1u64..1_000_000, any::<bool>()),
+            1..12,
+        ),
+        scale_exp in -8i32..8,
+    ) {
+        let scale = (2.0f64).powi(scale_exp);
+        let reports: Vec<SweepCellReport> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, mj, feasible))| {
+                synthetic(
+                    CellCoords(i, 0, 0, 0, 0, 0, 0, 0),
+                    lat as f64 / 1e3,
+                    mj as f64 / 1e3,
+                    feasible,
+                )
+            })
+            .collect();
+        let scaled: Vec<SweepCellReport> = reports
+            .iter()
+            .map(|r| {
+                let mut s = r.clone();
+                s.best_latency_ms *= scale;
+                s.best_energy_mj *= scale;
+                s
+            })
+            .collect();
+        for objective in [TuneObjective::Latency, TuneObjective::Energy, TuneObjective::Edp] {
+            prop_assert_eq!(
+                rank_cells(&reports, &objective),
+                rank_cells(&scaled, &objective),
+                "objective {:?} at scale 2^{}",
+                objective,
+                scale_exp
+            );
+        }
+    }
+
+    /// Duplicated cells tie on every ranking key, so the winner's
+    /// *content* is independent of where the duplicates sit.
+    #[test]
+    fn duplicated_cells_tie_break_deterministically(
+        cells in prop::collection::vec((1u64..1_000, 1u64..1_000, any::<bool>()), 1..8),
+        dup in any::<prop::sample::Index>(),
+        rotation in any::<prop::sample::Index>(),
+    ) {
+        let mut reports: Vec<SweepCellReport> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, mj, feasible))| {
+                synthetic(CellCoords(i, 0, 0, 0, 0, 0, 0, 0), lat as f64, mj as f64, feasible)
+            })
+            .collect();
+        reports.push(reports[dup.index(reports.len())].clone());
+        let winner = reports[rank_cells(&reports, &TuneObjective::Edp)[0]].clone();
+        let len = reports.len();
+        reports.rotate_left(rotation.index(len));
+        let rotated_winner = &reports[rank_cells(&reports, &TuneObjective::Edp)[0]];
+        prop_assert_eq!(&winner, rotated_winner);
+    }
+}
