@@ -1,7 +1,7 @@
 //! Unified exec core: serial vs parallel NMP candidate evaluation, the
 //! multi-task runtime on the serial vs thread-per-queue timeline, and
 //! the streaming scenario across execution modes (serial vs pipelined
-//! vs sharded).
+//! vs sharded vs layer-parallel).
 //!
 //! Interesting ratios:
 //!
@@ -18,7 +18,12 @@
 //!   additional core turns frontend time into overlap;
 //! * `exec_runtime/thread_per_queue_timeline`: tracks the per-job
 //!   reservation batching (`reserve_run`) — one channel round trip per
-//!   same-PE layer run instead of two per layer.
+//!   same-PE layer run instead of two per layer;
+//! * `exec_modes/streams_layer_parallel`: intra-task segment waves —
+//!   each job's data-independent same-PE layer runs reserve their
+//!   queues in one `reserve_runs` wave on the thread-per-queue
+//!   timeline, so cross-PE mappings overlap *within* one inference.
+//!   Needs ≥2 cores to show wall-clock wins, like the other modes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
@@ -176,6 +181,7 @@ fn bench_exec_modes(c: &mut Criterion) {
             },
         ),
         ("streams_sharded", ExecMode::Sharded { shards: 0 }),
+        ("streams_layer_parallel", ExecMode::LayerParallel),
     ];
     for (label, mode) in modes {
         let mut config = base;

@@ -1,13 +1,18 @@
 //! Extension experiment: the Figure 9 mixed configuration played forward
 //! in simulated time — periodic concurrent inputs, shared PE queues, and
 //! bounded inference queues with the §4.2 oldest-frame drop rule.
+//! `--mode <mode>` selects the execution machinery (every mode prints
+//! identical numbers).
 
-use ev_bench::experiments::multitask_runtime;
+use ev_bench::experiments::multitask_runtime_mode;
 use ev_bench::report::{write_json, CommonArgs, TextTable};
+use ev_edge::multipipe::ExecMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    let rows = multitask_runtime(args.quick)?;
+    args.reject_unknown(&["--mode"], &[])?;
+    let mode = args.exec_mode()?.unwrap_or(ExecMode::Serial);
+    let rows = multitask_runtime_mode(args.quick, mode)?;
 
     println!("Extension — multi-task runtime (mixed SNN-ANN, periodic inputs)");
     println!();

@@ -4,14 +4,23 @@
 //!
 //! `--tuned <tune.json>` replays the NMP search configuration an
 //! `ext_autotune` run selected for Xavier AGX instead of the
-//! hard-coded one (sweep → tune → replay).
+//! hard-coded one (sweep → tune → replay). `--mode <mode>` selects the
+//! execution machinery (`serial`, `thread-per-queue`, `pipelined`,
+//! `sharded`, `layer-parallel`) — every mode prints a byte-identical
+//! report.
 
-use ev_bench::experiments::{dsfa_ablation, figure8, figure8_with, tuned_replay_config};
+use ev_bench::experiments::{
+    default_nmp_config, dsfa_ablation_mode, figure8_mode, tuned_replay_config,
+};
 use ev_bench::report::{write_json, CommonArgs, TextTable};
+use ev_edge::multipipe::ExecMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    args.reject_unknown(&["--tuned"], &["--ablate-dsfa"])?;
+    args.reject_unknown(&["--tuned", "--mode"], &["--ablate-dsfa"])?;
+    // Parse --mode before branching so an invalid mode fails loudly on
+    // every path, ablation included.
+    let mode = args.exec_mode()?.unwrap_or(ExecMode::Serial);
     if args.has_flag("--ablate-dsfa") {
         // Mutually exclusive with --tuned: the ablation sweeps DSFA
         // thresholds under the hard-coded config, and must not
@@ -21,12 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if args.has_flag("--tuned") {
             return Err("--tuned does not apply to the DSFA ablation (--ablate-dsfa)".into());
         }
-        return run_dsfa_ablation(&args);
+        return run_dsfa_ablation(&args, mode);
     }
-    let rows = match tuned_replay_config(&args)? {
-        Some(config) => figure8_with(args.quick, config)?,
-        None => figure8(args.quick)?,
+    let config = match tuned_replay_config(&args)? {
+        Some(config) => config,
+        None => default_nmp_config(args.quick),
     };
+    let rows = figure8_mode(args.quick, config, mode)?;
 
     println!("Figure 8 — single-task speedup vs all-GPU dense baseline (cumulative)");
     println!();
@@ -72,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn run_dsfa_ablation(args: &CommonArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let rows = dsfa_ablation(args.quick)?;
+fn run_dsfa_ablation(args: &CommonArgs, mode: ExecMode) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = dsfa_ablation_mode(args.quick, mode)?;
     println!("DSFA ablation — SpikeFlowNet on indoor_flying1 (+E2SF+DSFA variant)");
     println!();
     let mut table = TextTable::new([

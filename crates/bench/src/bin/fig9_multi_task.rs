@@ -4,17 +4,33 @@
 //!
 //! `--tuned <tune.json>` replays the NMP search configuration an
 //! `ext_autotune` run selected for Xavier AGX instead of the
-//! hard-coded one (sweep → tune → replay).
+//! hard-coded one (sweep → tune → replay). `--mode <mode>` additionally
+//! plays each configuration's NMP winner forward through the multi-task
+//! runtime on the selected machinery (`serial`, `thread-per-queue`,
+//! `pipelined`, `sharded`, `layer-parallel`) — the playback numbers are
+//! identical for every mode.
 
-use ev_bench::experiments::{figure9, figure9_with, tuned_replay_config};
+use ev_bench::experiments::{
+    default_nmp_config, fig9_playback_table, figure9_with, figure9_with_playback,
+    tuned_replay_config,
+};
 use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    args.reject_unknown(&["--tuned"], &[])?;
-    let rows = match tuned_replay_config(&args)? {
-        Some(config) => figure9_with(config)?,
-        None => figure9(args.quick)?,
+    args.reject_unknown(&["--tuned", "--mode"], &[])?;
+    let mode = args.exec_mode()?;
+    let config = match tuned_replay_config(&args)? {
+        Some(config) => config,
+        None => default_nmp_config(args.quick),
+    };
+    // One search pass feeds both the table and the optional playback.
+    let (rows, playback) = match mode {
+        Some(mode) => {
+            let (rows, playback) = figure9_with_playback(config, args.quick, mode)?;
+            (rows, Some((mode, playback)))
+        }
+        None => (figure9_with(config)?, None),
     };
 
     println!("Figure 9 — multi-task execution latency");
@@ -48,9 +64,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          NMP-FP (full precision only) trails NMP by 1.05x-1.22x but still beats both RRs."
     );
 
+    if let Some((mode, playback)) = &playback {
+        println!();
+        println!("Runtime playback — NMP winners under periodic near-saturation arrivals");
+        println!("(execution mode: {mode:?}; the numbers are identical for every mode)");
+        println!();
+        print!("{}", fig9_playback_table(playback).render());
+    }
+
     if let Some(path) = args.json {
-        write_json(&path, &rows)?;
+        // With --mode the artifact carries both tables; without it the
+        // shape stays the plain Fig9Row array earlier tooling expects.
+        match playback {
+            Some((_, playback)) => write_json(&path, &Fig9Artifact { rows, playback })?,
+            None => write_json(&path, &rows)?,
+        }
         eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+/// The `--json` artifact shape when `--mode` is present: the Figure 9
+/// rows plus the runtime playback they were printed with.
+#[derive(serde::Serialize)]
+struct Fig9Artifact {
+    rows: Vec<ev_bench::experiments::Fig9Row>,
+    playback: Vec<ev_bench::experiments::Fig9PlaybackRow>,
 }

@@ -8,6 +8,7 @@ use ev_core::stats::{burstiness, temporal_density};
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
 use ev_datasets::representation::representation_for;
+use ev_edge::multipipe::ExecMode;
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
 use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
@@ -49,7 +50,10 @@ fn analysis_window(quick: bool) -> TimeWindow {
     TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(ms))
 }
 
-fn nmp_config(quick: bool) -> NmpConfig {
+/// The hard-coded per-figure NMP search configuration (what a `--tuned`
+/// replay substitutes for). Public so conformance tests can drive the
+/// figure experiments with explicit mode/config combinations.
+pub fn default_nmp_config(quick: bool) -> NmpConfig {
     if quick {
         NmpConfig {
             population: 16,
@@ -63,6 +67,10 @@ fn nmp_config(quick: bool) -> NmpConfig {
             ..NmpConfig::default()
         }
     }
+}
+
+fn nmp_config(quick: bool) -> NmpConfig {
+    default_nmp_config(quick)
 }
 
 // ---------------------------------------------------------------------
@@ -333,6 +341,22 @@ pub fn figure8(quick: bool) -> Result<Vec<Fig8Row>, Box<dyn Error>> {
 ///
 /// Propagates pipeline errors.
 pub fn figure8_with(quick: bool, nmp: NmpConfig) -> Result<Vec<Fig8Row>, Box<dyn Error>> {
+    figure8_mode(quick, nmp, ExecMode::Serial)
+}
+
+/// Figure 8 under an explicit [`ExecMode`] (the binary's `--mode`
+/// flag): every variant's engine runs on the selected machinery. Every
+/// mode produces a byte-identical report — pinned against the serial
+/// golden snapshot in `tests/golden_reports.rs`.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn figure8_mode(
+    quick: bool,
+    nmp: NmpConfig,
+    mode: ExecMode,
+) -> Result<Vec<Fig8Row>, Box<dyn Error>> {
     let mut rows = Vec::new();
     for network in NetworkId::TABLE1 {
         let setup = PipelineSetup {
@@ -344,7 +368,7 @@ pub fn figure8_with(quick: bool, nmp: NmpConfig) -> Result<Vec<Fig8Row>, Box<dyn
         };
         let mut reports = Vec::new();
         for variant in PipelineVariant::FIGURE8 {
-            let mut options = PipelineOptions::for_variant(variant, network);
+            let mut options = PipelineOptions::for_variant(variant, network).with_exec_mode(mode);
             options.nmp = nmp;
             reports.push(run_single_task(&setup, &options)?);
         }
@@ -456,7 +480,35 @@ pub fn figure9(quick: bool) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
 ///
 /// Propagates search errors.
 pub fn figure9_with(config: NmpConfig) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
+    Ok(figure9_detail(config, None)?.0)
+}
+
+/// [`figure9_with`] plus a runtime playback of each configuration's
+/// NMP winner under `mode` (the `fig9_multi_task --mode` view) — the
+/// searches run once and feed both the table and the playback.
+///
+/// # Errors
+///
+/// Propagates search and simulation errors.
+pub fn figure9_with_playback(
+    config: NmpConfig,
+    quick: bool,
+    mode: ExecMode,
+) -> Result<(Vec<Fig9Row>, Vec<Fig9PlaybackRow>), Box<dyn Error>> {
+    let (rows, playback) = figure9_detail(config, Some((quick, mode)))?;
+    Ok((rows, playback.expect("playback requested")))
+}
+
+type Fig9Detail = (Vec<Fig9Row>, Option<Vec<Fig9PlaybackRow>>);
+
+fn figure9_detail(
+    config: NmpConfig,
+    playback: Option<(bool, ExecMode)>,
+) -> Result<Fig9Detail, Box<dyn Error>> {
+    use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
+
     let mut rows = Vec::new();
+    let mut playback_rows = playback.map(|_| Vec::new());
     for (name, networks) in multitask_configs() {
         let problem = build_problem(&networks)?;
         let mut evaluator = FitnessEvaluator::new(&problem, FitnessConfig::default());
@@ -472,6 +524,30 @@ pub fn figure9_with(config: NmpConfig) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
             FitnessConfig::default(),
         )?;
         let ms = |d: TimeDelta| d.as_secs_f64() * 1e3;
+        if let (Some(out), Some((quick, mode))) = (playback_rows.as_mut(), playback) {
+            // Arrival periods: the sweep engine's near-saturation rule
+            // over the RR-Network baseline, so mapping quality shows as
+            // drops and latency.
+            let periods = ev_edge::nmp::sweep::near_saturation_periods(&rr_net);
+            let runtime_config = MultiTaskRuntimeConfig {
+                window: TimeWindow::new(
+                    Timestamp::ZERO,
+                    Timestamp::from_millis(if quick { 20 } else { 50 }),
+                ),
+                queue_capacity: 2,
+                mode,
+            };
+            let played = run_multi_task_runtime(&problem, &nmp.best, &periods, runtime_config)?;
+            let mean_utilization =
+                played.utilization.iter().sum::<f64>() / played.utilization.len().max(1) as f64;
+            out.push(Fig9PlaybackRow {
+                config: name.to_string(),
+                completed: played.per_task.iter().map(|t| t.completed).sum(),
+                dropped: played.total_dropped(),
+                worst_mean_latency_ms: played.worst_mean_latency().as_secs_f64() * 1e3,
+                mean_utilization,
+            });
+        }
         rows.push(Fig9Row {
             config: name.to_string(),
             rr_network_ms: ms(rr_net.max_latency),
@@ -483,7 +559,45 @@ pub fn figure9_with(config: NmpConfig) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
             fp_slowdown: ms(fp.report.max_latency) / ms(nmp.report.max_latency),
         });
     }
-    Ok(rows)
+    Ok((rows, playback_rows))
+}
+
+/// One configuration's runtime playback behind the Figure 9 table: the
+/// NMP winner played forward in simulated time under periodic
+/// near-saturation arrivals (the `fig9_multi_task --mode` view).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig9PlaybackRow {
+    /// Configuration name.
+    pub config: String,
+    /// Inferences completed over the playback window.
+    pub completed: u64,
+    /// Inputs dropped by the bounded inference queues (§4.2).
+    pub dropped: u64,
+    /// Worst per-task mean latency, ms.
+    pub worst_mean_latency_ms: f64,
+    /// Mean processing-element utilization.
+    pub mean_utilization: f64,
+}
+
+/// Renders Figure 9 playback rows as an aligned text table.
+pub fn fig9_playback_table(rows: &[Fig9PlaybackRow]) -> crate::report::TextTable {
+    let mut table = crate::report::TextTable::new([
+        "config",
+        "completed",
+        "dropped",
+        "worst mean ms",
+        "mean util",
+    ]);
+    for row in rows {
+        table.row([
+            row.config.clone(),
+            row.completed.to_string(),
+            row.dropped.to_string(),
+            format!("{:.2}", row.worst_mean_latency_ms),
+            format!("{:.2}", row.mean_utilization),
+        ]);
+    }
+    table
 }
 
 // ---------------------------------------------------------------------
@@ -995,6 +1109,19 @@ pub struct DsfaAblationRow {
 ///
 /// Propagates pipeline errors.
 pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>> {
+    dsfa_ablation_mode(quick, ExecMode::Serial)
+}
+
+/// [`dsfa_ablation`] under an explicit [`ExecMode`] (the binary's
+/// `--mode` flag); rows are identical for every mode.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn dsfa_ablation_mode(
+    quick: bool,
+    mode: ExecMode,
+) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>> {
     use ev_edge::dsfa::{CMode, DsfaConfig};
     let network = NetworkId::SpikeFlowNet;
     let setup = PipelineSetup {
@@ -1006,7 +1133,7 @@ pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>
     };
     let baseline = run_single_task(
         &setup,
-        &PipelineOptions::for_variant(PipelineVariant::DenseAllGpu, network),
+        &PipelineOptions::for_variant(PipelineVariant::DenseAllGpu, network).with_exec_mode(mode),
     )?;
     let baseline_ms = baseline.makespan.as_secs_f64() * 1e3;
 
@@ -1064,6 +1191,7 @@ pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>
     for dsfa in sweeps {
         let options = PipelineOptions {
             dsfa,
+            exec_mode: mode,
             ..PipelineOptions::for_variant(PipelineVariant::E2sfDsfa, network)
         };
         let report = run_single_task(&setup, &options)?;
@@ -1192,6 +1320,19 @@ pub struct RuntimeRow {
 ///
 /// Propagates simulation errors.
 pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>> {
+    multitask_runtime_mode(quick, ExecMode::Serial)
+}
+
+/// [`multitask_runtime`] under an explicit [`ExecMode`] (the binary's
+/// `--mode` flag); rows are identical for every mode.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn multitask_runtime_mode(
+    quick: bool,
+    mode: ExecMode,
+) -> Result<Vec<RuntimeRow>, Box<dyn Error>> {
     use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
     use ev_edge::nmp::candidate::Candidate;
 
@@ -1215,7 +1356,8 @@ pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>>
             )
         })
         .collect();
-    let config = MultiTaskRuntimeConfig::new(analysis_window(quick));
+    let mut config = MultiTaskRuntimeConfig::new(analysis_window(quick));
+    config.mode = mode;
     let nmp = run_nmp(&problem, nmp_config(quick), FitnessConfig::default())?;
     // Extension: the same search minimizing schedulability load (per-task
     // latency/period and per-PE utilization) — the right objective under

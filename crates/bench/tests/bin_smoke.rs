@@ -62,6 +62,62 @@ fn fig9_multi_task_quick_smoke() {
     assert!(out.contains("Figure 9"));
 }
 
+/// `--mode` is a wall-clock choice: the Figure 8 report must be
+/// byte-identical under the layer-parallel machinery.
+#[test]
+fn fig8_layer_parallel_mode_prints_the_serial_report_bytes() {
+    let serial = run_quick(
+        env!("CARGO_BIN_EXE_fig8_single_task"),
+        &["--mode", "serial"],
+    );
+    let layer_parallel = run_quick(
+        env!("CARGO_BIN_EXE_fig8_single_task"),
+        &["--mode", "layer-parallel"],
+    );
+    assert_eq!(
+        serial, layer_parallel,
+        "--mode must not change a single report byte"
+    );
+    assert!(serial.contains("Figure 8"));
+}
+
+/// `fig9 --mode` appends the runtime-playback table, whose numbers are
+/// identical for every execution mode (only the printed mode name
+/// differs).
+#[test]
+fn fig9_mode_flag_adds_an_identical_runtime_playback() {
+    let layer_parallel = run_quick(
+        env!("CARGO_BIN_EXE_fig9_multi_task"),
+        &["--mode", "layer-parallel"],
+    );
+    assert!(layer_parallel.contains("Runtime playback"));
+    assert!(layer_parallel.contains("LayerParallel"));
+    let serial = run_quick(env!("CARGO_BIN_EXE_fig9_multi_task"), &["--mode", "serial"]);
+    assert_eq!(layer_parallel.replace("LayerParallel", "Serial"), serial);
+}
+
+#[test]
+fn ext_multitask_runtime_layer_parallel_smoke() {
+    let out = run_quick(
+        env!("CARGO_BIN_EXE_ext_multitask_runtime"),
+        &["--mode", "layer-parallel"],
+    );
+    assert!(out.contains("multi-task runtime"));
+}
+
+#[test]
+fn unknown_exec_mode_fails_loudly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig8_single_task"))
+        .args(["--quick", "--mode", "warp"])
+        .output()
+        .expect("spawn fig8");
+    assert!(
+        !output.status.success(),
+        "bad mode must not run the default"
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown execution mode"));
+}
+
 #[test]
 fn fig10_search_quick_smoke() {
     let out = run_quick(env!("CARGO_BIN_EXE_fig10_search"), &[]);

@@ -11,7 +11,12 @@
 //! UPDATE_GOLDEN=1 cargo test -p ev-bench --test golden_reports
 //! ```
 
-use ev_bench::experiments::{autotune, figure10, figure8, figure9, sweep_grid};
+use ev_bench::experiments::{
+    autotune, default_nmp_config, figure10, figure8, figure8_mode, figure9, sweep_grid,
+    sweep_grid_spec,
+};
+use ev_edge::multipipe::ExecMode;
+use ev_edge::nmp::sweep::run_sweep_mode;
 use ev_edge::nmp::tune::TuneObjective;
 use serde::{Serialize, Value};
 use std::path::PathBuf;
@@ -105,6 +110,17 @@ fn figure8_quick_report_matches_golden() {
     assert_matches_golden("fig8_quick.json", &rows);
 }
 
+/// The execution mode is a wall-clock choice, never a result choice:
+/// `--mode layer-parallel` must reproduce the *serial* golden snapshot
+/// byte for byte (the intra-task segment waves replay the serial
+/// reservation sequence exactly).
+#[test]
+fn figure8_layer_parallel_matches_the_serial_golden() {
+    let rows = figure8_mode(true, default_nmp_config(true), ExecMode::LayerParallel)
+        .expect("experiment runs");
+    assert_matches_golden("fig8_quick.json", &rows);
+}
+
 #[test]
 fn figure9_quick_report_matches_golden() {
     let rows = figure9(true).expect("experiment runs");
@@ -114,6 +130,15 @@ fn figure9_quick_report_matches_golden() {
 #[test]
 fn sweep_quick_report_matches_golden() {
     let report = sweep_grid(true, 0).expect("sweep runs");
+    assert_matches_golden("sweep_quick.json", &report);
+}
+
+/// Sweep playback under the layer-parallel runtime reproduces the
+/// serial sweep golden byte for byte.
+#[test]
+fn sweep_layer_parallel_playback_matches_the_serial_golden() {
+    let report =
+        run_sweep_mode(&sweep_grid_spec(true), 0, ExecMode::LayerParallel).expect("sweep runs");
     assert_matches_golden("sweep_quick.json", &report);
 }
 

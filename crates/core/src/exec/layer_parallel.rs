@@ -1,0 +1,617 @@
+//! Intra-task layer-parallel dispatch: one job, many queues at once.
+//!
+//! Every other execution mode parallelizes *around* the job — frontend
+//! stages ([`crate::exec::pipelined`]), per-task engine state
+//! ([`crate::exec::sharded`]), device reservations
+//! ([`crate::exec::parallel`]) — while the job itself is still walked
+//! layer by layer. This module splits a single task's mapped inference
+//! into its **same-PE layer-run segments** (the maximal batches
+//! [`MappedJobModel`] already reserves as one
+//! [`ReservationTimeline::reserve_run`] chain) and dispatches the
+//! segments whose NMP mapping places them on *different* processing
+//! elements concurrently, honoring the layer DAG's data dependencies
+//! ([`ev_nn::graph::NetworkGraph`]): an encoder arm mapped to the GPU
+//! and a parallel arm mapped to a DLA reserve their queues in the same
+//! wave, through one batched
+//! [`ReservationTimeline::reserve_runs`] round that the
+//! thread-per-queue [`crate::exec::parallel::ParallelTimeline`] serves
+//! with one worker per queue.
+//!
+//! # Decomposition
+//!
+//! [`TaskSegments::build`] replays [`MappedJobModel`]'s batching rule
+//! offline, once per `(task, candidate)`: walking layers in topological
+//! order, a layer extends the current segment exactly when every
+//! predecessor shares its processing element and the segment already
+//! targets that queue; otherwise it starts a new segment, recording the
+//! unified-memory transfer each cross-PE predecessor edge pays. The
+//! result is a **segment DAG**: segment boundaries sit exactly at PE
+//! changes, and a segment depends on the segments owning its first
+//! layer's cross-PE predecessors.
+//!
+//! [`LayerParallelModel::dispatch`] then walks that DAG in *waves* —
+//! maximal runs of consecutive segments whose dependencies are all
+//! resolved — reserving each wave's transfers serially on the memory
+//! queue and each wave's compute chains concurrently.
+//!
+//! # Determinism
+//!
+//! Reports are bitwise identical to the serial [`MappedJobModel`] (the
+//! same monotone free-time-bound argument as the pipelined runtime):
+//!
+//! * **Per-queue order is preserved.** Within one wave, requests reach
+//!   each queue in segment order, and waves execute in segment order —
+//!   so every FIFO queue sees exactly the serial reservation sequence.
+//! * **Same-queue dependency ends never bind.** A predecessor on the
+//!   segment's own queue was reserved earlier on that queue, so its end
+//!   is a lower bound of the queue's free time; `start = max(ready,
+//!   free)` therefore lands on the identical instant whether or not the
+//!   predecessor's end is folded into `ready`. Only *cross-PE* ends can
+//!   move a start, and those force a wave boundary.
+//! * **Transfers keep the serial memory-queue order.** A wave reserves
+//!   its segments' transfers in segment order before any compute chain;
+//!   compute chains never touch the memory queue, so hoisting a later
+//!   segment's transfers above an earlier segment's compute leaves the
+//!   memory queue's state evolution unchanged.
+//! * **Energy folds in the serial order.** The per-job busy energy is
+//!   precomputed by [`TaskSegments::build`] with the exact f64 addition
+//!   sequence of the serial dispatch (f64 addition is not associative).
+//!
+//! # Examples
+//!
+//! The mode plugs into the multi-task drivers unchanged:
+//!
+//! ```
+//! use ev_core::{TimeDelta, TimeWindow, Timestamp};
+//! use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
+//! use ev_edge::nmp::{baseline, multitask::{MultiTaskProblem, TaskSpec}};
+//! use ev_nn::zoo::{NetworkId, ZooConfig};
+//! use ev_platform::pe::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ZooConfig::small();
+//! let problem = MultiTaskProblem::new(
+//!     Platform::xavier_agx(),
+//!     vec![TaskSpec::new(
+//!         NetworkId::E2Depth.build(&cfg)?,
+//!         NetworkId::E2Depth.accuracy_model(),
+//!         0.02,
+//!     )],
+//! )?;
+//! // RR-Layer spreads consecutive layers over PEs: many segments.
+//! let candidate = baseline::rr_layer(&problem);
+//! let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(30));
+//! let periods = [TimeDelta::from_millis(5)];
+//! let serial = run_multi_task_runtime(
+//!     &problem, &candidate, &periods, MultiTaskRuntimeConfig::new(window))?;
+//! let parallel = run_multi_task_runtime(
+//!     &problem, &candidate, &periods,
+//!     MultiTaskRuntimeConfig::new(window).with_layer_parallel())?;
+//! assert_eq!(serial, parallel);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::exec::job::{JobInput, JobModel, MappedJobModel};
+use crate::nmp::candidate::Candidate;
+use crate::nmp::multitask::MultiTaskProblem;
+use crate::EvEdgeError;
+use ev_core::{TimeDelta, Timestamp};
+use ev_nn::LayerId;
+use ev_platform::energy::Energy;
+use ev_platform::latency::transfer_cost;
+use ev_platform::{ReservationTimeline, RunRequest};
+
+/// One unified-memory transfer a segment's first layer pays for a
+/// cross-PE predecessor edge (paper Figure 7a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentTransfer {
+    /// The producing layer (its completion gates the transfer).
+    pub pred: usize,
+    /// Modeled transfer latency on the memory queue.
+    pub duration: TimeDelta,
+}
+
+/// One same-PE layer run of a mapped job: a maximal batch of
+/// consecutive (topological-order) layers that [`MappedJobModel`]
+/// reserves as a single back-to-back chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSegment {
+    /// The processing-element queue every layer of the segment runs on.
+    pub queue: usize,
+    /// Layer indices in topological order.
+    pub layers: Vec<usize>,
+    /// Per-layer reservation durations, aligned with `layers`.
+    pub durations: Vec<TimeDelta>,
+    /// Cross-PE predecessor transfers of the first layer, in
+    /// predecessor order.
+    pub transfers: Vec<SegmentTransfer>,
+    /// Indices of segments this one data-depends on across PEs
+    /// (ascending, deduplicated). Same-queue dependencies are absent by
+    /// design: FIFO order already serializes them exactly (see the
+    /// [module docs](self)).
+    pub dep_segments: Vec<usize>,
+}
+
+/// The per-`(task, candidate)` segment DAG, precomputed once and
+/// replayed by every dispatch of that task — decomposition is
+/// input-independent because [`MappedJobModel`] costs do not depend on
+/// the [`JobInput`] payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSegments {
+    segments: Vec<JobSegment>,
+    /// Dispatch waves over `segments`, precomputed (they are a pure
+    /// function of the segment DAG).
+    waves: Vec<core::ops::Range<usize>>,
+    /// Busy energy of one job (compute + transfers), folded in the
+    /// serial dispatch's exact f64 addition order.
+    energy: Energy,
+    layer_count: usize,
+    memory_queue: usize,
+}
+
+impl TaskSegments {
+    /// Decomposes `task`'s mapped job into its same-PE layer-run
+    /// segment DAG under `candidate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvEdgeError::UnsupportedAssignment`] when the
+    /// candidate maps a layer to a (PE, precision) pair the platform
+    /// cannot execute — the same condition the serial dispatch reports.
+    pub fn build(
+        problem: &MultiTaskProblem,
+        candidate: &Candidate,
+        task: usize,
+    ) -> Result<Self, EvEdgeError> {
+        let platform = problem.platform();
+        let graph = &problem.tasks()[task].graph;
+        let memory_queue = platform.memory_queue();
+        let mut segments: Vec<JobSegment> = Vec::new();
+        let mut segment_of = vec![usize::MAX; graph.len()];
+        let mut energy = Energy::ZERO;
+        for layer in graph.layers() {
+            let l = layer.id.0;
+            let a = candidate.assignment(problem.global_index(task, l));
+            let cost = problem
+                .profile(task)
+                .layer(l)
+                .cost(a.pe, a.precision)
+                .ok_or(EvEdgeError::UnsupportedAssignment {
+                    task,
+                    layer: l,
+                    pe: a.pe,
+                    precision: a.precision,
+                })?;
+            energy += cost.energy;
+            debug_assert_ne!(
+                a.pe.0, memory_queue,
+                "compute never maps to the memory queue"
+            );
+            // MappedJobModel's batching rule, verbatim: extend the open
+            // segment when every predecessor shares this layer's PE and
+            // the segment already targets that queue.
+            let all_preds_same_pe = graph
+                .predecessors(LayerId(l))
+                .iter()
+                .all(|pred| candidate.assignment(problem.global_index(task, pred.0)).pe == a.pe);
+            if all_preds_same_pe {
+                if let Some(open) = segments.last_mut() {
+                    if open.queue == a.pe.0 {
+                        open.layers.push(l);
+                        open.durations.push(cost.latency);
+                        segment_of[l] = segments.len() - 1;
+                        continue;
+                    }
+                }
+            }
+            // A new segment: cross-PE predecessor edges pay transfers
+            // (in predecessor order, as the serial dispatch reserves
+            // them) and induce the segment's cross-PE dependencies.
+            let mut transfers = Vec::new();
+            let mut dep_segments = Vec::new();
+            for pred in graph.predecessors(LayerId(l)) {
+                let pa = candidate.assignment(problem.global_index(task, pred.0));
+                if pa.pe != a.pe {
+                    let bytes = problem.workload(task, pred.0).output_bytes;
+                    let tc = transfer_cost(platform, pa.pe, a.pe, bytes, pa.precision);
+                    energy += tc.energy;
+                    transfers.push(SegmentTransfer {
+                        pred: pred.0,
+                        duration: tc.latency,
+                    });
+                    dep_segments.push(segment_of[pred.0]);
+                }
+            }
+            dep_segments.sort_unstable();
+            dep_segments.dedup();
+            segment_of[l] = segments.len();
+            segments.push(JobSegment {
+                queue: a.pe.0,
+                layers: vec![l],
+                durations: vec![cost.latency],
+                transfers,
+                dep_segments,
+            });
+        }
+        let waves = compute_waves(&segments);
+        Ok(TaskSegments {
+            segments,
+            waves,
+            energy,
+            layer_count: graph.len(),
+            memory_queue,
+        })
+    }
+
+    /// The segments, in topological (serial-dispatch) order.
+    pub fn segments(&self) -> &[JobSegment] {
+        &self.segments
+    }
+
+    /// Busy energy of one dispatched job.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// The waves a dispatch issues: each wave is the maximal run of
+    /// consecutive segments whose cross-PE dependencies all resolve in
+    /// earlier waves, as segment-index ranges.
+    pub fn waves(&self) -> &[core::ops::Range<usize>] {
+        &self.waves
+    }
+}
+
+/// Partitions the segment list into dispatch waves: maximal runs of
+/// consecutive segments whose cross-PE dependencies all lie before the
+/// run (dependency lists are ascending, so the last entry decides).
+fn compute_waves(segments: &[JobSegment]) -> Vec<core::ops::Range<usize>> {
+    let mut waves = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        let mut j = i;
+        while j < segments.len() && segments[j].dep_segments.last().is_none_or(|&d| d < i) {
+            j += 1;
+        }
+        debug_assert!(j > i, "a segment's dependencies precede it");
+        waves.push(i..j);
+        i = j;
+    }
+    waves
+}
+
+/// The intra-task layer-parallel [`JobModel`]: dispatches each job's
+/// precomputed segment DAG in dependency waves, one batched
+/// [`ReservationTimeline::reserve_runs`] round per wave, bitwise
+/// identical to [`MappedJobModel`] (see the [module docs](self)).
+///
+/// Each task's DAG is built lazily on its first dispatch, so
+/// unexecutable assignments surface as
+/// [`EvEdgeError::UnsupportedAssignment`] at exactly the moment the
+/// serial model reports them — a task that never dispatches never
+/// errors, in either mode.
+#[derive(Debug)]
+pub struct LayerParallelModel<'a> {
+    problem: &'a MultiTaskProblem,
+    candidate: &'a Candidate,
+    tasks: Vec<Option<TaskSegments>>,
+    /// Per-layer completion scratch, reused across dispatches.
+    end_of: Vec<Timestamp>,
+}
+
+impl<'a> LayerParallelModel<'a> {
+    /// A model executing `candidate` over `problem`'s tasks.
+    pub fn new(problem: &'a MultiTaskProblem, candidate: &'a Candidate) -> Self {
+        LayerParallelModel {
+            problem,
+            candidate,
+            tasks: vec![None; problem.tasks().len()],
+            end_of: Vec::new(),
+        }
+    }
+}
+
+impl JobModel for LayerParallelModel<'_> {
+    fn dispatch(
+        &mut self,
+        task: usize,
+        _job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError> {
+        if self.tasks[task].is_none() {
+            self.tasks[task] = Some(TaskSegments::build(self.problem, self.candidate, task)?);
+        }
+        let ts = self.tasks[task].as_ref().expect("built above");
+        self.end_of.clear();
+        self.end_of.resize(ts.layer_count, ready);
+        let mut last_end = ready;
+        let mut requests: Vec<RunRequest<'_>> = Vec::new();
+        for wave in &ts.waves {
+            // Phase 1 — transfers, serially, in the serial dispatch's
+            // memory-queue order; their ends set each chain's ready.
+            requests.clear();
+            for seg in &ts.segments[wave.clone()] {
+                let mut dep_ready = ready;
+                for t in &seg.transfers {
+                    let (_, end) =
+                        timeline.reserve_next(ts.memory_queue, self.end_of[t.pred], t.duration)?;
+                    dep_ready = dep_ready.max(end);
+                }
+                requests.push(RunRequest {
+                    queue: seg.queue,
+                    ready: dep_ready,
+                    durations: &seg.durations,
+                });
+            }
+            // Phase 2 — the wave's compute chains, concurrently: on the
+            // thread-per-queue timeline every chain goes to its queue's
+            // worker before any reply is collected.
+            let slot_sets = timeline.reserve_runs(&requests)?;
+            for (seg, slots) in ts.segments[wave.clone()].iter().zip(&slot_sets) {
+                for (&l, &(_, end)) in seg.layers.iter().zip(slots) {
+                    self.end_of[l] = end;
+                    last_end = last_end.max(end);
+                }
+            }
+        }
+        Ok((last_end, ts.energy))
+    }
+}
+
+/// A convenience check used by tests and debug builds: replays one job
+/// through both models on clones of a timeline and asserts identical
+/// outcomes. Exposed so integration tests can exercise arbitrary
+/// candidates without duplicating the harness.
+///
+/// # Errors
+///
+/// Propagates dispatch errors from either model.
+///
+/// # Panics
+///
+/// Panics when the two models disagree — the bug this module must
+/// never have.
+pub fn assert_dispatch_equivalent(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    task: usize,
+    ready: Timestamp,
+    serial_timeline: &mut dyn ReservationTimeline,
+    parallel_timeline: &mut dyn ReservationTimeline,
+) -> Result<(), EvEdgeError> {
+    let job = JobInput::arrival(ready);
+    let mut serial = MappedJobModel::new(problem, candidate);
+    let mut parallel = LayerParallelModel::new(problem, candidate);
+    let s = serial.dispatch(task, &job, ready, serial_timeline)?;
+    let p = parallel.dispatch(task, &job, ready, parallel_timeline)?;
+    assert_eq!(s, p, "layer-parallel dispatch must match serial");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmp::baseline;
+    use crate::nmp::candidate::Assignment;
+    use crate::nmp::multitask::TaskSpec;
+    use ev_nn::graph::GraphBuilder;
+    use ev_nn::layer::{Conv2dCfg, LayerKind, Shape};
+    use ev_nn::zoo::{NetworkId, ZooConfig};
+    use ev_nn::{Precision, Task};
+    use ev_platform::pe::Platform;
+    use ev_platform::timeline::DeviceTimeline;
+
+    /// a → {b, c} → d, small enough to reason about by hand.
+    fn diamond_problem() -> MultiTaskProblem {
+        let mut b = GraphBuilder::new(
+            "diamond",
+            Task::OpticalFlow,
+            Shape::Chw { c: 2, h: 8, w: 8 },
+        );
+        let a = b
+            .layer("a", LayerKind::Conv2d(Conv2dCfg::same(2, 4, 3)), &[])
+            .unwrap();
+        let arm_b = b
+            .layer("b", LayerKind::Conv2d(Conv2dCfg::same(4, 4, 3)), &[a])
+            .unwrap();
+        let arm_c = b
+            .layer("c", LayerKind::Conv2d(Conv2dCfg::same(4, 4, 3)), &[a])
+            .unwrap();
+        let _d = b.layer("d", LayerKind::Concat, &[arm_b, arm_c]).unwrap();
+        let graph = b.finish().unwrap();
+        MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![TaskSpec::new(
+                graph,
+                NetworkId::Dotie.accuracy_model(),
+                0.05,
+            )],
+        )
+        .unwrap()
+    }
+
+    fn assignments(problem: &MultiTaskProblem, pes: &[&str]) -> Candidate {
+        let platform = problem.platform();
+        Candidate::from_assignments(
+            pes.iter()
+                .map(|name| Assignment {
+                    pe: platform.id_by_name(name).unwrap(),
+                    // The DLAs are FP16/INT8-only fixed-function engines.
+                    precision: if name.starts_with("dla") {
+                        Precision::Fp16
+                    } else {
+                        Precision::Fp32
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn segment_boundaries_sit_exactly_at_pe_changes() {
+        let p = diamond_problem();
+        // a, b on GPU; c on dla0; d on GPU → segments [a, b], [c], [d].
+        let candidate = assignments(&p, &["gpu", "gpu", "dla0", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        let layer_runs: Vec<&[usize]> = ts.segments().iter().map(|s| s.layers.as_slice()).collect();
+        assert_eq!(layer_runs, vec![&[0usize, 1][..], &[2][..], &[3][..]]);
+        let gpu = p.platform().id_by_name("gpu").unwrap().0;
+        let dla = p.platform().id_by_name("dla0").unwrap().0;
+        assert_eq!(
+            ts.segments().iter().map(|s| s.queue).collect::<Vec<_>>(),
+            vec![gpu, dla, gpu]
+        );
+        // A single-PE mapping is one segment — no boundary without a
+        // PE change.
+        let all_gpu = assignments(&p, &["gpu", "gpu", "gpu", "gpu"]);
+        let one = TaskSegments::build(&p, &all_gpu, 0).unwrap();
+        assert_eq!(one.segments().len(), 1);
+        assert_eq!(one.segments()[0].layers, vec![0, 1, 2, 3]);
+        assert!(one.segments()[0].transfers.is_empty());
+    }
+
+    #[test]
+    fn diamond_segment_dag_respects_graph_dependencies() {
+        let p = diamond_problem();
+        // Arms on different DLAs: a | {b, c} | d → 4 segments, middle
+        // two independent.
+        let candidate = assignments(&p, &["gpu", "dla0", "dla1", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        assert_eq!(ts.segments().len(), 4);
+        assert_eq!(ts.segments()[1].dep_segments, vec![0]);
+        assert_eq!(ts.segments()[2].dep_segments, vec![0]);
+        assert_eq!(ts.segments()[3].dep_segments, vec![1, 2]);
+        // Each cross-PE edge pays exactly one transfer.
+        assert_eq!(ts.segments()[1].transfers.len(), 1);
+        assert_eq!(ts.segments()[2].transfers.len(), 1);
+        assert_eq!(ts.segments()[3].transfers.len(), 2);
+        // The two arms dispatch in one wave.
+        assert_eq!(ts.waves(), vec![0..1, 1..3, 3..4]);
+        // The segment DAG is consistent with the layer DAG's closure:
+        // a cross-PE dependency exists only where the graph has one.
+        let closure = p.tasks()[0].graph.dependency_closure();
+        for (s, seg) in ts.segments().iter().enumerate() {
+            for &dep in &seg.dep_segments {
+                assert!(dep < s);
+                let first = seg.layers[0];
+                assert!(
+                    ts.segments()[dep].layers.iter().any(|&l| closure[first][l]),
+                    "segment {s} declares dep {dep} without a graph dependency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_queue_dependencies_break_no_wave() {
+        let p = diamond_problem();
+        // b and c both on dla0: still two segments after a (c cannot
+        // join b's segment — its predecessor a is cross-PE — but FIFO
+        // order alone serializes them, so they share a wave).
+        let candidate = assignments(&p, &["gpu", "dla0", "dla0", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        assert_eq!(ts.segments().len(), 4);
+        assert_eq!(ts.waves(), vec![0..1, 1..3, 3..4]);
+    }
+
+    #[test]
+    fn dispatch_matches_serial_on_hand_built_mappings() {
+        let p = diamond_problem();
+        for pes in [
+            ["gpu", "gpu", "gpu", "gpu"],
+            ["gpu", "dla0", "dla1", "gpu"],
+            ["gpu", "gpu", "dla0", "gpu"],
+            ["dla0", "gpu", "dla1", "dla0"],
+        ] {
+            let candidate = assignments(&p, &pes);
+            let queues = p.platform().queue_count();
+            let mut serial_tl = DeviceTimeline::new(queues);
+            let mut parallel_tl = DeviceTimeline::new(queues);
+            assert_dispatch_equivalent(
+                &p,
+                &candidate,
+                0,
+                Timestamp::from_millis(3),
+                &mut serial_tl,
+                &mut parallel_tl,
+            )
+            .unwrap();
+            assert_eq!(serial_tl, parallel_tl, "mapping {pes:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_serial_on_zoo_networks() {
+        let cfg = ZooConfig::small();
+        let p = MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![
+                TaskSpec::new(
+                    NetworkId::FusionFlowNet.build(&cfg).unwrap(),
+                    NetworkId::FusionFlowNet.accuracy_model(),
+                    0.07,
+                ),
+                TaskSpec::new(
+                    NetworkId::E2Depth.build(&cfg).unwrap(),
+                    NetworkId::E2Depth.accuracy_model(),
+                    0.02,
+                ),
+            ],
+        )
+        .unwrap();
+        for candidate in [baseline::rr_network(&p), baseline::rr_layer(&p)] {
+            let queues = p.platform().queue_count();
+            let mut serial_tl = DeviceTimeline::new(queues);
+            let mut parallel_tl = DeviceTimeline::new(queues);
+            for task in 0..p.tasks().len() {
+                assert_dispatch_equivalent(
+                    &p,
+                    &candidate,
+                    task,
+                    Timestamp::from_millis(task as u64),
+                    &mut serial_tl,
+                    &mut parallel_tl,
+                )
+                .unwrap();
+            }
+            assert_eq!(serial_tl, parallel_tl);
+        }
+    }
+
+    #[test]
+    fn unsupported_assignment_surfaces_at_dispatch_like_serial() {
+        let cfg = ZooConfig::small();
+        let p = MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![TaskSpec::new(
+                NetworkId::Dotie.build(&cfg).unwrap(),
+                NetworkId::Dotie.accuracy_model(),
+                0.04,
+            )],
+        )
+        .unwrap();
+        // DOTIE is an SNN; the DLA cannot execute SNN layers at INT8
+        // only in specific combinations — find one the profile rejects.
+        let platform = p.platform();
+        let rejected = (0..platform.elements().len()).find_map(|i| {
+            let pe = ev_platform::pe::PeId(i);
+            [Precision::Fp32, Precision::Fp16, Precision::Int8]
+                .into_iter()
+                .find(|&prec| p.profile(0).layer(0).cost(pe, prec).is_none())
+                .map(|prec| (pe, prec))
+        });
+        if let Some((pe, precision)) = rejected {
+            let candidate = Candidate::from_assignments(vec![Assignment { pe, precision }]);
+            // Construction is infallible — like the serial model, the
+            // error surfaces only when the task actually dispatches.
+            let mut model = LayerParallelModel::new(&p, &candidate);
+            let mut timeline = DeviceTimeline::new(p.platform().queue_count());
+            let job = JobInput::arrival(Timestamp::ZERO);
+            assert!(matches!(
+                model.dispatch(0, &job, Timestamp::ZERO, &mut timeline),
+                Err(EvEdgeError::UnsupportedAssignment { .. })
+            ));
+        }
+    }
+}

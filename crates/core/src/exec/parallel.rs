@@ -28,7 +28,7 @@
 //! ```
 
 use ev_core::{TimeDelta, Timestamp};
-use ev_platform::{PlatformError, ReservationTimeline};
+use ev_platform::{PlatformError, ReservationTimeline, RunRequest};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -365,6 +365,45 @@ impl ReservationTimeline for ParallelTimeline {
             .expect("queue worker alive");
         Ok(reply_rx.recv().expect("queue worker replies"))
     }
+
+    // The wave entry point is where the thread-per-queue shape pays
+    // off inside one job: every request is handed to its queue worker
+    // *before* any reply is collected, so chains on different queues —
+    // the data-independent same-PE layer segments of a layer-parallel
+    // dispatch — are computed concurrently. Same-queue requests keep
+    // their request order (each worker's channel is FIFO), so the
+    // slots are identical to the sequential default.
+    fn reserve_runs(
+        &mut self,
+        requests: &[RunRequest<'_>],
+    ) -> Result<Vec<Vec<(Timestamp, Timestamp)>>, PlatformError> {
+        let mut replies = Vec::with_capacity(requests.len());
+        for request in requests {
+            if request.durations.is_empty() {
+                // Matches `reserve_run`: zero slots never touch a queue.
+                replies.push(None);
+                continue;
+            }
+            let worker = self.worker(request.queue)?;
+            let (reply_tx, reply_rx) = sync_channel(1);
+            worker
+                .tx
+                .send(Request::ReserveRun(
+                    request.ready,
+                    request.durations.to_vec(),
+                    reply_tx,
+                ))
+                .expect("queue worker alive");
+            replies.push(Some(reply_rx));
+        }
+        Ok(replies
+            .into_iter()
+            .map(|reply| match reply {
+                Some(rx) => rx.recv().expect("queue worker replies"),
+                None => Vec::new(),
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -525,5 +564,77 @@ mod tests {
                 parallel.busy_time(q)
             );
         }
+    }
+
+    #[test]
+    fn reservation_waves_match_device_timeline() {
+        let mut serial = DeviceTimeline::new(3);
+        let mut parallel = ParallelTimeline::new(3);
+        let ms = |v| Timestamp::from_millis(v);
+        let d = |v| TimeDelta::from_millis(v);
+        // Two waves: the first spreads chains over all queues (plus a
+        // same-queue pair that must serialize in request order), the
+        // second lands behind the first wave's reservations.
+        let c0 = [d(5), d(2)];
+        let c1 = [d(9)];
+        let c2: [TimeDelta; 0] = [];
+        let c3 = [d(3)];
+        let c4 = [d(1), d(1)];
+        let c5 = [d(2)];
+        let chains: [&[TimeDelta]; 6] = [&c0, &c1, &c2, &c3, &c4, &c5];
+        let waves = [
+            vec![
+                RunRequest {
+                    queue: 0,
+                    ready: ms(0),
+                    durations: chains[0],
+                },
+                RunRequest {
+                    queue: 1,
+                    ready: ms(1),
+                    durations: chains[1],
+                },
+                RunRequest {
+                    queue: 2,
+                    ready: ms(0),
+                    durations: chains[2],
+                },
+                RunRequest {
+                    queue: 0,
+                    ready: ms(2),
+                    durations: chains[3],
+                },
+            ],
+            vec![
+                RunRequest {
+                    queue: 2,
+                    ready: ms(4),
+                    durations: chains[4],
+                },
+                RunRequest {
+                    queue: 1,
+                    ready: ms(0),
+                    durations: chains[5],
+                },
+            ],
+        ];
+        for wave in &waves {
+            let s = serial.reserve_runs(wave).unwrap();
+            let p = parallel.reserve_runs(wave).unwrap();
+            assert_eq!(s, p);
+        }
+        for q in 0..3 {
+            assert_eq!(
+                ReservationTimeline::busy_time(&serial, q),
+                parallel.busy_time(q)
+            );
+        }
+        assert!(parallel
+            .reserve_runs(&[RunRequest {
+                queue: 7,
+                ready: ms(0),
+                durations: &[d(1)],
+            }])
+            .is_err());
     }
 }

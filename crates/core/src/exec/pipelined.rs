@@ -52,6 +52,42 @@
 //!   arrivals stream down the channel without any round trip;
 //! * simulated time is carried *in* the messages, so thread scheduling
 //!   never influences any modeled quantity.
+//!
+//! # Examples
+//!
+//! Drivers select this runtime through
+//! [`crate::multipipe::ExecMode::Pipelined`]; the report matches the
+//! serial mode bitwise for any channel capacity:
+//!
+//! ```
+//! use ev_core::{TimeDelta, TimeWindow, Timestamp};
+//! use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
+//! use ev_edge::nmp::{baseline, multitask::{MultiTaskProblem, TaskSpec}};
+//! use ev_nn::zoo::{NetworkId, ZooConfig};
+//! use ev_platform::pe::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ZooConfig::small();
+//! let problem = MultiTaskProblem::new(
+//!     Platform::xavier_agx(),
+//!     vec![TaskSpec::new(
+//!         NetworkId::Dotie.build(&cfg)?,
+//!         NetworkId::Dotie.accuracy_model(),
+//!         0.04,
+//!     )],
+//! )?;
+//! let candidate = baseline::rr_network(&problem);
+//! let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(20));
+//! let periods = [TimeDelta::from_millis(4)];
+//! let serial = run_multi_task_runtime(
+//!     &problem, &candidate, &periods, MultiTaskRuntimeConfig::new(window))?;
+//! let pipelined = run_multi_task_runtime(
+//!     &problem, &candidate, &periods,
+//!     MultiTaskRuntimeConfig::new(window).with_pipelined_frontend())?;
+//! assert_eq!(serial, pipelined);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::exec::engine::{EngineReport, TaskEngine};
 use crate::exec::job::{JobInput, JobModel};

@@ -134,6 +134,13 @@ impl<T: ReservationTimeline> ReservationTimeline for SharedTimeline<T> {
     ) -> Result<Vec<(Timestamp, Timestamp)>, PlatformError> {
         self.inner.borrow_mut().reserve_run(queue, ready, durations)
     }
+
+    fn reserve_runs(
+        &mut self,
+        requests: &[ev_platform::RunRequest],
+    ) -> Result<Vec<Vec<(Timestamp, Timestamp)>>, PlatformError> {
+        self.inner.borrow_mut().reserve_runs(requests)
+    }
 }
 
 /// Rewrites a shard-local task index back to the scenario's global task

@@ -50,12 +50,14 @@ pub mod queue;
 /// The unified streaming execution core shared by every runtime: the
 /// discrete-event clock, the job model, the dispatch/accounting engine,
 /// composable frontend stages, and the multi-threaded runtimes
-/// (thread-per-queue reservations, stage-pipelined frontends, and
-/// task-sharded engines over one shared timeline).
+/// (thread-per-queue reservations, stage-pipelined frontends,
+/// task-sharded engines over one shared timeline, and intra-task
+/// layer-parallel dispatch of a single job's same-PE segments).
 pub mod exec {
     pub mod clock;
     pub mod engine;
     pub mod job;
+    pub mod layer_parallel;
     pub mod parallel;
     pub mod pipelined;
     pub mod sharded;
@@ -66,6 +68,7 @@ pub mod exec {
     pub use job::{
         BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
     };
+    pub use layer_parallel::{JobSegment, LayerParallelModel, SegmentTransfer, TaskSegments};
     pub use parallel::{parallel_map, parallel_try_map, ParallelTimeline};
     pub use pipelined::{run_pipelined_arrivals, run_pipelined_streams};
     pub use sharded::{ShardedEngine, SharedTimeline};
@@ -85,8 +88,8 @@ pub mod nmp {
     pub mod tune;
 
     pub use sweep::{
-        run_cells, run_sweep, PlatformPreset, SearchAlgorithm, SweepCell, SweepCellReport,
-        SweepReport, SweepSpec, TaskMix, ZooPreset,
+        run_cells, run_sweep, run_sweep_mode, PlatformPreset, SearchAlgorithm, SweepCell,
+        SweepCellReport, SweepReport, SweepSpec, TaskMix, ZooPreset,
     };
     pub use tune::{
         rank_cells, AutoTuner, CellObjective, TuneObjective, TuneReport, TuneSelection,

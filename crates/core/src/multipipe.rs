@@ -13,12 +13,14 @@
 //! [`MappedJobModel`] reserves the shared processing-element queues layer
 //! by layer. [`MultiTaskRuntimeConfig::mode`] selects *how* that engine
 //! executes — serially, over thread-per-queue reservations, behind a
-//! stage-pipelined frontend, or sharded across per-task engines — with
-//! bitwise-identical reports in every mode (see [`ExecMode`]).
+//! stage-pipelined frontend, sharded across per-task engines, or with
+//! each job's same-PE layer segments dispatched in parallel waves —
+//! with bitwise-identical reports in every mode (see [`ExecMode`]).
 
 use crate::exec::clock::EventClock;
 use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
-use crate::exec::job::{JobInput, MappedJobModel};
+use crate::exec::job::{JobInput, JobModel, MappedJobModel};
+use crate::exec::layer_parallel::LayerParallelModel;
 use crate::exec::parallel::ParallelTimeline;
 use crate::exec::pipelined::{run_pipelined_arrivals, run_pipelined_streams, FrameBatchResult};
 use crate::exec::sharded::ShardedEngine;
@@ -56,6 +58,13 @@ pub enum ExecMode {
         /// Engine-shard count (`0` = one shard per task).
         shards: usize,
     },
+    /// Intra-task layer-parallel dispatch: each job's mapped layer
+    /// runs are decomposed into a same-PE segment DAG and
+    /// data-independent segments on different processing elements
+    /// reserve their queues concurrently, over the thread-per-queue
+    /// timeline's batched wave entry point (see
+    /// [`crate::exec::layer_parallel`]).
+    LayerParallel,
 }
 
 impl ExecMode {
@@ -106,6 +115,15 @@ impl MultiTaskRuntimeConfig {
     #[must_use]
     pub fn with_sharded_engines(mut self, shards: usize) -> Self {
         self.mode = ExecMode::Sharded { shards };
+        self
+    }
+
+    /// Dispatches each job's data-independent same-PE layer segments
+    /// concurrently across processing-element queues (see
+    /// [`crate::exec::layer_parallel`]).
+    #[must_use]
+    pub fn with_layer_parallel(mut self) -> Self {
+        self.mode = ExecMode::LayerParallel;
         self
     }
 }
@@ -223,7 +241,8 @@ pub fn run_multi_task_runtime(
                 tasks,
                 config.queue_capacity,
             )?;
-            run_periodic(problem, candidate, periods, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_periodic(problem, periods, config, engine, &mut model)
         }
         ExecMode::ThreadPerQueue => {
             let engine = ExecEngine::new(
@@ -232,7 +251,20 @@ pub fn run_multi_task_runtime(
                 tasks,
                 config.queue_capacity,
             )?;
-            run_periodic(problem, candidate, periods, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_periodic(problem, periods, config, engine, &mut model)
+        }
+        ExecMode::LayerParallel => {
+            // Segment waves land on the thread-per-queue timeline, so
+            // same-wave chains really are computed concurrently.
+            let engine = ExecEngine::new(
+                start,
+                ParallelTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            let mut model = LayerParallelModel::new(problem, candidate);
+            run_periodic(problem, periods, config, engine, &mut model)
         }
         ExecMode::Sharded { shards } => {
             let engine = ShardedEngine::new(
@@ -242,7 +274,8 @@ pub fn run_multi_task_runtime(
                 config.queue_capacity,
                 shards,
             )?;
-            run_periodic(problem, candidate, periods, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_periodic(problem, periods, config, engine, &mut model)
         }
         ExecMode::Pipelined { channel_capacity } => {
             let engine = ExecEngine::new(
@@ -251,13 +284,14 @@ pub fn run_multi_task_runtime(
                 tasks,
                 config.queue_capacity,
             )?;
+            let mut model = MappedJobModel::new(problem, candidate);
             run_periodic_pipelined(
                 problem,
-                candidate,
                 periods,
                 config,
                 engine,
                 channel_capacity,
+                &mut model,
             )
         }
     }
@@ -291,22 +325,21 @@ fn for_each_periodic_arrival(
 
 fn run_periodic<E: TaskEngine>(
     problem: &MultiTaskProblem,
-    candidate: &Candidate,
     periods: &[TimeDelta],
     config: MultiTaskRuntimeConfig,
     mut engine: E,
+    model: &mut dyn JobModel,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     let tasks = problem.tasks();
-    let mut model = MappedJobModel::new(problem, candidate);
     let mut outcome = Ok(());
     for_each_periodic_arrival(config.window, periods, |arrival, task| {
         engine.submit(task, JobInput::arrival(arrival));
         // Greedy: run every pending inference whose task is free by now.
-        outcome = engine.service_all(arrival, &mut model);
+        outcome = engine.service_all(arrival, model);
         outcome.is_ok()
     });
     outcome?;
-    engine.drain_all(&mut model)?;
+    engine.drain_all(model)?;
 
     let report = engine.finish(problem.platform().static_power_w);
     Ok(MultiTaskRuntimeReport::from_engine(
@@ -319,14 +352,13 @@ fn run_periodic<E: TaskEngine>(
 /// the two-stage pipeline of [`crate::exec::pipelined`].
 fn run_periodic_pipelined<E: TaskEngine>(
     problem: &MultiTaskProblem,
-    candidate: &Candidate,
     periods: &[TimeDelta],
     config: MultiTaskRuntimeConfig,
     engine: E,
     channel_capacity: usize,
+    model: &mut dyn JobModel,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     let tasks = problem.tasks();
-    let mut model = MappedJobModel::new(problem, candidate);
     let window = config.window;
     let producer = move |tx: SyncSender<(ev_core::Timestamp, usize)>| {
         for_each_periodic_arrival(window, periods, |arrival, task| {
@@ -336,7 +368,7 @@ fn run_periodic_pipelined<E: TaskEngine>(
     let report = run_pipelined_arrivals(
         engine,
         producer,
-        &mut model,
+        model,
         channel_capacity,
         problem.platform().static_power_w,
     )?;
@@ -393,7 +425,8 @@ pub fn run_multi_task_streams(
                 tasks,
                 config.queue_capacity,
             )?;
-            run_streams(problem, candidate, streams, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_streams(problem, streams, config, engine, &mut model)
         }
         ExecMode::ThreadPerQueue => {
             let engine = ExecEngine::new(
@@ -402,7 +435,18 @@ pub fn run_multi_task_streams(
                 tasks,
                 config.queue_capacity,
             )?;
-            run_streams(problem, candidate, streams, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_streams(problem, streams, config, engine, &mut model)
+        }
+        ExecMode::LayerParallel => {
+            let engine = ExecEngine::new(
+                start,
+                ParallelTimeline::new(queues),
+                tasks,
+                config.queue_capacity,
+            )?;
+            let mut model = LayerParallelModel::new(problem, candidate);
+            run_streams(problem, streams, config, engine, &mut model)
         }
         ExecMode::Sharded { shards } => {
             let engine = ShardedEngine::new(
@@ -412,7 +456,8 @@ pub fn run_multi_task_streams(
                 config.queue_capacity,
                 shards,
             )?;
-            run_streams(problem, candidate, streams, config, engine)
+            let mut model = MappedJobModel::new(problem, candidate);
+            run_streams(problem, streams, config, engine, &mut model)
         }
         ExecMode::Pipelined { channel_capacity } => {
             let engine = ExecEngine::new(
@@ -421,13 +466,14 @@ pub fn run_multi_task_streams(
                 tasks,
                 config.queue_capacity,
             )?;
+            let mut model = MappedJobModel::new(problem, candidate);
             run_streams_pipelined(
                 problem,
-                candidate,
                 streams,
                 config,
                 engine,
                 channel_capacity,
+                &mut model,
             )
         }
     }
@@ -435,10 +481,10 @@ pub fn run_multi_task_streams(
 
 fn run_streams<E: TaskEngine>(
     problem: &MultiTaskProblem,
-    candidate: &Candidate,
     streams: &[StreamTask],
     config: MultiTaskRuntimeConfig,
     mut engine: E,
+    model: &mut dyn JobModel,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     use crate::e2sf::{E2sf, E2sfConfig};
 
@@ -459,7 +505,6 @@ fn run_streams<E: TaskEngine>(
         .iter()
         .map(|s| DsfaStage::new(s.dsfa))
         .collect::<Result<_, _>>()?;
-    let mut model = MappedJobModel::new(problem, candidate);
 
     // Global arrival order: (ready time, task, frame index).
     let mut clock: EventClock<(usize, usize)> = EventClock::new(config.window.start());
@@ -482,7 +527,7 @@ fn run_streams<E: TaskEngine>(
             engine.enqueue(t, job);
         }
         // Serve every task that can make progress at this instant.
-        engine.service_all(ready, &mut model)?;
+        engine.service_all(ready, model)?;
     }
     // Drain: flush frontends, then run every remaining queued input.
     for (t, frontend) in frontends.iter_mut().enumerate() {
@@ -490,7 +535,7 @@ fn run_streams<E: TaskEngine>(
         for job in frontend.flush(tail)? {
             engine.enqueue(t, job);
         }
-        engine.drain(t, &mut model)?;
+        engine.drain(t, model)?;
     }
 
     let report = engine.finish(problem.platform().static_power_w);
@@ -506,11 +551,11 @@ fn run_streams<E: TaskEngine>(
 /// full three-stage pipeline of [`crate::exec::pipelined`].
 fn run_streams_pipelined<E: TaskEngine>(
     problem: &MultiTaskProblem,
-    candidate: &Candidate,
     streams: &[StreamTask],
     config: MultiTaskRuntimeConfig,
     engine: E,
     channel_capacity: usize,
+    model: &mut dyn JobModel,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     use crate::e2sf::E2sfConfig;
 
@@ -545,12 +590,11 @@ fn run_streams_pipelined<E: TaskEngine>(
             }
         })
         .collect();
-    let mut model = MappedJobModel::new(problem, candidate);
     let report = run_pipelined_streams(
         engine,
         frontends,
         producers,
-        &mut model,
+        model,
         window,
         channel_capacity,
         problem.platform().static_power_w,
@@ -772,6 +816,48 @@ mod tests {
             )
             .unwrap();
             assert_eq!(serial, sharded, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn layer_parallel_runtime_matches_serial_exactly() {
+        use ev_datasets::mvsec::SequenceId;
+        let p = problem();
+        // RR-Layer spreads consecutive layers across PEs — the mapping
+        // shape that actually produces multi-segment jobs.
+        for candidate in [baseline::rr_network(&p), baseline::rr_layer(&p)] {
+            let periods = [TimeDelta::from_millis(5), TimeDelta::from_millis(9)];
+            let serial = run_multi_task_runtime(&p, &candidate, &periods, window_ms(60)).unwrap();
+            let layer_parallel = run_multi_task_runtime(
+                &p,
+                &candidate,
+                &periods,
+                window_ms(60).with_layer_parallel(),
+            )
+            .unwrap();
+            assert_eq!(serial, layer_parallel, "periodic layer-parallel run");
+
+            let streams = vec![
+                StreamTask {
+                    sequence: SequenceId::IndoorFlying2.sequence(),
+                    bins_per_interval: 8,
+                    dsfa: crate::dsfa::DsfaConfig::default(),
+                },
+                StreamTask {
+                    sequence: SequenceId::DenseTown10.sequence(),
+                    bins_per_interval: 4,
+                    dsfa: crate::dsfa::DsfaConfig::default(),
+                },
+            ];
+            let serial = run_multi_task_streams(&p, &candidate, &streams, window_ms(50)).unwrap();
+            let layer_parallel = run_multi_task_streams(
+                &p,
+                &candidate,
+                &streams,
+                window_ms(50).with_layer_parallel(),
+            )
+            .unwrap();
+            assert_eq!(serial, layer_parallel, "streaming layer-parallel run");
         }
     }
 

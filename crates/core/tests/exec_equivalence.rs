@@ -2,9 +2,10 @@
 //! engine — a single-task problem run through `run_multi_task_runtime`
 //! must produce exactly the counts, latencies, energy and makespan of
 //! the same workload driven through `ExecEngine` directly — and every
-//! execution mode (thread-per-queue, stage-pipelined, task-sharded) is
-//! the serial engine: reports are bitwise identical for any channel
-//! capacity and shard count.
+//! execution mode (thread-per-queue, stage-pipelined, task-sharded,
+//! intra-task layer-parallel) is the serial engine: reports are bitwise
+//! identical for any channel capacity, shard count, queue capacity and
+//! mapped-PE configuration.
 
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
@@ -168,6 +169,7 @@ fn every_exec_mode_matches_serial_periodic_runtime() {
 
     let modes = [
         ExecMode::ThreadPerQueue,
+        ExecMode::LayerParallel,
         ExecMode::Pipelined {
             channel_capacity: 0,
         },
@@ -229,6 +231,7 @@ fn every_exec_mode_matches_serial_streams() {
 
     let modes = [
         ExecMode::ThreadPerQueue,
+        ExecMode::LayerParallel,
         ExecMode::Pipelined {
             channel_capacity: 0,
         },
@@ -246,6 +249,63 @@ fn every_exec_mode_matches_serial_streams() {
         config.mode = mode;
         let report = run_multi_task_streams(&problem, &candidate, &streams, config).unwrap();
         assert_eq!(serial, report, "mode {mode:?}");
+    }
+}
+
+/// The layer-parallel runtime is the serial engine: bitwise-identical
+/// reports across queue capacities, task counts, and mapped-PE
+/// configurations — including the two round-robin baselines, whose
+/// RR-Layer placement produces maximally fragmented segment DAGs, and a
+/// searched NMP mapping.
+#[test]
+fn layer_parallel_matches_serial_across_capacities_tasks_and_mappings() {
+    use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
+    use ev_edge::nmp::fitness::FitnessConfig;
+
+    let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(50));
+    for problem in [single_task_problem(), three_task_problem()] {
+        let searched = run_nmp(
+            &problem,
+            NmpConfig {
+                population: 8,
+                generations: 4,
+                seed: 17,
+                ..NmpConfig::default()
+            },
+            FitnessConfig::default(),
+        )
+        .unwrap()
+        .best;
+        // ≥2 mapped-PE configurations: RR-Network keeps whole networks
+        // on one PE (single-segment jobs), RR-Layer alternates PEs per
+        // layer (segment-per-layer jobs), and the searched mapping
+        // lands in between.
+        for candidate in [
+            baseline::rr_network(&problem),
+            baseline::rr_layer(&problem),
+            searched,
+        ] {
+            let periods: Vec<TimeDelta> = (0..problem.tasks().len())
+                .map(|t| TimeDelta::from_millis(3 + 2 * t as i64))
+                .collect();
+            for queue_capacity in [1usize, 2, 5] {
+                let mut serial_config = MultiTaskRuntimeConfig::new(window);
+                serial_config.queue_capacity = queue_capacity;
+                let serial =
+                    run_multi_task_runtime(&problem, &candidate, &periods, serial_config).unwrap();
+                assert!(serial.per_task.iter().all(|t| t.completed > 0));
+                let mut lp_config = serial_config;
+                lp_config.mode = ExecMode::LayerParallel;
+                let layer_parallel =
+                    run_multi_task_runtime(&problem, &candidate, &periods, lp_config).unwrap();
+                assert_eq!(
+                    serial,
+                    layer_parallel,
+                    "capacity {queue_capacity}, {} tasks",
+                    problem.tasks().len()
+                );
+            }
+        }
     }
 }
 

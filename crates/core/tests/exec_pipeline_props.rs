@@ -1,7 +1,8 @@
 //! Property tests for the execution modes: across random scenarios,
-//! queue capacities, channel capacities and shard counts, the pipelined
-//! and sharded runtimes report exactly the serial engine's drop counts,
-//! latencies, energy, makespan and utilization.
+//! queue capacities, channel capacities, shard counts and random NMP
+//! mappings, the pipelined, sharded and intra-task layer-parallel
+//! runtimes report exactly the serial engine's drop counts, latencies,
+//! energy, makespan and utilization.
 
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
@@ -77,6 +78,42 @@ proptest! {
         config.mode = ExecMode::Sharded { shards };
         let sharded = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
         prop_assert_eq!(&serial, &sharded);
+
+        config.mode = ExecMode::LayerParallel;
+        let layer_parallel = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &layer_parallel);
+    }
+
+    /// Intra-task layer-parallel dispatch ≡ serial for *random NMP
+    /// mappings*: arbitrary per-layer (PE, precision) assignments carve
+    /// arbitrary segment DAGs out of each network, and every one of
+    /// them must replay the serial reservation sequence bit for bit.
+    #[test]
+    fn layer_parallel_agrees_on_random_mappings(
+        tasks in 1usize..4,
+        seed in 0u64..1_000_000_000,
+        period_base in 2i64..9,
+        window_ms in 15u64..50,
+        queue_capacity in 1usize..4,
+    ) {
+        use ev_edge::nmp::candidate::Candidate;
+        use rand::SeedableRng;
+
+        let p = problem(tasks);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        let periods: Vec<TimeDelta> = (0..tasks)
+            .map(|t| TimeDelta::from_millis(period_base + 2 * t as i64))
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        config.mode = ExecMode::LayerParallel;
+        let layer_parallel = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &layer_parallel);
     }
 
     /// Streaming runtime (E2SF + DSFA frontends on worker threads):
@@ -123,5 +160,9 @@ proptest! {
         config.mode = ExecMode::Sharded { shards };
         let sharded = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
         prop_assert_eq!(&serial, &sharded);
+
+        config.mode = ExecMode::LayerParallel;
+        let layer_parallel = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+        prop_assert_eq!(&serial, &layer_parallel);
     }
 }

@@ -9,6 +9,22 @@
 use crate::PlatformError;
 use ev_core::{TimeDelta, Timestamp};
 
+/// One queue's back-to-back reservation chain inside a
+/// [`ReservationTimeline::reserve_runs`] wave: `durations.len()` slots
+/// on `queue`, the first at the earliest feasible start for work ready
+/// at `ready`. Durations are borrowed so a caller replaying a
+/// precomputed decomposition (e.g. a layer-parallel segment DAG) pays
+/// no allocation per wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRequest<'a> {
+    /// The target reservation queue.
+    pub queue: usize,
+    /// When the first slot's work becomes ready.
+    pub ready: Timestamp,
+    /// Slot durations, chained back to back.
+    pub durations: &'a [TimeDelta],
+}
+
 /// The shared accounting API of per-queue reservation trackers.
 ///
 /// The unified execution engine (`ev_edge::exec`) is written against this
@@ -110,6 +126,57 @@ pub trait ReservationTimeline {
             slots.push(slot);
         }
         Ok(slots)
+    }
+
+    /// Reserves a *wave* of independent run chains — one
+    /// [`RunRequest`] per chain, each the equivalent of a
+    /// [`ReservationTimeline::reserve_run`] call — and returns every
+    /// chain's slots, in request order.
+    ///
+    /// The result is identical to issuing the requests sequentially:
+    /// requests targeting the *same* queue are applied in request
+    /// order, and requests targeting different queues are independent
+    /// (a FIFO queue's reservations depend only on its own history and
+    /// each request's ready time). The point of the batched entry is
+    /// concurrency: a message-passing implementation can hand every
+    /// request to its queue's worker *before* collecting any reply, so
+    /// chains on different queues are computed in parallel (see
+    /// `ev_edge::exec::parallel::ParallelTimeline`). This is the
+    /// dispatch primitive of the intra-task layer-parallel runtime
+    /// (`ev_edge::exec::layer_parallel`), where a wave holds the
+    /// data-independent same-PE layer segments of one inference job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReservationTimeline::reserve_run`] errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ev_platform::timeline::{DeviceTimeline, RunRequest};
+    /// use ev_platform::ReservationTimeline;
+    /// use ev_core::{TimeDelta, Timestamp};
+    ///
+    /// # fn main() -> Result<(), ev_platform::PlatformError> {
+    /// let mut tl = DeviceTimeline::new(2);
+    /// // Two independent chains on different queues in one wave.
+    /// let waves = tl.reserve_runs(&[
+    ///     RunRequest { queue: 0, ready: Timestamp::ZERO, durations: &[TimeDelta::from_millis(4)] },
+    ///     RunRequest { queue: 1, ready: Timestamp::ZERO, durations: &[TimeDelta::from_millis(7)] },
+    /// ])?;
+    /// assert_eq!(waves[0][0].1, Timestamp::from_millis(4));
+    /// assert_eq!(waves[1][0].1, Timestamp::from_millis(7));
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn reserve_runs(
+        &mut self,
+        requests: &[RunRequest<'_>],
+    ) -> Result<Vec<Vec<(Timestamp, Timestamp)>>, PlatformError> {
+        requests
+            .iter()
+            .map(|r| self.reserve_run(r.queue, r.ready, r.durations))
+            .collect()
     }
 
     /// Utilization of `queue` over `[0, horizon)`.
@@ -388,5 +455,56 @@ mod tests {
         assert_eq!(slots, expected);
         assert_eq!(run_tl, step_tl);
         assert!(run_tl.reserve_run(0, ms(0), &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reserve_runs_matches_sequential_reserve_run() {
+        let d = |v: i64| TimeDelta::from_millis(v);
+        let chain0 = [d(4), d(1)];
+        let chain1 = [d(7)];
+        let chain2 = [d(2)];
+        let requests = [
+            RunRequest {
+                queue: 0,
+                ready: ms(2),
+                durations: &chain0,
+            },
+            RunRequest {
+                queue: 1,
+                ready: ms(0),
+                durations: &chain1,
+            },
+            // Second chain on queue 0 inside the same wave: applied
+            // after the first, exactly as a sequential caller would.
+            RunRequest {
+                queue: 0,
+                ready: ms(3),
+                durations: &chain2,
+            },
+        ];
+        let mut wave_tl = DeviceTimeline::new(2);
+        let waves = wave_tl.reserve_runs(&requests).unwrap();
+
+        let mut step_tl = DeviceTimeline::new(2);
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| step_tl.reserve_run(r.queue, r.ready, r.durations).unwrap())
+            .collect();
+        assert_eq!(waves, expected);
+        assert_eq!(wave_tl, step_tl);
+        // Queue-0 chains serialized: the wave's later chain starts when
+        // the earlier one ends.
+        assert_eq!(waves[2][0].0, waves[0][1].1);
+
+        let empty: Vec<RunRequest<'_>> = Vec::new();
+        assert!(wave_tl.reserve_runs(&empty).unwrap().is_empty());
+        let bad_chain = [d(1)];
+        assert!(wave_tl
+            .reserve_runs(&[RunRequest {
+                queue: 9,
+                ready: ms(0),
+                durations: &bad_chain,
+            }])
+            .is_err());
     }
 }

@@ -1,4 +1,4 @@
-//! One streaming scenario under all four execution modes: the mode only
+//! One streaming scenario under all five execution modes: the mode only
 //! changes where wall-clock time goes — every report is bitwise identical.
 use ev_core::{TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
@@ -27,7 +27,9 @@ fn main() {
         ],
     )
     .unwrap();
-    let candidate = baseline::rr_network(&p);
+    // RR-Layer alternates PEs per layer, so layer-parallel dispatch has
+    // cross-PE segments to overlap within each job.
+    let candidate = baseline::rr_layer(&p);
     let streams = vec![
         StreamTask {
             sequence: SequenceId::IndoorFlying1.sequence(),
@@ -57,6 +59,7 @@ fn main() {
             },
         ),
         ("sharded", ExecMode::Sharded { shards: 0 }),
+        ("layer-parallel", ExecMode::LayerParallel),
     ] {
         let mut config = base;
         config.mode = mode;
@@ -71,5 +74,5 @@ fn main() {
         reports.push(r);
     }
     assert!(reports.windows(2).all(|w| w[0] == w[1]), "modes diverged");
-    println!("all four modes bitwise-identical");
+    println!("all five modes bitwise-identical");
 }
