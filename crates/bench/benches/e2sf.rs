@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ev_core::event::SensorGeometry;
 use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
 use ev_core::{TimeWindow, Timestamp};
-use ev_edge::e2sf::{dense_frame_baseline, E2sf, E2sfConfig};
+use ev_edge::e2sf::{dense_frame_baseline, E2sf, E2sfConfig, E2sfScratch};
 
 fn bench_e2sf(c: &mut Criterion) {
     let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(20));
@@ -29,8 +29,14 @@ fn bench_e2sf(c: &mut Criterion) {
             BenchmarkId::new("direct_sparse", &label),
             &events,
             |b, events| {
+                // Steady-state conversion: converter and scratch arena
+                // hoisted, as the streaming stage holds them.
                 let e2sf = E2sf::new(E2sfConfig::new(4));
-                b.iter(|| e2sf.convert(events, window).expect("conversion succeeds"));
+                let mut scratch = E2sfScratch::new();
+                b.iter(|| {
+                    e2sf.convert_with(events, window, &mut scratch)
+                        .expect("conversion succeeds")
+                });
             },
         );
         group.bench_with_input(

@@ -7,6 +7,7 @@ use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let rows = cross_platform(args.quick)?;
 
     println!("Extension — NMP across platform classes (SpikeFlowNet + DOTIE)");

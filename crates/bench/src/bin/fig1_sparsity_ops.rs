@@ -6,6 +6,7 @@ use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let result = figure1(args.quick)?;
 
     println!("Figure 1 — event sparsity vs operations (Adaptive-SpikeNet, indoor_flying1)");

@@ -9,7 +9,8 @@ use ev_core::{TimeWindow, Timestamp};
 use ev_edge::e2sf::{E2sf, E2sfConfig, FrameRepresentation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let _args = CommonArgs::parse();
+    let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let geometry = SensorGeometry::DAVIS346;
     let mut generator = StatisticalGenerator::new(
         geometry,

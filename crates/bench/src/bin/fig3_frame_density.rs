@@ -6,6 +6,7 @@ use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let rows = figure3(args.quick)?;
 
     println!("Figure 3 — average event-frame fill ratio per network");

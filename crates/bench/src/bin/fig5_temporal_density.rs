@@ -5,6 +5,7 @@ use ev_bench::report::{write_json, CommonArgs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let result = figure5(args.quick)?;
 
     println!("Figure 5 — temporal event density (indoor_flying2, 10 ms bins)");

@@ -5,6 +5,7 @@ use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
     let rows = table1()?;
 
     println!("Table 1 — summary of networks");

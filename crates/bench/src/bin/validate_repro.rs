@@ -6,6 +6,7 @@
 //! ```
 
 use ev_bench::experiments::{figure1, figure10, figure3, figure5, figure8, figure9, table1};
+use ev_bench::report::CommonArgs;
 
 struct Checklist {
     passed: usize,
@@ -32,6 +33,17 @@ impl Checklist {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Always runs the quick budget and writes no artifact: `--quick` is
+    // accepted as a no-op, anything else (including `--json`) is an error.
+    let args = CommonArgs::parse();
+    args.reject_unknown(&[], &[])?;
+    if let Some(path) = &args.json {
+        return Err(format!(
+            "validate_repro writes no JSON artifact (got --json {})",
+            path.display()
+        )
+        .into());
+    }
     let mut list = Checklist::new();
     println!("Validating the Ev-Edge reproduction against the paper's claims (quick budget)\n");
 

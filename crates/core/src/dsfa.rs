@@ -94,19 +94,27 @@ impl Default for DsfaConfig {
 }
 
 /// One merge bucket (paper `MB`): pending frames plus the FULL/AVL flag.
+///
+/// The merged tensor is lazy: while the bucket holds a single frame its
+/// own tensor *is* the merge, so nothing is cloned until a second frame
+/// actually arrives (and `cBatch` buckets, which never take one, never
+/// materialize a merge at all). The merged spatial density is cached at
+/// push time, so the `MdTh` probe in [`Dsfa::push`] is a float read
+/// instead of a per-probe recount over every candidate bucket.
 #[derive(Debug, Clone, PartialEq)]
 struct MergeBucket {
     frames: Vec<SparseFrame>,
-    merged: SparseTensor,
+    merged: Option<SparseTensor>,
+    merged_density: f64,
     full: bool,
 }
 
 impl MergeBucket {
-    fn new(frame: SparseFrame) -> Self {
-        let merged = frame.tensor().clone();
+    fn new(frame: SparseFrame, density: f64) -> Self {
         MergeBucket {
             frames: vec![frame],
-            merged,
+            merged: None,
+            merged_density: density,
             full: false,
         }
     }
@@ -115,14 +123,45 @@ impl MergeBucket {
         self.frames[0].window().start()
     }
 
-    fn merged_density(&self) -> f64 {
-        self.merged.spatial_density()
-    }
-
     fn push(&mut self, frame: SparseFrame) -> Result<(), EvEdgeError> {
-        self.merged = self.merged.add(frame.tensor())?;
+        let merged = match self.merged.take() {
+            Some(t) => t.add(frame.tensor())?,
+            None => self.frames[0].tensor().add(frame.tensor())?,
+        };
+        self.merged_density = merged.spatial_density();
+        self.merged = Some(merged);
         self.frames.push(frame);
         Ok(())
+    }
+
+    /// Consumes the bucket, yielding the merged tensor (moving the sole
+    /// frame's tensor out when no merge was materialized) and the frames'
+    /// metadata: `(tensor, merged_count, start, end, events)`.
+    fn into_merged(self) -> (SparseTensor, usize, Timestamp, Timestamp, usize) {
+        let merged_count = self.frames.len();
+        let start = self
+            .frames
+            .iter()
+            .map(|f| f.window().start())
+            .min()
+            .expect("bucket is nonempty");
+        let end = self
+            .frames
+            .iter()
+            .map(|f| f.window().end())
+            .max()
+            .expect("bucket is nonempty");
+        let events: usize = self.frames.iter().map(|f| f.event_count()).sum();
+        let tensor = match self.merged {
+            Some(t) => t,
+            None => self
+                .frames
+                .into_iter()
+                .next()
+                .expect("bucket is nonempty")
+                .into_tensor(),
+        };
+        (tensor, merged_count, start, end, events)
     }
 }
 
@@ -175,12 +214,8 @@ impl MergedBatch {
     ///
     /// Propagates shape mismatches (frames from mixed sensors).
     pub fn concat_tensor(&self) -> Result<SparseTensor, EvEdgeError> {
-        let tensors: Vec<SparseTensor> = self
-            .frames
-            .iter()
-            .map(|f| f.frame.tensor().clone())
-            .collect();
-        Ok(SparseTensor::concat_channels(&tensors)?)
+        let tensors: Vec<&SparseTensor> = self.frames.iter().map(|f| f.frame.tensor()).collect();
+        Ok(SparseTensor::concat_channels_ref(&tensors)?)
     }
 }
 
@@ -308,8 +343,9 @@ impl Dsfa {
 
     fn place(&mut self, frame: SparseFrame) -> Result<(), EvEdgeError> {
         if self.config.cmode == CMode::CBatch {
-            // cBatch: every generated frame starts its own bucket.
-            self.buckets.push(MergeBucket::new(frame));
+            // cBatch: every generated frame starts its own bucket. The
+            // density is never probed (no bucket accepts a second frame).
+            self.buckets.push(MergeBucket::new(frame, 0.0));
             return Ok(());
         }
         let density = frame.spatial_density();
@@ -325,8 +361,9 @@ impl Dsfa {
                 self.stats.mt_th_closures += 1;
                 continue;
             }
-            // Condition (ii): relative spatial-density change.
-            let merged_density = bucket.merged_density();
+            // Condition (ii): relative spatial-density change, against the
+            // density cached when the bucket last changed.
+            let merged_density = bucket.merged_density;
             let change = if merged_density > 0.0 {
                 (density - merged_density).abs() / merged_density
             } else if density > 0.0 {
@@ -344,7 +381,7 @@ impl Dsfa {
         }
         match target {
             Some(i) => self.buckets[i].push(frame)?,
-            None => self.buckets.push(MergeBucket::new(frame)),
+            None => self.buckets.push(MergeBucket::new(frame, density)),
         }
         Ok(())
     }
@@ -353,28 +390,10 @@ impl Dsfa {
         let buckets = core::mem::take(&mut self.buckets);
         let mut frames = Vec::with_capacity(buckets.len());
         for bucket in buckets {
-            let merged_count = bucket.frames.len();
-            let start = bucket
-                .frames
-                .iter()
-                .map(|f| f.window().start())
-                .min()
-                .expect("bucket is nonempty");
-            let end = bucket
-                .frames
-                .iter()
-                .map(|f| f.window().end())
-                .max()
-                .expect("bucket is nonempty");
-            let events: usize = bucket.frames.iter().map(|f| f.event_count()).sum();
-            let tensor = match self.config.cmode {
-                CMode::CAdd | CMode::CBatch => bucket.merged,
-                CMode::CAverage => {
-                    let mut t = bucket.merged;
-                    t.scale(1.0 / merged_count as f32);
-                    t
-                }
-            };
+            let (mut tensor, merged_count, start, end, events) = bucket.into_merged();
+            if self.config.cmode == CMode::CAverage {
+                tensor.scale(1.0 / merged_count as f32);
+            }
             frames.push(MergedFrame {
                 frame: SparseFrame::new(tensor, TimeWindow::new(start, end), events),
                 merged_count,

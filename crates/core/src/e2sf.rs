@@ -86,6 +86,49 @@ impl Default for E2sfConfig {
     }
 }
 
+/// Reusable per-interval accumulation state for [`E2sf::convert_with`].
+///
+/// One flat `[C, H, W]`-indexed value plane per bin plus the list of
+/// touched flat indices. Accumulating an event is a single indexed add —
+/// no hash maps, no per-event entry records — and after each emit only
+/// the touched slots are cleared, so steady-state streaming conversion
+/// reuses every buffer. Because the flat index `(c*H + y)*W + x` is
+/// monotone in the canonical `(channel, row, col)` key, sorting the
+/// touched indices yields the frame's entries already in canonical order
+/// and the sort/merge pass of [`SparseTensor::from_entries`] is skipped
+/// entirely; the emitted frames are bitwise identical to
+/// [`E2sf::convert`]'s.
+#[derive(Debug, Clone, Default)]
+pub struct E2sfScratch {
+    bins: Vec<BinScratch>,
+    slots: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BinScratch {
+    values: Vec<f32>,
+    touched: Vec<u32>,
+    events: usize,
+}
+
+impl E2sfScratch {
+    /// Ready-to-use scratch; buffers grow on first conversion.
+    pub fn new() -> Self {
+        E2sfScratch::default()
+    }
+
+    fn ensure(&mut self, nb: usize, slots: usize) {
+        if self.slots != slots || self.bins.len() != nb {
+            self.bins.clear();
+            self.bins.resize_with(nb, BinScratch::default);
+            for bin in &mut self.bins {
+                bin.values = vec![0.0; slots];
+            }
+            self.slots = slots;
+        }
+    }
+}
+
 /// The Event2Sparse Frame converter.
 ///
 /// # Examples
@@ -139,65 +182,93 @@ impl E2sf {
         events: &EventSlice,
         interval: TimeWindow,
     ) -> Result<Vec<SparseFrame>, EvEdgeError> {
+        self.convert_with(events, interval, &mut E2sfScratch::new())
+    }
+
+    /// [`E2sf::convert`] with a caller-owned scratch arena: repeated
+    /// conversions reuse the per-bin accumulation planes, which is how
+    /// the streaming stages call it. Frames are bitwise identical to
+    /// `convert`'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvEdgeError::DegenerateInterval`] when the interval is
+    /// shorter than `nB` microseconds (bins would be empty of time).
+    pub fn convert_with(
+        &self,
+        events: &EventSlice,
+        interval: TimeWindow,
+        scratch: &mut E2sfScratch,
+    ) -> Result<Vec<SparseFrame>, EvEdgeError> {
         let nb = self.config.bins_per_interval;
         let total_us = interval.duration().as_micros();
         if total_us < nb as i64 {
             return Err(EvEdgeError::DegenerateInterval { interval, bins: nb });
         }
         let geometry = events.geometry();
+        let (h, w) = (geometry.height as usize, geometry.width as usize);
+        let channels = self.config.representation.channels();
+        let plane = h * w;
         let bins = interval.split(nb);
-        // Accumulate per-bin COO entries straight from the event stream.
-        let mut per_bin: Vec<Vec<SparseEntry>> = vec![Vec::new(); nb];
-        // Latest-timestamp surfaces (channel = 2 + polarity): kept in maps
-        // because "most recent" replaces rather than accumulates.
-        let mut latest: Vec<std::collections::HashMap<(u32, u32, u32), f32>> =
-            vec![std::collections::HashMap::new(); nb];
-        let mut counts = vec![0usize; nb];
         let bis = total_us as u64 / nb as u64; // bin duration biS
         let with_timestamps =
             self.config.representation == FrameRepresentation::CountsAndTimestamps;
+        scratch.ensure(nb, channels * plane);
         for ev in events.window(interval) {
             // EBk = floor((tk − Tstart) / biS), clamped: the remainder of
             // integer division can push trailing events past the last bin.
             let offset = ev.t.saturating_since(interval.start()).as_micros() as u64;
             let k = ((offset / bis.max(1)) as usize).min(nb - 1);
-            let channel = ev.polarity.channel() as u32;
-            per_bin[k].push(SparseEntry::new(
-                channel,
-                u32::from(ev.y),
-                u32::from(ev.x),
-                1.0,
-            ));
-            counts[k] += 1;
+            let channel = ev.polarity.channel();
+            let bin_scratch = &mut scratch.bins[k];
+            // Count channels accumulate; a slot is touched iff nonzero
+            // (counts only grow from 1.0), so the zero test doubles as
+            // touched-list dedup.
+            let idx = (channel * h + ev.y as usize) * w + ev.x as usize;
+            let slot = &mut bin_scratch.values[idx];
+            if *slot == 0.0 {
+                bin_scratch.touched.push(idx as u32);
+            }
+            *slot += 1.0;
+            bin_scratch.events += 1;
             if with_timestamps {
-                // Normalized timestamp within the bin, in (0, 1].
+                // Normalized timestamp within the bin, in (0, 1]: always
+                // positive, so the same nonzero-means-touched rule holds,
+                // and "most recent" replaces rather than accumulates.
                 let bin = bins[k];
                 let frac = (ev.t.saturating_since(bin.start()).as_micros() as f64 + 1.0)
                     / bin.duration().as_micros().max(1) as f64;
-                latest[k].insert(
-                    (2 + channel, u32::from(ev.y), u32::from(ev.x)),
-                    frac.min(1.0) as f32,
-                );
+                let sidx = idx + 2 * plane;
+                let slot = &mut bin_scratch.values[sidx];
+                if *slot == 0.0 {
+                    bin_scratch.touched.push(sidx as u32);
+                }
+                *slot = frac.min(1.0) as f32;
             }
         }
-        let channels = self.config.representation.channels();
         let mut frames = Vec::with_capacity(nb);
-        for (((mut entries, surfaces), window), count) in
-            per_bin.into_iter().zip(latest).zip(bins).zip(counts)
-        {
-            if with_timestamps {
-                entries.extend(
-                    surfaces
-                        .into_iter()
-                        .map(|((c, y, x), v)| SparseEntry::new(c, y, x, v)),
-                );
+        for (bin_scratch, window) in scratch.bins.iter_mut().zip(bins) {
+            // Ascending flat index == ascending (channel, row, col), so
+            // the entries come out canonical and the constructor skips
+            // the sort. Only touched slots are cleared for the next call.
+            bin_scratch.touched.sort_unstable();
+            let mut entries = Vec::with_capacity(bin_scratch.touched.len());
+            for &idx in &bin_scratch.touched {
+                let idx = idx as usize;
+                let value = bin_scratch.values[idx];
+                bin_scratch.values[idx] = 0.0;
+                let rem = idx % plane;
+                entries.push(SparseEntry::new(
+                    (idx / plane) as u32,
+                    (rem / w) as u32,
+                    (rem % w) as u32,
+                    value,
+                ));
             }
-            let tensor = SparseTensor::from_entries(
-                channels,
-                geometry.height as usize,
-                geometry.width as usize,
-                entries,
-            )?;
+            bin_scratch.touched.clear();
+            let count = bin_scratch.events;
+            bin_scratch.events = 0;
+            let tensor = SparseTensor::from_canonical_entries(channels, h, w, entries)?;
             frames.push(SparseFrame::new(tensor, window, count));
         }
         Ok(frames)
@@ -215,8 +286,9 @@ impl E2sf {
         intervals: &[TimeWindow],
     ) -> Result<Vec<SparseFrame>, EvEdgeError> {
         let mut out = Vec::with_capacity(intervals.len() * self.config.bins_per_interval);
+        let mut scratch = E2sfScratch::new();
         for interval in intervals {
-            out.extend(self.convert(events, *interval)?);
+            out.extend(self.convert_with(events, *interval, &mut scratch)?);
         }
         Ok(out)
     }

@@ -15,6 +15,12 @@
 //!   are each served in a *single* round trip, so a whole same-PE layer
 //!   chain costs one message instead of two per layer.
 //!
+//!   The runtime drivers now default to the channel-free
+//!   [`ev_platform::timeline::AtomicTimeline`] (a sharded atomic
+//!   free-time table — same reservations, no message passing);
+//!   `ParallelTimeline` remains the message-passing fallback and the
+//!   reference for the equivalence tests below.
+//!
 //! # Examples
 //!
 //! ```
@@ -636,5 +642,61 @@ mod tests {
                 durations: &[d(1)],
             }])
             .is_err());
+    }
+
+    #[test]
+    fn atomic_table_matches_channel_timeline() {
+        use ev_platform::timeline::AtomicTimeline;
+        // The lock-free free-time table and the channel fallback must
+        // agree op for op: singles, batched runs, and waves.
+        let mut atomic = AtomicTimeline::new(3);
+        let mut channel = ParallelTimeline::new(3);
+        let ms = |v| Timestamp::from_millis(v);
+        let d = |v| TimeDelta::from_millis(v);
+        for (queue, ready, duration) in [
+            (0usize, 0u64, 10i64),
+            (1, 2, 5),
+            (0, 4, 3),
+            (2, 1, 8),
+            (1, 6, 2),
+        ] {
+            let a = atomic.reserve_next(queue, ms(ready), d(duration)).unwrap();
+            let c = channel.reserve_next(queue, ms(ready), d(duration)).unwrap();
+            assert_eq!(a, c);
+        }
+        let run = [d(4), d(2), d(9)];
+        assert_eq!(
+            atomic.reserve_run(0, ms(1), &run).unwrap(),
+            channel.reserve_run(0, ms(1), &run).unwrap()
+        );
+        let c0 = [d(5), d(2)];
+        let c1 = [d(9)];
+        let wave = [
+            RunRequest {
+                queue: 1,
+                ready: ms(3),
+                durations: &c0,
+            },
+            RunRequest {
+                queue: 2,
+                ready: ms(0),
+                durations: &c1,
+            },
+        ];
+        assert_eq!(
+            atomic.reserve_runs(&wave).unwrap(),
+            channel.reserve_runs(&wave).unwrap()
+        );
+        // Empty chains touch no queue on either implementation, even
+        // out of range.
+        assert!(atomic.reserve_run(7, ms(0), &[]).unwrap().is_empty());
+        assert!(channel.reserve_run(7, ms(0), &[]).unwrap().is_empty());
+        for q in 0..3 {
+            assert_eq!(
+                ReservationTimeline::busy_time(&atomic, q),
+                channel.busy_time(q)
+            );
+        }
+        assert_eq!(atomic.total_busy(), channel.total_busy());
     }
 }

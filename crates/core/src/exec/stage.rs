@@ -35,7 +35,7 @@
 //! ```
 
 use crate::dsfa::{Dsfa, DsfaConfig, MergedBatch};
-use crate::e2sf::{E2sf, E2sfConfig};
+use crate::e2sf::{E2sf, E2sfConfig, E2sfScratch};
 use crate::exec::job::JobInput;
 use crate::frame::SparseFrame;
 use crate::EvEdgeError;
@@ -112,6 +112,7 @@ impl<A: Stage, B: Stage<In = A::Out>> Stage for Compose<A, B> {
 pub struct E2sfStage {
     e2sf: E2sf,
     events: EventSlice,
+    scratch: E2sfScratch,
 }
 
 impl E2sfStage {
@@ -120,6 +121,7 @@ impl E2sfStage {
         E2sfStage {
             e2sf: E2sf::new(config),
             events,
+            scratch: E2sfScratch::new(),
         }
     }
 }
@@ -129,7 +131,8 @@ impl Stage for E2sfStage {
     type Out = SparseFrame;
 
     fn push(&mut self, interval: TimeWindow) -> Result<Vec<SparseFrame>, EvEdgeError> {
-        self.e2sf.convert(&self.events, interval)
+        self.e2sf
+            .convert_with(&self.events, interval, &mut self.scratch)
     }
 
     fn flush(&mut self, _at: Timestamp) -> Result<Vec<SparseFrame>, EvEdgeError> {

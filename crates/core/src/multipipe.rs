@@ -21,7 +21,6 @@ use crate::exec::clock::EventClock;
 use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
 use crate::exec::job::{JobInput, JobModel, MappedJobModel};
 use crate::exec::layer_parallel::LayerParallelModel;
-use crate::exec::parallel::ParallelTimeline;
 use crate::exec::pipelined::{run_pipelined_arrivals, run_pipelined_streams, FrameBatchResult};
 use crate::exec::sharded::ShardedEngine;
 use crate::exec::stage::{DsfaStage, E2sfStage, Stage};
@@ -30,7 +29,7 @@ use crate::nmp::multitask::MultiTaskProblem;
 use crate::EvEdgeError;
 use ev_core::{TimeDelta, TimeWindow};
 use ev_platform::energy::Energy;
-use ev_platform::timeline::DeviceTimeline;
+use ev_platform::timeline::{AtomicTimeline, DeviceTimeline};
 use std::sync::mpsc::SyncSender;
 
 /// How the multi-task engine executes. Every mode produces bitwise-
@@ -40,9 +39,11 @@ use std::sync::mpsc::SyncSender;
 pub enum ExecMode {
     /// One thread, serial [`DeviceTimeline`] — the reference semantics.
     Serial,
-    /// Device reservations on the thread-per-queue
-    /// [`crate::exec::parallel::ParallelTimeline`] (one worker thread
-    /// per PE queue, bounded channels).
+    /// Device reservations on the shared lock-free
+    /// [`AtomicTimeline`] free-time table (per-queue atomic cells,
+    /// safely claimable from any thread). The channel-based
+    /// thread-per-queue [`crate::exec::parallel::ParallelTimeline`]
+    /// remains available as the message-passing fallback.
     ThreadPerQueue,
     /// Frontend stages (E2SF slicing, DSFA selection) on worker threads
     /// connected to the engine by bounded channels, overlapping event
@@ -61,8 +62,8 @@ pub enum ExecMode {
     /// Intra-task layer-parallel dispatch: each job's mapped layer
     /// runs are decomposed into a same-PE segment DAG and
     /// data-independent segments on different processing elements
-    /// reserve their queues concurrently, over the thread-per-queue
-    /// timeline's batched wave entry point (see
+    /// reserve their queues concurrently, over the atomic free-time
+    /// table's batched wave entry point (see
     /// [`crate::exec::layer_parallel`]).
     LayerParallel,
 }
@@ -247,7 +248,7 @@ pub fn run_multi_task_runtime(
         ExecMode::ThreadPerQueue => {
             let engine = ExecEngine::new(
                 start,
-                ParallelTimeline::new(queues),
+                AtomicTimeline::new(queues),
                 tasks,
                 config.queue_capacity,
             )?;
@@ -255,11 +256,11 @@ pub fn run_multi_task_runtime(
             run_periodic(problem, periods, config, engine, &mut model)
         }
         ExecMode::LayerParallel => {
-            // Segment waves land on the thread-per-queue timeline, so
-            // same-wave chains really are computed concurrently.
+            // Segment waves land on the shared atomic free-time table,
+            // which any worker can claim without a channel round trip.
             let engine = ExecEngine::new(
                 start,
-                ParallelTimeline::new(queues),
+                AtomicTimeline::new(queues),
                 tasks,
                 config.queue_capacity,
             )?;
@@ -431,7 +432,7 @@ pub fn run_multi_task_streams(
         ExecMode::ThreadPerQueue => {
             let engine = ExecEngine::new(
                 start,
-                ParallelTimeline::new(queues),
+                AtomicTimeline::new(queues),
                 tasks,
                 config.queue_capacity,
             )?;
@@ -441,7 +442,7 @@ pub fn run_multi_task_streams(
         ExecMode::LayerParallel => {
             let engine = ExecEngine::new(
                 start,
-                ParallelTimeline::new(queues),
+                AtomicTimeline::new(queues),
                 tasks,
                 config.queue_capacity,
             )?;
@@ -513,9 +514,15 @@ fn run_streams<E: TaskEngine>(
             clock.schedule(frame.ready_at(), (t, i));
         }
     }
+    // Each (task, index) fires exactly once, so frames are moved out of
+    // the precomputed streams instead of cloned per arrival.
+    let mut frame_streams: Vec<Vec<Option<crate::frame::SparseFrame>>> = frame_streams
+        .into_iter()
+        .map(|frames| frames.into_iter().map(Some).collect())
+        .collect();
 
     while let Some((ready, (t, i))) = clock.next_event() {
-        let frame = frame_streams[t][i].clone();
+        let frame = frame_streams[t][i].take().expect("each frame arrives once");
         engine.note_arrival(t);
         // DSFA hardware-availability rule: task idle → flush early.
         if engine.task_idle_at(t, ready) {

@@ -31,7 +31,6 @@ use crate::dsfa::DsfaConfig;
 use crate::e2sf::E2sfConfig;
 use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
 use crate::exec::job::{BatchCostModel, JobModel, SchedGraphBuilder};
-use crate::exec::parallel::ParallelTimeline;
 use crate::exec::pipelined::FrameBatchResult;
 use crate::exec::sharded::ShardedEngine;
 use crate::exec::stage::{DirectStage, DsfaStage, E2sfStage, Stage};
@@ -51,7 +50,7 @@ use ev_nn::{Domain, Precision};
 use ev_platform::energy::Energy;
 use ev_platform::latency::{default_domain_density, layer_cost, LayerContext};
 use ev_platform::pe::Platform;
-use ev_platform::timeline::DeviceTimeline;
+use ev_platform::timeline::{AtomicTimeline, DeviceTimeline};
 
 pub use crate::exec::job::JobRecord;
 
@@ -336,10 +335,10 @@ pub fn run_single_task(
             )?
         }
         // The whole-job cost model reserves one platform-wide queue, so
-        // both reservation-machinery modes run it over the
-        // thread-per-queue timeline.
+        // both reservation-machinery modes run it over the atomic
+        // free-time table.
         ExecMode::ThreadPerQueue | ExecMode::LayerParallel => drive_single_task(
-            ExecEngine::new(start, ParallelTimeline::new(1), 1, queue_capacity)?.with_job_records(),
+            ExecEngine::new(start, AtomicTimeline::new(1), 1, queue_capacity)?.with_job_records(),
             &mut model,
             events,
             &intervals,

@@ -3,8 +3,8 @@
 use ev_core::event::{Event, Polarity, SensorGeometry};
 use ev_core::stream::EventSlice;
 use ev_core::time::{TimeDelta, TimeWindow, Timestamp};
-use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig};
-use ev_edge::e2sf::{E2sf, E2sfConfig};
+use ev_edge::dsfa::{CMode, Dsfa, DsfaConfig, MergedFrame};
+use ev_edge::e2sf::{E2sf, E2sfConfig, E2sfScratch};
 use ev_edge::frame::SparseFrame;
 use proptest::prelude::*;
 
@@ -113,6 +113,79 @@ proptest! {
                 .sum();
             prop_assert!((merged_sum - slice.len() as f32).abs() < 1e-2);
         }
+    }
+
+    /// The preallocated flat-arena fast path is observationally
+    /// identical to a fresh conversion: one scratch reused across
+    /// arbitrary event batches and bin counts yields exactly the frames
+    /// `convert` builds from a cold arena.
+    #[test]
+    fn e2sf_scratch_reuse_matches_fresh(
+        batches in prop::collection::vec((arb_events(250), 1usize..12), 1..4),
+    ) {
+        let mut scratch = E2sfScratch::new();
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_micros(20_000));
+        for (events, bins) in batches {
+            let slice = make_slice(events);
+            let e2sf = E2sf::new(E2sfConfig::new(bins));
+            let fresh = e2sf.convert(&slice, window).expect("interval long enough");
+            let reused = e2sf
+                .convert_with(&slice, window, &mut scratch)
+                .expect("interval long enough");
+            prop_assert_eq!(fresh, reused);
+        }
+    }
+
+    /// The lazy incremental merge reproduces the dispatch-time fold it
+    /// replaced: each merged frame's tensor is exactly the left fold of
+    /// its constituent input frames under the combination mode. Buckets
+    /// fill strictly in arrival order (every rejected probe closes the
+    /// bucket, so at most one bucket is ever available), which lets the
+    /// reference walk consume `merged_count` inputs per merged frame.
+    #[test]
+    fn dsfa_lazy_merge_matches_reference_fold(
+        events in arb_events(400),
+        mb_size in 1usize..6,
+        mt_ms in 1i64..30,
+        md in 0.01f64..4.0,
+        average in any::<bool>(),
+    ) {
+        let slice = make_slice(events);
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_micros(20_000));
+        let inputs = E2sf::new(E2sfConfig::new(8))
+            .convert(&slice, window)
+            .expect("interval long enough");
+        let config = DsfaConfig {
+            ebuf_size: mb_size * 2,
+            mb_size,
+            mt_th: TimeDelta::from_millis(mt_ms),
+            md_th: md,
+            cmode: if average { CMode::CAverage } else { CMode::CAdd },
+        };
+        let mut dsfa = Dsfa::new(config).expect("valid config");
+        let mut merged: Vec<MergedFrame> = Vec::new();
+        for frame in inputs.clone() {
+            if let Some(batch) = dsfa.push(frame).expect("push succeeds") {
+                merged.extend(batch.frames);
+            }
+        }
+        if let Some(batch) = dsfa.flush(window.end()) {
+            merged.extend(batch.frames);
+        }
+        let mut next = 0usize;
+        for m in &merged {
+            let sources = &inputs[next..next + m.merged_count];
+            next += m.merged_count;
+            let mut reference = sources[0].tensor().clone();
+            for s in &sources[1..] {
+                reference = reference.add(s.tensor()).expect("same geometry");
+            }
+            if average {
+                reference.scale(1.0 / m.merged_count as f32);
+            }
+            prop_assert_eq!(m.frame.tensor(), &reference);
+        }
+        prop_assert_eq!(next, inputs.len(), "every input frame accounted for");
     }
 
     /// Merged frame windows cover their constituent frames and never

@@ -1,0 +1,149 @@
+//! Property tests for the reservation timelines: across random
+//! sequences of single reservations, back-to-back run chains and
+//! multi-chain waves (including out-of-range queues), the lock-free
+//! atomic free-time table and the channel-based per-queue workers
+//! replay the serial [`DeviceTimeline`] reservation sequence exactly —
+//! the invariant behind bitwise-identical reports in every exec mode.
+
+use ev_core::{TimeDelta, Timestamp};
+use ev_edge::exec::parallel::ParallelTimeline;
+use ev_platform::timeline::{AtomicTimeline, DeviceTimeline, ReservationTimeline, RunRequest};
+use proptest::prelude::*;
+
+const QUEUES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Next {
+        queue: usize,
+        ready: u64,
+        duration: i64,
+    },
+    Run {
+        queue: usize,
+        ready: u64,
+        durations: Vec<i64>,
+    },
+    Wave {
+        chains: Vec<(usize, u64, Vec<i64>)>,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // `QUEUES + 1` makes out-of-range queues reachable: both
+    // implementations must fail them identically.
+    let chains = prop::collection::vec(
+        (
+            0usize..QUEUES + 1,
+            0u64..50_000,
+            prop::collection::vec(0i64..2_000, 0..4),
+        ),
+        1..4,
+    );
+    (0usize..3, chains).prop_map(|(kind, mut chains)| match kind {
+        0 => {
+            let (queue, ready, durations) = chains.swap_remove(0);
+            Op::Next {
+                queue,
+                ready,
+                duration: durations.first().copied().unwrap_or(7),
+            }
+        }
+        1 => {
+            let (queue, ready, durations) = chains.swap_remove(0);
+            Op::Run {
+                queue,
+                ready,
+                durations,
+            }
+        }
+        _ => Op::Wave { chains },
+    })
+}
+
+type Slots = Vec<Vec<(Timestamp, Timestamp)>>;
+
+fn apply<T: ReservationTimeline>(tl: &mut T, op: &Op) -> Result<Slots, String> {
+    match op {
+        Op::Next {
+            queue,
+            ready,
+            duration,
+        } => tl
+            .reserve_next(
+                *queue,
+                Timestamp::from_micros(*ready),
+                TimeDelta::from_micros(*duration),
+            )
+            .map(|slot| vec![vec![slot]])
+            .map_err(|e| e.to_string()),
+        Op::Run {
+            queue,
+            ready,
+            durations,
+        } => {
+            let d: Vec<TimeDelta> = durations
+                .iter()
+                .map(|&us| TimeDelta::from_micros(us))
+                .collect();
+            tl.reserve_run(*queue, Timestamp::from_micros(*ready), &d)
+                .map(|slots| vec![slots])
+                .map_err(|e| e.to_string())
+        }
+        Op::Wave { chains } => {
+            let durations: Vec<Vec<TimeDelta>> = chains
+                .iter()
+                .map(|(_, _, ds)| ds.iter().map(|&us| TimeDelta::from_micros(us)).collect())
+                .collect();
+            let requests: Vec<RunRequest<'_>> = chains
+                .iter()
+                .zip(&durations)
+                .map(|(&(queue, ready, _), durations)| RunRequest {
+                    queue,
+                    ready: Timestamp::from_micros(ready),
+                    durations,
+                })
+                .collect();
+            tl.reserve_runs(&requests).map_err(|e| e.to_string())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serial ≡ atomic ≡ channel: identical slots, identical failures,
+    /// identical accounting after every random operation sequence.
+    #[test]
+    fn timelines_agree(ops in prop::collection::vec(arb_op(), 1..20)) {
+        let mut serial = DeviceTimeline::new(QUEUES);
+        let mut atomic = AtomicTimeline::new(QUEUES);
+        let mut channel = ParallelTimeline::new(QUEUES);
+        for op in &ops {
+            let s = apply(&mut serial, op);
+            let a = apply(&mut atomic, op);
+            let c = apply(&mut channel, op);
+            prop_assert_eq!(s.is_ok(), a.is_ok(), "atomic success parity on {:?}", op);
+            prop_assert_eq!(s.is_ok(), c.is_ok(), "channel success parity on {:?}", op);
+            if let Ok(slots) = &s {
+                prop_assert_eq!(slots, a.as_ref().expect("parity checked"));
+                prop_assert_eq!(slots, c.as_ref().expect("parity checked"));
+            }
+        }
+        let probe = Timestamp::from_micros(1);
+        for q in 0..QUEUES {
+            prop_assert_eq!(atomic.busy_time(q), serial.busy_time(q));
+            prop_assert_eq!(channel.busy_time(q), serial.busy_time(q));
+            prop_assert_eq!(
+                atomic.earliest_start(q, probe).expect("valid queue"),
+                serial.earliest_start(q, probe).expect("valid queue")
+            );
+            prop_assert_eq!(
+                channel.earliest_start(q, probe).expect("valid queue"),
+                serial.earliest_start(q, probe).expect("valid queue")
+            );
+        }
+        prop_assert_eq!(atomic.total_busy(), serial.total_busy());
+        prop_assert_eq!(channel.total_busy(), serial.total_busy());
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::PlatformError;
 use ev_core::{TimeDelta, Timestamp};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// One queue's back-to-back reservation chain inside a
 /// [`ReservationTimeline::reserve_runs`] wave: `durations.len()` slots
@@ -372,6 +373,267 @@ impl ReservationTimeline for DeviceTimeline {
     }
 }
 
+/// A sharded atomic free-time table: the lock-free counterpart of
+/// [`DeviceTimeline`].
+///
+/// Every queue's state is its own trio of atomic cells — free time in
+/// microseconds, accumulated busy time, completed-job count — so a
+/// reservation costs a compare-exchange instead of the two bounded-channel
+/// round trips of a thread-per-queue worker
+/// (`ev_edge::exec::parallel::ParallelTimeline`, which stays available as
+/// the message-passing fallback).
+///
+/// Correctness rests on the *monotone free-time bound*: a queue's free
+/// time never moves backward (a reservation starting at `start ≥ free`
+/// publishes `start + duration ≥ free`), and a successful
+/// compare-exchange proves the claimed slot begins at or after the bound
+/// it read. Concurrent claimers therefore serialize into exactly the
+/// back-to-back chains a serial timeline would build; only the
+/// interleaving *order* is scheduling-dependent, which is why the
+/// deterministic runtimes drive this table from a single dispatcher
+/// thread and get bitwise-identical reports.
+///
+/// # Examples
+///
+/// ```
+/// use ev_platform::timeline::AtomicTimeline;
+/// use ev_platform::ReservationTimeline;
+/// use ev_core::{TimeDelta, Timestamp};
+///
+/// # fn main() -> Result<(), ev_platform::PlatformError> {
+/// let mut tl = AtomicTimeline::new(2);
+/// let (start, end) = tl.reserve_next(0, Timestamp::from_millis(5), TimeDelta::from_millis(10))?;
+/// assert_eq!(start, Timestamp::from_millis(5));
+/// assert_eq!(end, Timestamp::from_millis(15));
+/// assert_eq!(tl.earliest_start(0, Timestamp::ZERO)?, Timestamp::from_millis(15));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AtomicTimeline {
+    free_at: Vec<AtomicU64>,
+    busy: Vec<AtomicI64>,
+    completed: Vec<AtomicU64>,
+}
+
+impl AtomicTimeline {
+    /// A table with `queues` idle queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new(queues: usize) -> Self {
+        assert!(queues > 0, "timeline needs at least one queue");
+        AtomicTimeline {
+            free_at: (0..queues).map(|_| AtomicU64::new(0)).collect(),
+            busy: (0..queues).map(|_| AtomicI64::new(0)).collect(),
+            completed: (0..queues).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of queues.
+    pub fn queues(&self) -> usize {
+        self.free_at.len()
+    }
+
+    fn cell(&self, queue: usize) -> Result<&AtomicU64, PlatformError> {
+        self.free_at.get(queue).ok_or(PlatformError::InvalidQueue {
+            node: 0,
+            queue,
+            queues: self.free_at.len(),
+        })
+    }
+
+    /// Earliest time work ready at `ready` can start on `queue`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    pub fn earliest_start(
+        &self,
+        queue: usize,
+        ready: Timestamp,
+    ) -> Result<Timestamp, PlatformError> {
+        let free = self.cell(queue)?.load(Ordering::Acquire);
+        Ok(ready.max(Timestamp::from_micros(free)))
+    }
+
+    /// Reserves `queue` for `[start, start + duration)`; shared-reference
+    /// counterpart of [`DeviceTimeline::reserve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues, or
+    /// [`PlatformError::ReservationConflict`] when `start` precedes the
+    /// queue's free time.
+    pub fn reserve(
+        &self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        let cell = self.cell(queue)?;
+        let end = start + duration;
+        let mut free = cell.load(Ordering::Acquire);
+        loop {
+            if start.as_micros() < free {
+                return Err(PlatformError::ReservationConflict {
+                    queue,
+                    requested: start,
+                    free_at: Timestamp::from_micros(free),
+                });
+            }
+            match cell.compare_exchange_weak(
+                free,
+                end.as_micros(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.note_reserved(queue, duration, 1);
+                    return Ok(end);
+                }
+                Err(actual) => free = actual,
+            }
+        }
+    }
+
+    /// Claims the earliest feasible `[start, start + duration)` slot for
+    /// work ready at `ready` in one compare-exchange loop (never
+    /// conflicts: a lost race simply re-reads the new bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    pub fn claim_next(
+        &self,
+        queue: usize,
+        ready: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<(Timestamp, Timestamp), PlatformError> {
+        let cell = self.cell(queue)?;
+        let mut free = cell.load(Ordering::Acquire);
+        loop {
+            let start = ready.max(Timestamp::from_micros(free));
+            let end = start + duration;
+            match cell.compare_exchange_weak(
+                free,
+                end.as_micros(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.note_reserved(queue, duration, 1);
+                    return Ok((start, end));
+                }
+                Err(actual) => free = actual,
+            }
+        }
+    }
+
+    fn note_reserved(&self, queue: usize, busy: TimeDelta, jobs: u64) {
+        self.busy[queue].fetch_add(busy.as_micros(), Ordering::Relaxed);
+        self.completed[queue].fetch_add(jobs, Ordering::Relaxed);
+    }
+
+    /// When `queue` becomes free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQueue`] for out-of-range queues.
+    pub fn free_at(&self, queue: usize) -> Result<Timestamp, PlatformError> {
+        Ok(Timestamp::from_micros(
+            self.cell(queue)?.load(Ordering::Acquire),
+        ))
+    }
+
+    /// Busy time accumulated on `queue`.
+    pub fn busy_time(&self, queue: usize) -> TimeDelta {
+        self.busy
+            .get(queue)
+            .map(|b| TimeDelta::from_micros(b.load(Ordering::Relaxed)))
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Jobs completed on `queue`.
+    pub fn completed_jobs(&self, queue: usize) -> u64 {
+        self.completed
+            .get(queue)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl ReservationTimeline for AtomicTimeline {
+    fn queues(&self) -> usize {
+        AtomicTimeline::queues(self)
+    }
+
+    fn earliest_start(&self, queue: usize, ready: Timestamp) -> Result<Timestamp, PlatformError> {
+        AtomicTimeline::earliest_start(self, queue, ready)
+    }
+
+    fn reserve(
+        &mut self,
+        queue: usize,
+        start: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<Timestamp, PlatformError> {
+        AtomicTimeline::reserve(self, queue, start, duration)
+    }
+
+    fn busy_time(&self, queue: usize) -> TimeDelta {
+        AtomicTimeline::busy_time(self, queue)
+    }
+
+    fn reserve_next(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        duration: TimeDelta,
+    ) -> Result<(Timestamp, Timestamp), PlatformError> {
+        self.claim_next(queue, ready, duration)
+    }
+
+    fn reserve_run(
+        &mut self,
+        queue: usize,
+        ready: Timestamp,
+        durations: &[TimeDelta],
+    ) -> Result<Vec<(Timestamp, Timestamp)>, PlatformError> {
+        // A back-to-back chain occupies one contiguous block, so the
+        // whole run is claimed with a single compare-exchange and the
+        // per-slot boundaries are derived locally.
+        if durations.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = durations.iter().fold(TimeDelta::ZERO, |acc, &d| acc + d);
+        let cell = self.cell(queue)?;
+        let mut free = cell.load(Ordering::Acquire);
+        let start = loop {
+            let start = ready.max(Timestamp::from_micros(free));
+            match cell.compare_exchange_weak(
+                free,
+                (start + total).as_micros(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break start,
+                Err(actual) => free = actual,
+            }
+        };
+        self.note_reserved(queue, total, durations.len() as u64);
+        let mut slots = Vec::with_capacity(durations.len());
+        let mut at = start;
+        for &d in durations {
+            let end = at + d;
+            slots.push((at, end));
+            at = end;
+        }
+        Ok(slots)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,5 +768,94 @@ mod tests {
                 durations: &bad_chain,
             }])
             .is_err());
+    }
+
+    #[test]
+    fn atomic_timeline_matches_device_timeline() {
+        let d = |v: i64| TimeDelta::from_millis(v);
+        let mut serial = DeviceTimeline::new(3);
+        let mut atomic = AtomicTimeline::new(3);
+        let ops = [
+            (0usize, 2u64, 7i64),
+            (1, 0, 3),
+            (0, 1, 2),
+            (2, 30, 5),
+            (1, 2, 1),
+            (0, 50, 4),
+        ];
+        for &(q, ready, dur) in &ops {
+            let s = ReservationTimeline::reserve_next(&mut serial, q, ms(ready), d(dur)).unwrap();
+            let a = ReservationTimeline::reserve_next(&mut atomic, q, ms(ready), d(dur)).unwrap();
+            assert_eq!(s, a);
+        }
+        for q in 0..3 {
+            assert_eq!(
+                DeviceTimeline::busy_time(&serial, q),
+                AtomicTimeline::busy_time(&atomic, q)
+            );
+            assert_eq!(serial.completed_jobs(q), atomic.completed_jobs(q));
+            assert_eq!(serial.free_at(q).unwrap(), atomic.free_at(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn atomic_reserve_run_matches_per_slot() {
+        let d = |v: i64| TimeDelta::from_millis(v);
+        let durations = [d(4), d(1), d(7)];
+        let mut run_tl = AtomicTimeline::new(1);
+        run_tl.reserve(0, ms(0), d(10)).unwrap();
+        let slots = ReservationTimeline::reserve_run(&mut run_tl, 0, ms(2), &durations).unwrap();
+
+        let mut step_tl = DeviceTimeline::new(1);
+        step_tl.reserve(0, ms(0), d(10)).unwrap();
+        let expected = step_tl.reserve_run(0, ms(2), &durations).unwrap();
+        assert_eq!(slots, expected);
+        assert_eq!(
+            AtomicTimeline::busy_time(&run_tl, 0),
+            DeviceTimeline::busy_time(&step_tl, 0)
+        );
+        assert_eq!(run_tl.completed_jobs(0), step_tl.completed_jobs(0));
+        assert!(ReservationTimeline::reserve_run(&mut run_tl, 0, ms(0), &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn atomic_conflicts_and_invalid_queues() {
+        let tl = AtomicTimeline::new(1);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(10)).unwrap();
+        assert!(matches!(
+            tl.reserve(0, ms(5), TimeDelta::from_millis(1)),
+            Err(PlatformError::ReservationConflict { .. })
+        ));
+        assert!(tl.earliest_start(3, ms(0)).is_err());
+        assert!(tl.free_at(3).is_err());
+        assert_eq!(tl.busy_time(3), TimeDelta::ZERO);
+        assert_eq!(tl.completed_jobs(3), 0);
+    }
+
+    #[test]
+    fn atomic_concurrent_claims_serialize() {
+        use std::sync::Arc;
+        let tl = Arc::new(AtomicTimeline::new(1));
+        let threads = 4;
+        let per_thread = 50;
+        let d = TimeDelta::from_micros(7);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tl = Arc::clone(&tl);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        tl.claim_next(0, Timestamp::ZERO, d).unwrap();
+                    }
+                });
+            }
+        });
+        // Monotone free-time bound: every claim extends the chain, so the
+        // final bound is exactly the sum of all durations.
+        let total = (threads * per_thread) as i64 * 7;
+        assert_eq!(tl.free_at(0).unwrap(), Timestamp::from_micros(total as u64));
+        assert_eq!(tl.busy_time(0), TimeDelta::from_micros(total));
+        assert_eq!(tl.completed_jobs(0), (threads * per_thread) as u64);
     }
 }

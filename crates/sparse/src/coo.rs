@@ -129,6 +129,48 @@ impl SparseTensor {
         })
     }
 
+    /// Builds a tensor from entries already in canonical form — sorted by
+    /// `(channel, row, col)` with unique coordinates — skipping the sort
+    /// and duplicate-accumulation passes of
+    /// [`SparseTensor::from_entries`]. Exact zeros are still dropped, so
+    /// the result is identical to what `from_entries` would produce.
+    ///
+    /// The E2SF scratch arena emits entries in this order by construction;
+    /// this constructor keeps that path allocation- and sort-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::EntryOutOfBounds`] if any coordinate exceeds
+    /// the shape, or [`SparseError::EntriesNotCanonical`] if the entries
+    /// are not strictly sorted by coordinate.
+    pub fn from_canonical_entries(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut entries: Vec<SparseEntry>,
+    ) -> Result<Self, SparseError> {
+        for (i, e) in entries.iter().enumerate() {
+            if e.channel as usize >= channels || e.row as usize >= height || e.col as usize >= width
+            {
+                return Err(SparseError::EntryOutOfBounds {
+                    channel: e.channel,
+                    row: e.row,
+                    col: e.col,
+                });
+            }
+            if i > 0 && entries[i - 1].key() >= e.key() {
+                return Err(SparseError::EntriesNotCanonical { index: i });
+            }
+        }
+        entries.retain(|e| e.value != 0.0);
+        Ok(SparseTensor {
+            channels,
+            height,
+            width,
+            entries,
+        })
+    }
+
     /// Extracts the nonzeros of a dense `[C, H, W]` tensor.
     ///
     /// Values with `|v| <= threshold` are treated as zero.
@@ -207,8 +249,57 @@ impl SparseTensor {
 
     /// Fraction of *spatial* sites `(row, col)` active in at least one
     /// channel — the event-frame fill ratio from the paper's Figure 3.
+    ///
+    /// Computed with a k-way merge over the per-channel runs (each already
+    /// sorted by `(row, col)`), so no intermediate site list is allocated —
+    /// this is DSFA's per-push density probe, a hot path.
     pub fn spatial_density(&self) -> f64 {
-        self.active_sites().len() as f64 / (self.height * self.width) as f64
+        self.count_active_sites() as f64 / (self.height * self.width) as f64
+    }
+
+    /// Number of distinct active spatial sites, without materializing them.
+    pub fn count_active_sites(&self) -> usize {
+        // Entries are sorted by (channel, row, col): each channel is a
+        // sorted run of unique (row, col) sites. Count the union by
+        // repeatedly taking the minimum site across the run heads.
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (cursor, end)
+        let mut start = 0;
+        for i in 1..=self.entries.len() {
+            if i == self.entries.len() || self.entries[i].channel != self.entries[start].channel {
+                runs.push((start, i));
+                start = i;
+            }
+        }
+        match runs.len() {
+            0 => 0,
+            1 => self.entries.len(),
+            _ => {
+                let mut count = 0usize;
+                loop {
+                    let mut min_site: Option<(u32, u32)> = None;
+                    for &(cursor, end) in &runs {
+                        if cursor < end {
+                            let e = &self.entries[cursor];
+                            let site = (e.row, e.col);
+                            if min_site.is_none_or(|m| site < m) {
+                                min_site = Some(site);
+                            }
+                        }
+                    }
+                    let Some(site) = min_site else { break };
+                    count += 1;
+                    for (cursor, end) in &mut runs {
+                        if *cursor < *end {
+                            let e = &self.entries[*cursor];
+                            if (e.row, e.col) == site {
+                                *cursor += 1;
+                            }
+                        }
+                    }
+                }
+                count
+            }
+        }
     }
 
     /// The canonical entry slice (sorted by `(channel, row, col)`).
@@ -245,13 +336,40 @@ impl SparseTensor {
     /// Materializes the dense `[C, H, W]` tensor.
     pub fn to_dense(&self) -> Tensor {
         let mut dense = Tensor::zeros(&[self.channels, self.height, self.width]);
+        self.scatter_into(&mut dense);
+        dense
+    }
+
+    /// Materializes into a caller-owned dense tensor, avoiding the
+    /// allocation of [`SparseTensor::to_dense`] on repeated decodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::TensorShapeMismatch`] unless `dense` has
+    /// exactly this tensor's `[C, H, W]` shape.
+    pub fn to_dense_into(&self, dense: &mut Tensor) -> Result<(), SparseError> {
+        if dense.shape() != self.shape().as_slice() {
+            let mut right = [0usize; 3];
+            for (slot, dim) in right.iter_mut().zip(dense.shape()) {
+                *slot = *dim;
+            }
+            return Err(SparseError::TensorShapeMismatch {
+                left: self.shape(),
+                right,
+            });
+        }
+        dense.as_mut_slice().fill(0.0);
+        self.scatter_into(dense);
+        Ok(())
+    }
+
+    fn scatter_into(&self, dense: &mut Tensor) {
         let w = self.width;
         let h = self.height;
         let data = dense.as_mut_slice();
         for e in &self.entries {
             data[(e.channel as usize * h + e.row as usize) * w + e.col as usize] = e.value;
         }
-        dense
     }
 
     /// Pointwise sum of two sparse tensors (the DSFA `cAdd` merge kernel).
@@ -336,9 +454,29 @@ impl SparseTensor {
     /// Returns [`SparseError::EmptyInput`] when `tensors` is empty and
     /// [`SparseError::TensorShapeMismatch`] on shape disagreement.
     pub fn concat_channels(tensors: &[SparseTensor]) -> Result<SparseTensor, SparseError> {
-        let first = tensors.first().ok_or(SparseError::EmptyInput)?;
-        let mut entries = Vec::with_capacity(tensors.iter().map(|t| t.nnz()).sum());
-        for (k, t) in tensors.iter().enumerate() {
+        Self::concat_channel_iter(tensors.iter())
+    }
+
+    /// [`SparseTensor::concat_channels`] over borrowed tensors — the DSFA
+    /// `cBatch` emit path concatenates tensors it does not own, and this
+    /// variant spares it cloning each one first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::EmptyInput`] when `tensors` is empty and
+    /// [`SparseError::TensorShapeMismatch`] on shape disagreement.
+    pub fn concat_channels_ref(tensors: &[&SparseTensor]) -> Result<SparseTensor, SparseError> {
+        Self::concat_channel_iter(tensors.iter().copied())
+    }
+
+    fn concat_channel_iter<'a, I>(tensors: I) -> Result<SparseTensor, SparseError>
+    where
+        I: Iterator<Item = &'a SparseTensor> + Clone,
+    {
+        let first = tensors.clone().next().ok_or(SparseError::EmptyInput)?;
+        let mut entries = Vec::with_capacity(tensors.clone().map(SparseTensor::nnz).sum());
+        let mut count = 0;
+        for (k, t) in tensors.enumerate() {
             if t.shape() != first.shape() {
                 return Err(SparseError::TensorShapeMismatch {
                     left: first.shape(),
@@ -350,11 +488,12 @@ impl SparseTensor {
                 channel: e.channel + offset,
                 ..*e
             }));
+            count = k + 1;
         }
         // Per-tensor entries are canonical and channel offsets are
         // monotonically increasing, so the concatenation stays canonical.
         Ok(SparseTensor {
-            channels: first.channels * tensors.len(),
+            channels: first.channels * count,
             height: first.height,
             width: first.width,
             entries,

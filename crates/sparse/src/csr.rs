@@ -108,6 +108,28 @@ impl CsrMatrix {
     ///
     /// Returns [`SparseError::RankMismatch`] unless `dense` has rank 2.
     pub fn from_dense(dense: &Tensor) -> Result<Self, SparseError> {
+        let mut out = CsrMatrix {
+            n_rows: 0,
+            n_cols: 0,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        out.assign_from_dense(dense)?;
+        Ok(out)
+    }
+
+    /// Re-extracts the nonzeros of a dense rank-2 tensor into this matrix,
+    /// reusing its `row_ptr`/`col_idx`/`values` buffers — once the buffers
+    /// have grown, steady-state repeated encodes allocate nothing. The
+    /// resulting matrix is identical to [`CsrMatrix::from_dense`]: the
+    /// row-major scan emits each row's columns already sorted and unique,
+    /// so no sort or merge pass is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::RankMismatch`] unless `dense` has rank 2.
+    pub fn assign_from_dense(&mut self, dense: &Tensor) -> Result<(), SparseError> {
         if dense.rank() != 2 {
             return Err(SparseError::RankMismatch {
                 expected: 2,
@@ -115,17 +137,27 @@ impl CsrMatrix {
             });
         }
         let (m, n) = (dense.shape()[0], dense.shape()[1]);
-        let data = dense.as_slice();
-        let mut triplets = Vec::new();
-        for r in 0..m {
-            for c in 0..n {
-                let v = data[r * n + c];
+        self.n_rows = m;
+        self.n_cols = n;
+        self.row_ptr.clear();
+        self.row_ptr.reserve(m + 1);
+        self.row_ptr.push(0);
+        self.col_idx.clear();
+        self.values.clear();
+        if n == 0 {
+            self.row_ptr.resize(m + 1, 0);
+            return Ok(());
+        }
+        for row in dense.as_slice().chunks_exact(n) {
+            for (c, &v) in row.iter().enumerate() {
                 if v != 0.0 {
-                    triplets.push((r as u32, c as u32, v));
+                    self.col_idx.push(c as u32);
+                    self.values.push(v);
                 }
             }
+            self.row_ptr.push(self.values.len());
         }
-        CsrMatrix::from_triplets(m, n, &triplets)
+        Ok(())
     }
 
     /// Row count.
@@ -233,14 +265,14 @@ impl CsrMatrix {
         let mut out = Tensor::zeros(&[self.n_rows, n]);
         let rhs_data = rhs.as_slice();
         let out_data = out.as_mut_slice();
-        for r in 0..self.n_rows {
+        // One output row per CSR row: slice the destination once per row
+        // (not once per nonzero) so the inner loop is a pure axpy zip.
+        for (r, dst) in out_data.chunks_exact_mut(n).enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
-            for idx in lo..hi {
-                let c = self.col_idx[idx] as usize;
-                let v = self.values[idx];
+            for (c, v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                let c = *c as usize;
                 let src = &rhs_data[c * n..(c + 1) * n];
-                let dst = &mut out_data[r * n..(r + 1) * n];
                 for (d, s) in dst.iter_mut().zip(src) {
                     *d += v * s;
                 }

@@ -107,6 +107,12 @@ pub enum SparseError {
     },
     /// An operation over a collection received no elements.
     EmptyInput,
+    /// Entries handed to a canonical-order constructor were not strictly
+    /// sorted by `(channel, row, col)`.
+    EntriesNotCanonical {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -139,6 +145,12 @@ impl fmt::Display for SparseError {
                 )
             }
             SparseError::EmptyInput => f.write_str("operation requires at least one input"),
+            SparseError::EntriesNotCanonical { index } => {
+                write!(
+                    f,
+                    "entry {index} breaks canonical (channel, row, col) order"
+                )
+            }
         }
     }
 }

@@ -157,31 +157,59 @@ pub fn conv2d_dense(
     let x = input.as_slice();
     let wt = weight.as_slice();
     {
+        // Axpy formulation: initialize every output channel with its bias,
+        // then for each (ci, ky, kx) tap sweep a whole output row with one
+        // scalar weight. The padding/stride legality tests are hoisted into
+        // per-tap `[lo, hi)` ranges, so the innermost loop is a flat slice
+        // zip with no bounds checks or index math — which autovectorizes.
+        // Each output element still receives its contributions in the
+        // original bias → ci → ky → kx order, so results are bitwise
+        // identical to the naive triple loop.
         let o = out.as_mut_slice();
+        let stride = spec.stride;
+        let pad = spec.padding;
+        // Valid output range for a kernel offset: `k + out*stride - pad`
+        // must land in `[0, in_dim)`.
+        let valid_range = |k: usize, in_dim: usize, out_dim: usize| -> (usize, usize) {
+            let lo = pad.saturating_sub(k).div_ceil(stride);
+            let hi = if in_dim + pad > k {
+                ((in_dim + pad - k - 1) / stride + 1).min(out_dim)
+            } else {
+                0
+            };
+            (lo, hi)
+        };
         for co in 0..c_out {
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut acc = bias.map(|b| b[co]).unwrap_or(0.0);
-                    for ci in 0..c_in {
-                        for ky in 0..kh {
-                            let iy = oy * spec.stride + ky;
-                            if iy < spec.padding || iy - spec.padding >= h {
-                                continue;
-                            }
-                            let iy = iy - spec.padding;
-                            for kx in 0..kw {
-                                let ix = ox * spec.stride + kx;
-                                if ix < spec.padding || ix - spec.padding >= w {
-                                    continue;
+            let ochan = &mut o[co * ho * wo..(co + 1) * ho * wo];
+            let b = bias.map(|b| b[co]).unwrap_or(0.0);
+            ochan.fill(b);
+            for ci in 0..c_in {
+                let xchan = &x[ci * h * w..(ci + 1) * h * w];
+                for ky in 0..kh {
+                    let (oy_lo, oy_hi) = valid_range(ky, h, ho);
+                    for kx in 0..kw {
+                        let (ox_lo, ox_hi) = valid_range(kx, w, wo);
+                        if oy_lo >= oy_hi || ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let wv = wt[((co * c_in + ci) * kh + ky) * kw + kx];
+                        for oy in oy_lo..oy_hi {
+                            let iy = oy * stride + ky - pad;
+                            let ix0 = ox_lo * stride + kx - pad;
+                            let orow = &mut ochan[oy * wo + ox_lo..oy * wo + ox_hi];
+                            let xrow = &xchan[iy * w + ix0..];
+                            if stride == 1 {
+                                let xrow = &xrow[..orow.len()];
+                                for (ov, xv) in orow.iter_mut().zip(xrow) {
+                                    *ov += xv * wv;
                                 }
-                                let ix = ix - spec.padding;
-                                let xv = x[(ci * h + iy) * w + ix];
-                                let wv = wt[((co * c_in + ci) * kh + ky) * kw + kx];
-                                acc += xv * wv;
+                            } else {
+                                for (ov, xv) in orow.iter_mut().zip(xrow.iter().step_by(stride)) {
+                                    *ov += xv * wv;
+                                }
                             }
                         }
                     }
-                    o[(co * ho + oy) * wo + ox] = acc;
                 }
             }
         }
@@ -219,46 +247,83 @@ pub fn conv2d_sparse(
     let wt = weight.as_slice();
     let mut macs = 0u64;
     {
+        // Within one entry every (ky, kx, co) tap scatters into a *distinct*
+        // output element, so the tap loops can be reordered freely; only the
+        // entry order (which decides the order of same-element adds across
+        // entries) must stay fixed. That makes it safe to hoist the
+        // stride-divisibility and bounds checks into per-entry valid-tap
+        // lists and then sweep contiguous weight/output rows — for stride 1
+        // the taps of one kernel row map onto a reversed contiguous output
+        // span, which the fast path walks as a slice zip.
         let o = out.as_mut_slice();
         if let Some(b) = bias {
             for co in 0..c_out {
-                for v in &mut o[co * ho * wo..(co + 1) * ho * wo] {
-                    *v = b[co];
-                }
+                o[co * ho * wo..(co + 1) * ho * wo].fill(b[co]);
             }
         }
+        let stride = spec.stride;
+        // Reused across entries: the (kernel offset, output coordinate)
+        // pairs that survive the stride/bounds tests.
+        let mut valid_ky: Vec<(usize, usize)> = Vec::with_capacity(kh);
+        let mut valid_kx: Vec<(usize, usize)> = Vec::with_capacity(kw);
         for e in input.iter() {
             let ci = e.channel as usize;
             let iy = e.row as usize + spec.padding;
             let ix = e.col as usize + spec.padding;
-            for ky in 0..kh {
-                if iy < ky {
-                    continue;
-                }
+            valid_ky.clear();
+            for ky in 0..kh.min(iy + 1) {
                 let oy_num = iy - ky;
-                if !oy_num.is_multiple_of(spec.stride) {
-                    continue;
+                if oy_num.is_multiple_of(stride) {
+                    let oy = oy_num / stride;
+                    if oy < ho {
+                        valid_ky.push((ky, oy));
+                    }
                 }
-                let oy = oy_num / spec.stride;
-                if oy >= ho {
-                    continue;
+            }
+            if valid_ky.is_empty() {
+                continue;
+            }
+            valid_kx.clear();
+            for kx in 0..kw.min(ix + 1) {
+                let ox_num = ix - kx;
+                if ox_num.is_multiple_of(stride) {
+                    let ox = ox_num / stride;
+                    if ox < wo {
+                        valid_kx.push((kx, ox));
+                    }
                 }
-                for kx in 0..kw {
-                    if ix < kx {
-                        continue;
+            }
+            if valid_kx.is_empty() {
+                continue;
+            }
+            macs += (valid_ky.len() * valid_kx.len() * c_out) as u64;
+            let ev = e.value;
+            if stride == 1 {
+                // Contiguous fast path: kx in [kx_lo, kx_hi] maps to
+                // ox = ix - kx, a reversed run of output columns.
+                let (kx_lo, _) = valid_kx[0];
+                let (kx_hi, ox_lo) = valid_kx[valid_kx.len() - 1];
+                for co in 0..c_out {
+                    let wchan = &wt[(co * c_in + ci) * kh * kw..][..kh * kw];
+                    let ochan = &mut o[co * ho * wo..][..ho * wo];
+                    for &(ky, oy) in &valid_ky {
+                        let wrow = &wchan[ky * kw + kx_lo..=ky * kw + kx_hi];
+                        let orow = &mut ochan[oy * wo + ox_lo..oy * wo + ox_lo + wrow.len()];
+                        for (ov, wv) in orow.iter_mut().rev().zip(wrow) {
+                            *ov += ev * wv;
+                        }
                     }
-                    let ox_num = ix - kx;
-                    if !ox_num.is_multiple_of(spec.stride) {
-                        continue;
-                    }
-                    let ox = ox_num / spec.stride;
-                    if ox >= wo {
-                        continue;
-                    }
-                    for co in 0..c_out {
-                        let wv = wt[((co * c_in + ci) * kh + ky) * kw + kx];
-                        o[(co * ho + oy) * wo + ox] += e.value * wv;
-                        macs += 1;
+                }
+            } else {
+                for co in 0..c_out {
+                    let wchan = &wt[(co * c_in + ci) * kh * kw..][..kh * kw];
+                    let ochan = &mut o[co * ho * wo..][..ho * wo];
+                    for &(ky, oy) in &valid_ky {
+                        let wrow = &wchan[ky * kw..][..kw];
+                        let obase = oy * wo;
+                        for &(kx, ox) in &valid_kx {
+                            ochan[obase + ox] += ev * wrow[kx];
+                        }
                     }
                 }
             }
@@ -402,25 +467,43 @@ pub fn conv2d_im2col(
     let n = ho * wo;
     let mut patches = Tensor::zeros(&[k, n]);
     {
+        // Same hoisted-range trick as `conv2d_dense`: the padding tests
+        // collapse into per-tap `[lo, hi)` spans, and each patch row is a
+        // straight memcpy (stride 1) or strided gather of the input row.
         let x = input.as_slice();
         let p = patches.as_mut_slice();
+        let stride = spec.stride;
+        let pad = spec.padding;
+        let valid_range = |k: usize, in_dim: usize, out_dim: usize| -> (usize, usize) {
+            let lo = pad.saturating_sub(k).div_ceil(stride);
+            let hi = if in_dim + pad > k {
+                ((in_dim + pad - k - 1) / stride + 1).min(out_dim)
+            } else {
+                0
+            };
+            (lo, hi)
+        };
         for ci in 0..c_in {
+            let xchan = &x[ci * h * w..(ci + 1) * h * w];
             for ky in 0..kh {
+                let (oy_lo, oy_hi) = valid_range(ky, h, ho);
                 for kx in 0..kw {
+                    let (ox_lo, ox_hi) = valid_range(kx, w, wo);
+                    if oy_lo >= oy_hi || ox_lo >= ox_hi {
+                        continue;
+                    }
                     let row = (ci * kh + ky) * kw + kx;
-                    for oy in 0..ho {
-                        let iy = oy * spec.stride + ky;
-                        if iy < spec.padding || iy - spec.padding >= h {
-                            continue;
-                        }
-                        let iy = iy - spec.padding;
-                        for ox in 0..wo {
-                            let ix = ox * spec.stride + kx;
-                            if ix < spec.padding || ix - spec.padding >= w {
-                                continue;
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * stride + ky - pad;
+                        let ix0 = ox_lo * stride + kx - pad;
+                        let prow = &mut p[row * n + oy * wo + ox_lo..row * n + oy * wo + ox_hi];
+                        let xrow = &xchan[iy * w + ix0..];
+                        if stride == 1 {
+                            prow.copy_from_slice(&xrow[..prow.len()]);
+                        } else {
+                            for (pv, xv) in prow.iter_mut().zip(xrow.iter().step_by(stride)) {
+                                *pv = *xv;
                             }
-                            let ix = ix - spec.padding;
-                            p[row * n + oy * wo + ox] = x[(ci * h + iy) * w + ix];
                         }
                     }
                 }

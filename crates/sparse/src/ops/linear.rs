@@ -45,15 +45,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<(Tensor, OpCount), SparseError> 
     let ad = a.as_slice();
     let bd = b.as_slice();
     {
+        // Row-axpy GEMM: every (A row, B row) pair is one scalar-times-slice
+        // update of the C row. `chunks_exact` hands the compiler whole rows
+        // with the length baked in, so the inner zip is a clean vectorizable
+        // fused multiply-add sweep with no index arithmetic.
         let od = out.as_mut_slice();
-        for i in 0..m {
-            for p in 0..k {
-                let av = ad[i * k + p];
+        for (arow, orow) in ad.chunks_exact(k).zip(od.chunks_exact_mut(n)) {
+            for (&av, brow) in arow.iter().zip(bd.chunks_exact(n)) {
                 if av == 0.0 {
                     continue; // free skip; counted as dense work below
                 }
-                let brow = &bd[p * n..(p + 1) * n];
-                let orow = &mut od[i * n..(i + 1) * n];
                 for (o, bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
                 }
@@ -102,9 +103,8 @@ pub fn linear(
     }
     let wd = weight.as_slice();
     let mut y = Vec::with_capacity(n);
-    for row in 0..n {
+    for (row, wrow) in wd.chunks_exact(k).enumerate() {
         let mut acc = bias.map(|b| b[row]).unwrap_or(0.0);
-        let wrow = &wd[row * k..(row + 1) * k];
         for (w, xv) in wrow.iter().zip(x) {
             acc += w * xv;
         }

@@ -36,13 +36,16 @@ impl Pool2dSpec {
     }
 }
 
-fn pool2d<F>(
+fn pool2d<F, G>(
     input: &Tensor,
     spec: Pool2dSpec,
-    mut reduce: F,
+    init: f32,
+    fold: F,
+    finish: G,
 ) -> Result<(Tensor, OpCount), SparseError>
 where
-    F: FnMut(&[f32]) -> f32,
+    F: Fn(f32, f32) -> f32,
+    G: Fn(f32, usize) -> f32,
 {
     if input.rank() != 3 {
         return Err(SparseError::RankMismatch {
@@ -63,22 +66,29 @@ where
     })?;
     let mut out = Tensor::zeros(&[c, ho, wo]);
     let x = input.as_slice();
-    let mut window = vec![0.0f32; spec.kernel * spec.kernel];
     {
+        // Fold each window's contiguous row slices directly — the same
+        // row-major reduce order the old copy-into-scratch version had,
+        // without the per-output-element window copy.
         let o = out.as_mut_slice();
+        let k = spec.kernel;
+        let area = k * k;
         for ch in 0..c {
+            let xchan = &x[ch * h * w..(ch + 1) * h * w];
+            let ochan = &mut o[ch * ho * wo..(ch + 1) * ho * wo];
             for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut n = 0;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            window[n] = x[(ch * h + iy) * w + ix];
-                            n += 1;
+                let iy0 = oy * spec.stride;
+                let orow = &mut ochan[oy * wo..(oy + 1) * wo];
+                for (ox, ov) in orow.iter_mut().enumerate() {
+                    let ix0 = ox * spec.stride;
+                    let mut acc = init;
+                    for ky in 0..k {
+                        let xrow = &xchan[(iy0 + ky) * w + ix0..(iy0 + ky) * w + ix0 + k];
+                        for &v in xrow {
+                            acc = fold(acc, v);
                         }
                     }
-                    o[(ch * ho + oy) * wo + ox] = reduce(&window[..n]);
+                    *ov = finish(acc, area);
                 }
             }
         }
@@ -113,9 +123,7 @@ where
 /// # }
 /// ```
 pub fn max_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, OpCount), SparseError> {
-    pool2d(input, spec, |w| {
-        w.iter().copied().fold(f32::NEG_INFINITY, f32::max)
-    })
+    pool2d(input, spec, f32::NEG_INFINITY, f32::max, |acc, _| acc)
 }
 
 /// Average pooling over a `[C, H, W]` tensor.
@@ -125,7 +133,7 @@ pub fn max_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, OpCount),
 /// Returns a [`SparseError`] on rank mismatch or when the window does not
 /// fit the input.
 pub fn avg_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, OpCount), SparseError> {
-    pool2d(input, spec, |w| w.iter().sum::<f32>() / w.len() as f32)
+    pool2d(input, spec, 0.0, |acc, v| acc + v, |acc, n| acc / n as f32)
 }
 
 /// Global average pooling: `[C, H, W]` → `[C]`.

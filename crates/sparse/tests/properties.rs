@@ -102,6 +102,25 @@ proptest! {
     }
 
     #[test]
+    fn csr_assign_reuse_matches_from_dense(
+        grids in prop::collection::vec(
+            (1usize..7, 0usize..7, prop::collection::vec(-3i8..=3, 42)),
+            1..5,
+        ),
+    ) {
+        // One matrix re-encoded across arbitrary shapes and contents must
+        // stay identical to a fresh `from_dense` extraction every time.
+        let mut reused = CsrMatrix::zeros(1, 1);
+        for (rows, cols, values) in grids {
+            let data: Vec<f32> = values[..rows * cols].iter().map(|&v| v as f32).collect();
+            let dense = Tensor::from_vec(&[rows, cols], data).expect("shape matches");
+            reused.assign_from_dense(&dense).expect("rank 2");
+            let fresh = CsrMatrix::from_dense(&dense).expect("rank 2");
+            prop_assert_eq!(&reused, &fresh);
+        }
+    }
+
+    #[test]
     fn csr_transpose_involution(
         triplets in prop::collection::vec((0u32..6, 0u32..5, -3i8..=3), 0..20),
     ) {

@@ -146,8 +146,7 @@ impl Criterion {
         let slice = self.measurement_time / sample_size as u32;
         let iters = (slice.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
-        let mut min = Duration::MAX;
-        let mut max = Duration::ZERO;
+        let mut samples = Vec::with_capacity(sample_size);
         let mut total = Duration::ZERO;
         for _ in 0..sample_size {
             let mut bencher = Bencher {
@@ -155,18 +154,67 @@ impl Criterion {
                 elapsed: Duration::ZERO,
             };
             f(&mut bencher);
-            let per = bencher.elapsed / iters as u32;
-            min = min.min(per);
-            max = max.max(per);
+            samples.push(bencher.elapsed / iters as u32);
             total += bencher.elapsed;
         }
+        samples.sort_unstable();
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let median = median_of_sorted(&samples);
         let mean = total / (sample_size as u32 * iters as u32).max(1);
         println!(
-            "{name:<40} time: [{} {} {}]",
+            "{name:<40} time: [{} {} {}] (mean {})",
             fmt_duration(min),
-            fmt_duration(mean),
-            fmt_duration(max)
+            fmt_duration(median),
+            fmt_duration(max),
+            fmt_duration(mean)
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                append_json_record(&path, &name, min, median, mean, max);
+            }
+        }
+    }
+}
+
+/// True median of an ascending sample list: the middle sample, or the
+/// average of the two middle samples for even counts.
+fn median_of_sorted(samples: &[Duration]) -> Duration {
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}
+
+/// Appends one JSON-lines record of a benchmark's statistics (all in
+/// nanoseconds) to `path` — the machine-readable channel used by
+/// summary tooling (`CRITERION_JSON=<path> cargo bench ...`).
+fn append_json_record(
+    path: &str,
+    name: &str,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    max: Duration,
+) {
+    use std::io::Write;
+    let record = format!(
+        "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        min.as_nanos(),
+        median.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos()
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("criterion: cannot append to {path}: {e}");
     }
 }
 
@@ -281,5 +329,45 @@ mod tests {
     fn benchmark_id_formats() {
         let id = BenchmarkId::new("conv", 0.5);
         assert_eq!(id.name, "conv/0.5");
+    }
+
+    #[test]
+    fn median_is_the_middle_sample() {
+        let d = Duration::from_nanos;
+        assert_eq!(median_of_sorted(&[d(1), d(5), d(100)]), d(5));
+        assert_eq!(median_of_sorted(&[d(2), d(4), d(6), d(100)]), d(5));
+        assert_eq!(median_of_sorted(&[d(7)]), d(7));
+    }
+
+    #[test]
+    fn json_records_append_as_json_lines() {
+        let path = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_json_record(
+            path_str,
+            "g/one",
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+            Duration::from_nanos(25),
+            Duration::from_nanos(90),
+        );
+        append_json_record(
+            path_str,
+            "g/two \"quoted\"",
+            Duration::from_nanos(1),
+            Duration::from_nanos(2),
+            Duration::from_nanos(2),
+            Duration::from_nanos(3),
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"g/one\",\"min_ns\":10,\"median_ns\":20,\"mean_ns\":25,\"max_ns\":90}"
+        );
+        assert!(lines[1].contains("\\\"quoted\\\""));
+        let _ = std::fs::remove_file(&path);
     }
 }
