@@ -14,13 +14,18 @@
 //! * `--spec <path>` — load the `SweepSpec` from a JSON file instead of
 //!   the built-in grid; a previous report's `"spec"` field replays that
 //!   sweep exactly.
+//! * `--mode <name>` — runtime playback execution mode (see
+//!   `CommonArgs::exec_mode`); every mode yields a byte-identical
+//!   report.
 
 use ev_bench::experiments::{load_sweep_spec, sweep_cells_table, sweep_grid_spec};
 use ev_bench::report::{write_json, CommonArgs};
-use ev_edge::nmp::sweep::{run_sweep, SweepSpec};
+use ev_edge::multipipe::ExecMode;
+use ev_edge::nmp::sweep::{run_sweep_mode, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
+    let mode = args.exec_mode()?.unwrap_or(ExecMode::Serial);
     let mut workers = 0usize;
     let mut spec_path: Option<String> = None;
     let mut rest = args.rest.iter();
@@ -36,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--spec" => {
                 spec_path = Some(rest.next().ok_or("--spec needs a path")?.clone());
             }
+            "--mode" => {
+                rest.next(); // value already consumed by exec_mode()
+            }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
     }
@@ -44,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => sweep_grid_spec(args.quick),
     };
 
-    let report = run_sweep(&spec, workers)?;
+    let report = run_sweep_mode(&spec, workers, mode)?;
     println!(
         "NMP configuration sweep — {} cells, {} searches, {} mapping problems, workers = {}",
         report.cells.len(),

@@ -2,69 +2,35 @@
 //! event stream — full accumulation, discretized bins, timestamp surfaces,
 //! and sequential timestep presentation.
 
-use ev_bench::report::CommonArgs;
-use ev_core::event::SensorGeometry;
-use ev_core::generator::{RateProfile, SpatialModel, StatisticalGenerator};
-use ev_core::{TimeWindow, Timestamp};
-use ev_edge::e2sf::{E2sf, E2sfConfig, FrameRepresentation};
+use ev_bench::experiments::figure2;
+use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
     args.reject_unknown(&[], &[])?;
-    let geometry = SensorGeometry::DAVIS346;
-    let mut generator = StatisticalGenerator::new(
-        geometry,
-        RateProfile::Constant(300_000.0),
-        SpatialModel::Blobs {
-            count: 8,
-            sigma: 10.0,
-            drift: 60.0,
-        },
-        5,
-    );
-    let interval = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(20));
-    let events = generator.generate(interval)?;
+    let result = figure2()?;
     println!(
         "Figure 2 — input representations for one {} ms interval ({} events)\n",
-        interval.duration().as_millis_f64(),
-        events.len()
+        result.interval_ms, result.events
     );
-
-    // (a) Full accumulation between consecutive image frames.
-    let full = E2sf::new(E2sfConfig::new(1)).convert(&events, interval)?;
-    println!(
-        "full accumulation:      1 frame,  2 channels, fill {:.2}%",
-        full[0].spatial_density() * 100.0
-    );
-
-    // (b) Full accumulation with counts + most-recent timestamps
-    //     (EV-FlowNet-style, paper ref [4]).
-    let surfaces =
-        E2sf::new(E2sfConfig::new(1).with_representation(FrameRepresentation::CountsAndTimestamps))
-            .convert(&events, interval)?;
-    println!(
-        "counts + timestamps:    1 frame,  {} channels, {} nonzeros",
-        surfaces[0].tensor().channels(),
-        surfaces[0].nnz()
-    );
-
-    // (c) Discretization into uniformly separated synchronous frames
-    //     (SpikeFlowNet-style, paper refs [7, 11]).
-    let bins = E2sf::new(E2sfConfig::new(8)).convert(&events, interval)?;
-    let fills: Vec<String> = bins
-        .iter()
-        .map(|f| format!("{:.2}", f.spatial_density() * 100.0))
-        .collect();
-    println!(
-        "discretized (nB=8):     8 frames, 2 channels, fills [{}]%",
-        fills.join(", ")
-    );
-
-    // (d) Sequential presentation over B/k timesteps (SNN inputs).
-    println!("sequential (B=8, k=2):  4 timesteps of 2 concatenated frames (4 channels each)");
+    let mut table = TextTable::new(["scheme", "frames", "channels", "nonzeros", "mean fill %"]);
+    for row in &result.rows {
+        table.row([
+            row.scheme.clone(),
+            row.frames.to_string(),
+            row.channels.to_string(),
+            row.nonzeros.to_string(),
+            format!("{:.2}", row.mean_fill_pct),
+        ]);
+    }
+    print!("{}", table.render());
     println!(
         "\nEv-Edge supports all of these (§2); the per-network choices are in\n\
          ev_datasets::representation."
     );
+    if let Some(path) = args.json {
+        write_json(&path, &result)?;
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

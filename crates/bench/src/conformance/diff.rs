@@ -1,0 +1,200 @@
+//! Field-level comparison of JSON value trees with f64 *bit* equality,
+//! plus the dotted-path lookup the spec assertions use.
+//!
+//! This is the comparison engine behind [`crate::conformance`]'s
+//! `MatchesGolden` assertion: any drift in a simulation, a search, or a
+//! report schema fails loudly with the exact JSON path that moved.
+
+use serde::Value;
+
+/// Collects every field-level difference between two value trees into
+/// `out`, one human-readable line per mismatch. Floats must match
+/// *bitwise*; integer nodes compare by value across the `Int`/`UInt`
+/// split (the JSON parser picks the narrowest type).
+pub fn diff_values(path: &str, golden: &Value, actual: &Value, out: &mut Vec<String>) {
+    match (golden, actual) {
+        (Value::Float(g), Value::Float(a)) => {
+            if g.to_bits() != a.to_bits() {
+                out.push(format!(
+                    "{path}: golden {g:?} (bits {:#018x}) != actual {a:?} (bits {:#018x})",
+                    g.to_bits(),
+                    a.to_bits()
+                ));
+            }
+        }
+        (Value::Int(g), Value::Int(a)) if g == a => {}
+        (Value::UInt(g), Value::UInt(a)) if g == a => {}
+        (Value::Int(g), Value::UInt(a)) | (Value::UInt(a), Value::Int(g))
+            if *g >= 0 && *g as u64 == *a => {}
+        (Value::Bool(g), Value::Bool(a)) if g == a => {}
+        (Value::String(g), Value::String(a)) if g == a => {}
+        (Value::Null, Value::Null) => {}
+        (Value::Array(g), Value::Array(a)) => {
+            if g.len() != a.len() {
+                out.push(format!("{path}: array length {} != {}", g.len(), a.len()));
+                return;
+            }
+            for (i, (gi, ai)) in g.iter().zip(a).enumerate() {
+                diff_values(&format!("{path}[{i}]"), gi, ai, out);
+            }
+        }
+        (Value::Object(g), Value::Object(a)) => {
+            for (key, gv) in g {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => diff_values(&format!("{path}.{key}"), gv, av, out),
+                    None => out.push(format!("{path}.{key}: missing from actual report")),
+                }
+            }
+            for (key, _) in a {
+                if !g.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in golden snapshot"));
+                }
+            }
+        }
+        (g, a) => out.push(format!("{path}: golden {g:?} != actual {a:?}")),
+    }
+}
+
+/// Resolves a dotted path (`$`, `$.field`, `$[2].field.sub[0]`) in a
+/// value tree.
+///
+/// # Errors
+///
+/// Names the unparseable path segment or the first component that does
+/// not resolve.
+pub fn lookup_path<'v>(root: &'v Value, path: &str) -> Result<&'v Value, String> {
+    let rest = path
+        .strip_prefix('$')
+        .ok_or_else(|| format!("path `{path}` must start with `$`"))?;
+    let mut current = root;
+    let mut chars = rest.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        match c {
+            '.' => {
+                let mut end = rest.len();
+                for (i, c2) in rest[start + 1..].char_indices() {
+                    if c2 == '.' || c2 == '[' {
+                        end = start + 1 + i;
+                        break;
+                    }
+                }
+                let key = &rest[start + 1..end];
+                if key.is_empty() {
+                    return Err(format!("path `{path}`: empty field name at byte {start}"));
+                }
+                current = current.get(key).ok_or_else(|| {
+                    format!(
+                        "path `{path}`: no field `{key}` (object keys: {})",
+                        keys(current)
+                    )
+                })?;
+                while chars.peek().is_some_and(|&(i, _)| i < end) {
+                    chars.next();
+                }
+            }
+            '[' => {
+                let close = rest[start..]
+                    .find(']')
+                    .map(|i| start + i)
+                    .ok_or_else(|| format!("path `{path}`: unclosed `[`"))?;
+                let index: usize = rest[start + 1..close].parse().map_err(|_| {
+                    format!("path `{path}`: bad index `{}`", &rest[start + 1..close])
+                })?;
+                current = match current {
+                    Value::Array(items) => items.get(index).ok_or_else(|| {
+                        format!(
+                            "path `{path}`: index {index} out of bounds (len {})",
+                            items.len()
+                        )
+                    })?,
+                    _ => return Err(format!("path `{path}`: `[{index}]` on a non-array")),
+                };
+                while chars.peek().is_some_and(|&(i, _)| i <= close) {
+                    chars.next();
+                }
+            }
+            other => {
+                return Err(format!(
+                    "path `{path}`: expected `.` or `[` at byte {start}, found `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(current)
+}
+
+fn keys(value: &Value) -> String {
+    match value.as_object() {
+        Some(entries) => entries
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        None => "<not an object>".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            (
+                "rows".into(),
+                Value::Array(vec![
+                    Value::Object(vec![("x".into(), Value::Float(1.5))]),
+                    Value::Object(vec![("x".into(), Value::Float(2.5))]),
+                ]),
+            ),
+            ("n".into(), Value::UInt(7)),
+        ])
+    }
+
+    #[test]
+    fn lookup_resolves_nested_paths() {
+        let v = sample();
+        assert_eq!(lookup_path(&v, "$").unwrap(), &v);
+        assert_eq!(lookup_path(&v, "$.n").unwrap(), &Value::UInt(7));
+        assert_eq!(lookup_path(&v, "$.rows[1].x").unwrap(), &Value::Float(2.5));
+    }
+
+    #[test]
+    fn lookup_names_the_failing_component() {
+        let v = sample();
+        assert!(lookup_path(&v, "$.missing")
+            .unwrap_err()
+            .contains("missing"));
+        assert!(lookup_path(&v, "$.rows[9]")
+            .unwrap_err()
+            .contains("out of bounds"));
+        assert!(lookup_path(&v, "$.n[0]").unwrap_err().contains("non-array"));
+        assert!(lookup_path(&v, "rows").unwrap_err().contains("must start"));
+    }
+
+    #[test]
+    fn diff_is_bitwise_on_floats() {
+        let g = Value::Float(0.1 + 0.2);
+        let a = Value::Float(0.3);
+        let mut out = Vec::new();
+        diff_values("$", &g, &a, &mut out);
+        assert_eq!(out.len(), 1, "0.1+0.2 and 0.3 differ bitwise");
+        out.clear();
+        diff_values("$", &g, &g.clone(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_every_path() {
+        let mut out = Vec::new();
+        diff_values("$", &sample(), &Value::Null, &mut out);
+        assert_eq!(out.len(), 1);
+        let mut other = sample();
+        if let Value::Object(entries) = &mut other {
+            entries[1].1 = Value::UInt(8);
+        }
+        out.clear();
+        diff_values("$", &sample(), &other, &mut out);
+        assert_eq!(out, vec!["$.n: golden UInt(7) != actual UInt(8)"]);
+    }
+}

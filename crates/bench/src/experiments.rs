@@ -8,6 +8,7 @@ use ev_core::stats::{burstiness, temporal_density};
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
 use ev_datasets::representation::representation_for;
+use ev_edge::e2sf::FrameRepresentation;
 use ev_edge::multipipe::ExecMode;
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::evolution::{run_nmp, NmpConfig};
@@ -183,6 +184,102 @@ pub fn figure1(quick: bool) -> Result<Fig1Result, Box<dyn Error>> {
             dense_macs: dense,
             effectual_fraction: measured as f64 / dense.max(1) as f64,
         },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------
+
+/// One input-representation scheme of Figure 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Scheme name (`full-accumulation`, `counts+timestamps`,
+    /// `discretized`, `sequential`).
+    pub scheme: String,
+    /// Synchronous frames (or timesteps) the interval becomes.
+    pub frames: usize,
+    /// Channels per frame.
+    pub channels: usize,
+    /// Total nonzero cells across the frames.
+    pub nonzeros: u64,
+    /// Mean % of pixels with events per frame.
+    pub mean_fill_pct: f64,
+}
+
+/// Figure 2 result: the §2 representation schemes applied to one event
+/// stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Result {
+    /// The converted interval, in milliseconds.
+    pub interval_ms: f64,
+    /// Events in the interval.
+    pub events: u64,
+    /// One row per representation scheme.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Regenerates Figure 2: full accumulation, count+timestamp surfaces,
+/// discretized bins, and sequential timestep presentation of the same
+/// stream. The workload is interval-bounded and cheap, so the quick and
+/// full budgets coincide.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn figure2() -> Result<Fig2Result, Box<dyn Error>> {
+    let geometry = SensorGeometry::DAVIS346;
+    let mut generator = StatisticalGenerator::new(
+        geometry,
+        RateProfile::Constant(300_000.0),
+        SpatialModel::Blobs {
+            count: 8,
+            sigma: 10.0,
+            drift: 60.0,
+        },
+        5,
+    );
+    let interval = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(20));
+    let events = generator.generate(interval)?;
+
+    let summarize = |scheme: &str, frames: &[ev_edge::SparseFrame]| Fig2Row {
+        scheme: scheme.to_string(),
+        frames: frames.len(),
+        channels: frames.first().map_or(0, |f| f.tensor().channels()),
+        nonzeros: frames.iter().map(|f| f.nnz() as u64).sum(),
+        mean_fill_pct: 100.0 * frames.iter().map(|f| f.spatial_density()).sum::<f64>()
+            / frames.len().max(1) as f64,
+    };
+
+    // (a) Full accumulation between consecutive image frames.
+    let full = E2sf::new(E2sfConfig::new(1)).convert(&events, interval)?;
+    // (b) Counts + most-recent timestamps (EV-FlowNet-style, ref [4]).
+    let surfaces =
+        E2sf::new(E2sfConfig::new(1).with_representation(FrameRepresentation::CountsAndTimestamps))
+            .convert(&events, interval)?;
+    // (c) Discretization into uniformly separated bins (refs [7, 11]).
+    let bins = E2sf::new(E2sfConfig::new(8)).convert(&events, interval)?;
+    // (d) Sequential presentation: B bins over B/k timesteps of k
+    // concatenated frames each (SNN inputs) — same cells, regrouped.
+    let k = 2usize;
+    let sequential = Fig2Row {
+        scheme: "sequential".to_string(),
+        frames: bins.len() / k,
+        channels: bins.first().map_or(0, |f| f.tensor().channels()) * k,
+        nonzeros: bins.iter().map(|f| f.nnz() as u64).sum(),
+        mean_fill_pct: 100.0 * bins.iter().map(|f| f.spatial_density()).sum::<f64>()
+            / bins.len().max(1) as f64,
+    };
+
+    Ok(Fig2Result {
+        interval_ms: interval.duration().as_millis_f64(),
+        events: events.len() as u64,
+        rows: vec![
+            summarize("full-accumulation", &full),
+            summarize("counts+timestamps", &surfaces),
+            summarize("discretized", &bins),
+            sequential,
+        ],
     })
 }
 

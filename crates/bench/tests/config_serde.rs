@@ -144,6 +144,37 @@ fn multi_field_tuple_structs_round_trip_as_arrays() {
     assert!(serde_json::from_str::<CellCoords>("[1,2,3]").is_err());
 }
 
+// The derive shape added for the conformance spec schema: tuple enum
+// variants. Newtype (arity-1) variants collapse to `{"Variant": value}`;
+// wider variants become `{"Variant": [values]}`.
+#[test]
+fn tuple_enum_variants_round_trip() {
+    use ev_bench::conformance::Assertion;
+    let newtype = Assertion::StdoutContains("Figure 8".to_string());
+    assert_eq!(round_trip(&newtype), newtype);
+    assert_eq!(
+        serde_json::to_string(&newtype).unwrap(),
+        "{\"StdoutContains\":\"Figure 8\"}",
+        "newtype tuple variants collapse the one-element array"
+    );
+    let pair = Assertion::FieldBits("$.rows[0].mean_fill_pct".to_string(), 0.1 + 0.2);
+    assert_eq!(round_trip(&pair), pair);
+    assert_eq!(
+        serde_json::to_string(&pair).unwrap(),
+        "{\"FieldBits\":[\"$.rows[0].mean_fill_pct\",0.30000000000000004]}",
+        "multi-field tuple variants serialize their fields as an array"
+    );
+    // The f64 payload survives with its exact bit pattern.
+    let Assertion::FieldBits(_, back) = round_trip(&pair) else {
+        panic!("variant changed across round trip");
+    };
+    assert_eq!(back.to_bits(), (0.1_f64 + 0.2).to_bits());
+    // Arity and variant names are enforced on the way back in.
+    assert!(serde_json::from_str::<Assertion>("{\"FieldBits\":[\"$.x\"]}").is_err());
+    assert!(serde_json::from_str::<Assertion>("{\"FieldBits\":[\"$.x\",1.0,2.0]}").is_err());
+    assert!(serde_json::from_str::<Assertion>("{\"NoSuchAssertion\":\"x\"}").is_err());
+}
+
 #[test]
 fn sweep_report_round_trips() {
     use ev_edge::nmp::sweep::{

@@ -1,0 +1,128 @@
+//! Property-based coverage for the conformance spec schema: random
+//! specs survive a serialize → parse round trip bit-for-bit, and any
+//! unknown top-level field is rejected (mirroring
+//! `CommonArgs::reject_unknown` — a mistyped key must never silently
+//! weaken a conformance check).
+
+use ev_bench::conformance::{Assertion, ScenarioSpec, SPEC_FIELDS};
+use proptest::prelude::*;
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_";
+const PATH_CHARS: &[u8] = b"abcxyz.$[]0123456789";
+
+fn arb_chars(charset: &'static [u8], max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..charset.len(), 1..max)
+        .prop_map(move |ixs| ixs.into_iter().map(|i| charset[i] as char).collect())
+}
+
+/// Finite f64s across the whole bit space (JSON cannot carry NaN/inf).
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            (bits >> 12) as f64 / 3.0
+        }
+    })
+}
+
+fn arb_assertion() -> impl Strategy<Value = Assertion> {
+    (
+        0usize..11,
+        arb_chars(PATH_CHARS, 16),
+        arb_finite_f64(),
+        0u64..u64::MAX,
+        any::<bool>(),
+    )
+        .prop_map(|(variant, path, float, int, flag)| match variant {
+            0 => Assertion::StdoutContains(path),
+            1 => Assertion::StderrContains(path),
+            2 => Assertion::MatchesGolden(path),
+            3 => Assertion::BytesEqualGolden(path),
+            4 => Assertion::FieldBits(path, float),
+            5 => Assertion::FieldUInt(path, int),
+            6 => Assertion::FieldBool(path, flag),
+            7 => Assertion::FieldStr(path, float.to_string()),
+            8 => Assertion::ArrayLen(path, int as usize),
+            9 => Assertion::FieldAtLeast(path, float),
+            _ => Assertion::FieldAtMost(path, float),
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        arb_chars(NAME_CHARS, 20),
+        arb_chars(NAME_CHARS, 12),
+        arb_chars(NAME_CHARS, 20),
+        prop::collection::vec(arb_chars(NAME_CHARS, 10), 0..4),
+        (any::<bool>(), prop::collection::vec(arb_assertion(), 0..6)),
+        prop::collection::vec(arb_assertion(), 0..6),
+    )
+        .prop_map(
+            |(name, figure, bin, args, (must_fail, assertions), quick)| {
+                // Artifact assertions require `artifact: true`; derive the
+                // flag instead of filtering the generated assertions.
+                let needs_artifact = assertions.iter().chain(&quick).any(|a| {
+                    !matches!(
+                        a,
+                        Assertion::StdoutContains(_) | Assertion::StderrContains(_)
+                    )
+                });
+                ScenarioSpec {
+                    name,
+                    figure,
+                    bin,
+                    args,
+                    artifact: needs_artifact,
+                    must_fail,
+                    assertions,
+                    quick_assertions: quick,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// serialize → parse is the identity, including f64 *bits* in
+    /// assertion payloads (the JSON writer prints shortest-round-trip
+    /// floats, the parser is correctly rounded).
+    #[test]
+    fn spec_round_trips_through_json(spec in arb_spec()) {
+        let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+        let back = ScenarioSpec::parse(&json).expect("round trip parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Any field name outside the schema is rejected, whatever its
+    /// value — including near-misses of real fields.
+    #[test]
+    fn unknown_spec_fields_are_rejected(
+        field in arb_chars(NAME_CHARS, 18),
+        spec in arb_spec(),
+    ) {
+        // `assertion`/`arg`-style near-misses are the interesting
+        // cases; skip the rare collision with a real field name.
+        if SPEC_FIELDS.contains(&field.as_str()) {
+            return Ok(());
+        }
+        let mut json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+        let insert = format!("{{\n  \"{field}\": 1,");
+        json = json.replacen('{', &insert, 1);
+        let err = ScenarioSpec::parse(&json).expect_err("unknown field must fail");
+        prop_assert!(
+            err.contains("unknown spec field"),
+            "error should name the unknown field: {}",
+            err
+        );
+    }
+
+    /// Assertion lists round-trip on their own (the tuple-variant
+    /// encoding added to the vendored serde derive).
+    #[test]
+    fn assertion_lists_round_trip(list in prop::collection::vec(arb_assertion(), 0..12)) {
+        let json = serde_json::to_string(&list).expect("serializes");
+        let back: Vec<Assertion> = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(back, list);
+    }
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Reproduce every paper figure and table in one command.
+#
+#   ./kick-tires.sh            quick budget (seconds, CI-friendly)
+#   ./kick-tires.sh --full     full paper budget (minutes)
+#
+# Builds the workspace in release mode, then drives the declarative
+# conformance suite in `specs/*.json`: each spec runs one figure/table
+# binary in a sandboxed output directory and checks its report against
+# golden snapshots (f64 bit-equality) and structural assertions.
+# Exit code 0 means every figure and table reproduced.
+#
+# Extra arguments are forwarded to the conformance runner, e.g.:
+#
+#   ./kick-tires.sh --filter fig8            run a subset of specs
+#   UPDATE_GOLDEN=1 ./kick-tires.sh          regenerate golden snapshots
+
+set -eu
+
+cd "$(dirname "$0")"
+
+budget="--quick"
+args=""
+for arg in "$@"; do
+    case "$arg" in
+        --full) budget="--full" ;;
+        --quick) budget="--quick" ;;
+        *) args="$args $arg" ;;
+    esac
+done
+
+echo "== kick-tires: building release binaries =="
+cargo build --release --quiet
+
+echo "== kick-tires: running conformance suite ($budget) =="
+# shellcheck disable=SC2086  # $args is intentionally word-split
+exec cargo run --release --quiet --bin conformance -- "$budget" --specs specs $args

@@ -5,9 +5,11 @@
 //! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits over it, and
 //! derive macros (re-exported from `serde_derive`) covering named-field
 //! structs, tuple structs (newtype and multi-field, serialized as
-//! arrays), and enums mixing unit variants (strings) with struct
-//! variants (externally tagged single-key objects) — exactly the shapes
-//! this repository derives. `serde_json` prints and parses the tree.
+//! arrays), and enums mixing unit variants (strings) with struct,
+//! newtype and tuple variants (externally tagged single-key objects;
+//! newtype payloads inline, wider tuples as arrays) — exactly the
+//! shapes this repository derives. `serde_json` prints and parses the
+//! tree.
 
 #![warn(missing_docs)]
 
@@ -158,7 +160,23 @@ macro_rules! impl_serde_int {
     )*};
 }
 
-impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+// `usize` is unsigned like `u64`: serializing through `Int(i64)` would
+// wrap values above `i64::MAX` negative and break round-tripping.
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        u64::from_value(value)?
+            .try_into()
+            .map_err(|_| DeError::custom("out of range for usize"))
+    }
+}
 
 impl Serialize for u64 {
     fn to_value(&self) -> Value {

@@ -6,19 +6,30 @@
 //! * structs with named fields,
 //! * newtype (single-field tuple) structs,
 //! * multi-field tuple structs (serialized as arrays),
-//! * enums mixing unit variants (serialized as strings) and
-//!   struct variants (externally tagged: `{"Variant": {fields}}`).
+//! * enums mixing unit variants (serialized as strings), struct
+//!   variants (externally tagged: `{"Variant": {fields}}`), newtype
+//!   variants (`{"Variant": value}`) and multi-field tuple variants
+//!   (`{"Variant": [values]}`).
 //!
 //! Anything else produces a `compile_error!` naming the limitation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One enum variant: a unit variant, or a struct variant with named
-/// fields.
+/// The body shape of one enum variant.
+enum VariantKind {
+    /// No payload; serialized as a bare string.
+    Unit,
+    /// Named fields; externally tagged object body.
+    Struct(Vec<String>),
+    /// Parenthesized fields; externally tagged value (arity 1) or
+    /// array (arity ≥ 2) body.
+    Tuple(usize),
+}
+
+/// One enum variant: its name and body shape.
 struct Variant {
     name: String,
-    /// `None` for a unit variant, field names for a struct variant.
-    fields: Option<Vec<String>>,
+    kind: VariantKind,
 }
 
 /// The parsed shape of a deriving type.
@@ -149,24 +160,37 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                 let j = skip_attrs(&segment, 0);
                 match segment.get(j) {
                     Some(TokenTree::Ident(id)) => {
-                        let fields = match segment.get(j + 1) {
-                            None => None,
+                        let kind = match segment.get(j + 1) {
+                            None => VariantKind::Unit,
                             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                                Some(named_fields(
+                                VariantKind::Struct(named_fields(
                                     &g.stream().into_iter().collect::<Vec<_>>(),
                                     &format!("{name}::{id}"),
                                 )?)
                             }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                let arity =
+                                    top_level_segments(&g.stream().into_iter().collect::<Vec<_>>())
+                                        .len();
+                                if arity == 0 {
+                                    return Err(format!(
+                                        "empty tuple variant `{name}::{id}` is not supported"
+                                    ));
+                                }
+                                VariantKind::Tuple(arity)
+                            }
                             _ => {
                                 return Err(format!(
-                                    "serde stand-in only derives unit or struct enum \
-                                     variants; `{name}::{id}` is neither"
+                                    "serde stand-in only derives unit, tuple or struct enum \
+                                     variants; `{name}::{id}` is none of those"
                                 ))
                             }
                         };
                         variants.push(Variant {
                             name: id.to_string(),
-                            fields,
+                            kind,
                         });
                     }
                     None => continue,
@@ -236,17 +260,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Shape::Enum { name, variants } => {
             // Externally tagged, like real serde: unit variants are bare
-            // strings, struct variants are single-key objects.
+            // strings, struct/tuple variants are single-key objects
+            // (newtype payloads inline, wider tuples as arrays).
             let arms: String = variants
                 .iter()
                 .map(|v| {
                     let vname = &v.name;
-                    match &v.fields {
-                        None => format!(
+                    match &v.kind {
+                        VariantKind::Unit => format!(
                             "{name}::{vname} => \
                              ::serde::Value::String({vname:?}.to_string()),"
                         ),
-                        Some(fields) => {
+                        VariantKind::Struct(fields) => {
                             let bindings = fields.join(", ");
                             let entries: String = fields
                                 .iter()
@@ -261,6 +286,25 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                                 "{name}::{vname} {{ {bindings} }} => \
                                  ::serde::Value::Object(vec![({vname:?}.to_string(), \
                                  ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => \
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let bindings: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let items: String = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{items}]))]),",
+                                bindings.join(", ")
                             )
                         }
                     }
@@ -338,7 +382,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Enum { name, variants } => {
             let unit_arms: String = variants
                 .iter()
-                .filter(|v| v.fields.is_none())
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
                 .map(|v| {
                     let vname = &v.name;
                     format!("{vname:?} => return Ok({name}::{vname}),")
@@ -346,7 +390,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .collect();
             let struct_arms: String = variants
                 .iter()
-                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Struct(fields) => Some((&v.name, fields)),
+                    _ => None,
+                })
                 .map(|(vname, fields)| {
                     let inits: String = fields
                         .iter()
@@ -368,6 +415,36 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
+            let tuple_arms: String = variants
+                .iter()
+                .filter_map(|v| match v.kind {
+                    VariantKind::Tuple(arity) => Some((&v.name, arity)),
+                    _ => None,
+                })
+                .map(|(vname, arity)| {
+                    if arity == 1 {
+                        format!(
+                            "{vname:?} => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )
+                    } else {
+                        let items: String = (0..arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                            .collect();
+                        format!(
+                            "{vname:?} => {{\n\
+                                 match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                                         return Ok({name}::{vname}({items})),\n\
+                                     _ => return Err(::serde::DeError::custom(concat!(\
+                                         \"expected {arity}-element array body for \", \
+                                         stringify!({name}::{vname})))),\n\
+                                 }}\n\
+                             }}"
+                        )
+                    }
+                })
+                .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(value: &::serde::Value) -> \
@@ -385,6 +462,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                                  let _ = inner;\n\
                                  match tag.as_str() {{\n\
                                      {struct_arms}\n\
+                                     {tuple_arms}\n\
                                      other => return Err(::serde::DeError::custom(format!(\
                                          \"unknown variant `{{other}}` for {name}\"))),\n\
                                  }}\n\
