@@ -15,6 +15,15 @@ use ev_edge::exec::parallel::parallel_try_map;
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global sandbox sequence number. A (pid, spec-name) key is
+/// not unique: two suites in one process — the integration tests run
+/// concurrently under the default test harness — can execute the same
+/// spec at the same time, and with a shared sandbox one run's artifact
+/// cleanup deletes the other's *live* artifact mid-check. The counter
+/// makes every `run_spec` invocation's sandbox its own.
+static SANDBOX_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Resolves a spec's `bin` name to an executable path.
 #[derive(Debug, Clone)]
@@ -41,6 +50,18 @@ impl BinPaths {
             .parent()
             .ok_or_else(|| format!("{} has no parent directory", exe.display()))?;
         Ok(BinPaths::Dir(dir.to_path_buf()))
+    }
+
+    /// A single-entry map binding `name` to the currently running
+    /// executable — a self-referential resolver for harness tests.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unresolvable executable path instead of panicking
+    /// (the runner's error type is `String` everywhere else too).
+    pub fn map_to_current_exe(name: &str) -> Result<Self, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        Ok(BinPaths::Map(vec![(name.to_string(), exe)]))
     }
 
     /// Resolves `bin` to an existing executable.
@@ -225,14 +246,20 @@ pub fn run_suite(specs: Vec<ScenarioSpec>, options: &RunnerOptions) -> Result<Su
 /// in the outcome.
 pub fn run_spec(spec: &ScenarioSpec, options: &RunnerOptions) -> Result<SpecOutcome, String> {
     let sandbox = options.sandbox_root.join(format!(
-        "ev-edge-conformance-{}-{}",
+        "ev-edge-conformance-{}-{}-{}",
         std::process::id(),
+        SANDBOX_SEQ.fetch_add(1, Ordering::Relaxed),
         spec.name
     ));
+    // (pid, seq) can still collide with a *dead* run after pid reuse;
+    // a live run can't hold this key, so a leftover dir is stale.
+    if sandbox.exists() {
+        std::fs::remove_dir_all(&sandbox)
+            .map_err(|e| format!("spec `{}`: cannot clear stale sandbox: {e}", spec.name))?;
+    }
     std::fs::create_dir_all(&sandbox)
         .map_err(|e| format!("spec `{}`: cannot create sandbox: {e}", spec.name))?;
     let artifact_path = sandbox.join("report.json");
-    let _ = std::fs::remove_file(&artifact_path); // stale run, same pid
 
     let program = options.bins.resolve(&spec.bin)?;
     let mut command = Command::new(&program);
@@ -309,6 +336,12 @@ pub fn run_spec(spec: &ScenarioSpec, options: &RunnerOptions) -> Result<SpecOutc
             options,
             &mut failures,
         )?;
+    }
+
+    // A passing scenario's sandbox is pure noise in temp_dir — remove
+    // it (best-effort). Failing sandboxes stay behind for post-mortem.
+    if failures.is_empty() {
+        let _ = std::fs::remove_dir_all(&sandbox);
     }
 
     Ok(SpecOutcome {
@@ -503,12 +536,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bin_map_resolves_and_reports_missing() {
-        let map = BinPaths::Map(vec![("self".to_string(), std::env::current_exe().unwrap())]);
+    fn bin_map_resolves_and_reports_missing() -> Result<(), String> {
+        let map = BinPaths::map_to_current_exe("self")?;
         assert!(map.resolve("self").is_ok());
         assert!(map.resolve("ghost").unwrap_err().contains("ghost"));
         let dir = BinPaths::Dir(PathBuf::from("/nonexistent-dir"));
         assert!(dir.resolve("fig8").unwrap_err().contains("not found"));
+        Ok(())
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn bin_map() -> BinPaths {
         "ext_autotune",
         "ext_cross_platform",
         "ext_multitask_runtime",
+        "serve_sim",
         "validate_repro",
     ]
 }

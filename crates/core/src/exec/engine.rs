@@ -153,6 +153,55 @@ pub trait TaskEngine {
         Self: Sized;
 }
 
+/// Read access to an engine's device-load counters: the signal an
+/// admission controller samples between arrivals (the `ev_serve`
+/// front door trips its watermark on these).
+///
+/// Deliberately narrower than [`ReservationTimeline`]: a load probe
+/// answers "how much device time is booked and how many jobs have
+/// landed", nothing else, so streaming frontends can stay generic over
+/// engines whose timelines they never see.
+pub trait LoadProbe {
+    /// Number of device (PE) queues behind the engine.
+    fn device_queues(&self) -> usize;
+
+    /// Busy time summed over every device queue.
+    fn device_busy_total(&self) -> TimeDelta;
+
+    /// Jobs completed summed over every device queue (zero where the
+    /// timeline does not track completion counts).
+    fn device_completed_total(&self) -> u64;
+
+    /// Mean per-queue utilization over `elapsed` simulated time:
+    /// `device_busy_total / (device_queues × elapsed)`, `0.0` before
+    /// any time has elapsed. May exceed `1.0` when reservations are
+    /// booked past `elapsed` — the overload signal a watermark trips
+    /// on.
+    fn device_utilization(&self, elapsed: TimeDelta) -> f64 {
+        let queues = self.device_queues();
+        if elapsed.as_micros() <= 0 || queues == 0 {
+            return 0.0;
+        }
+        self.device_busy_total().as_secs_f64() / (queues as f64 * elapsed.as_secs_f64())
+    }
+}
+
+impl<T: ReservationTimeline> LoadProbe for ExecEngine<T> {
+    fn device_queues(&self) -> usize {
+        self.timeline.queues()
+    }
+
+    fn device_busy_total(&self) -> TimeDelta {
+        self.timeline.total_busy()
+    }
+
+    fn device_completed_total(&self) -> u64 {
+        (0..self.timeline.queues())
+            .map(|q| self.timeline.completed_jobs(q))
+            .sum()
+    }
+}
+
 /// The unified streaming execution engine.
 ///
 /// Generic over the timeline so the identical dispatch loop drives the
@@ -530,6 +579,26 @@ mod tests {
         let report = engine.finish(2.0);
         // 1 J busy + 2 W × 0.5 s static.
         assert!((report.energy.as_joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_probe_reflects_booked_work() {
+        let mut engine = ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(2), 1, 4).unwrap();
+        let mut model = FixedModel {
+            duration: TimeDelta::from_millis(30),
+            queue: 0,
+        };
+        assert_eq!(engine.device_queues(), 2);
+        assert_eq!(engine.device_utilization(TimeDelta::from_millis(10)), 0.0);
+        engine.submit(0, JobInput::arrival(ms(0)));
+        engine.submit(0, JobInput::arrival(ms(0)));
+        engine.drain(0, &mut model).unwrap();
+        assert_eq!(engine.device_busy_total(), TimeDelta::from_millis(60));
+        assert_eq!(engine.device_completed_total(), 2);
+        // 60 ms booked over 2 queues × 30 ms elapsed → saturated.
+        let u = engine.device_utilization(TimeDelta::from_millis(30));
+        assert!((u - 1.0).abs() < 1e-12);
+        assert_eq!(engine.device_utilization(TimeDelta::ZERO), 0.0);
     }
 
     #[test]

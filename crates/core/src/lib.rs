@@ -64,7 +64,7 @@ pub mod exec {
     pub mod stage;
 
     pub use clock::EventClock;
-    pub use engine::{EngineReport, ExecEngine, TaskEngine, TaskStats};
+    pub use engine::{EngineReport, ExecEngine, LoadProbe, TaskEngine, TaskStats};
     pub use job::{
         BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
     };

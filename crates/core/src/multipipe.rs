@@ -304,13 +304,51 @@ pub fn run_multi_task_runtime(
 fn for_each_periodic_arrival(
     window: TimeWindow,
     periods: &[TimeDelta],
+    deliver: impl FnMut(ev_core::Timestamp, usize) -> bool,
+) {
+    let phases = vec![window.start(); periods.len()];
+    for_each_phased_arrival(window, &phases, periods, deliver);
+}
+
+/// Schedules every periodic arrival of the window in global time order
+/// (ties broken by task index), with task `i` first firing at
+/// `phases[i]` and every `periods[i]` thereafter, up to (excluding)
+/// the window end. `deliver(arrival, task)` returns `false` to stop
+/// early (a pipelined consumer hung up).
+///
+/// A phase *before* the window start is advanced into the window by
+/// whole periods — a tenant stream that joined mid-run keeps its
+/// original cadence instead of re-phasing to the epoch boundary, so
+/// slicing one window into epochs never changes the arrival sequence
+/// (the invariant the `ev_serve` churn driver rests on).
+///
+/// # Panics
+///
+/// Panics (debug assertion) when `phases` and `periods` disagree in
+/// length or a period is non-positive; callers validate both (see
+/// [`MultiTaskRuntimeConfig`]).
+pub fn for_each_phased_arrival(
+    window: TimeWindow,
+    phases: &[ev_core::Timestamp],
+    periods: &[TimeDelta],
     mut deliver: impl FnMut(ev_core::Timestamp, usize) -> bool,
 ) {
+    debug_assert_eq!(phases.len(), periods.len());
+    debug_assert!(periods.iter().all(|p| p.as_micros() > 0) || window.start() >= window.end());
     // Arrivals in global time order, ties broken by task index.
     let mut clock: EventClock<usize> = EventClock::new(window.start());
     if window.start() < window.end() {
         for task in 0..periods.len() {
-            clock.schedule(window.start(), task);
+            let mut first = phases[task];
+            if first < window.start() {
+                let gap = (window.start() - first).as_micros();
+                let period = periods[task].as_micros();
+                let steps = (gap + period - 1) / period;
+                first += TimeDelta::from_micros(steps * period);
+            }
+            if first < window.end() {
+                clock.schedule(first, task);
+            }
         }
     }
     while let Some((arrival, task)) = clock.next_event() {
@@ -645,6 +683,46 @@ mod tests {
 
     fn window_ms(ms: u64) -> MultiTaskRuntimeConfig {
         MultiTaskRuntimeConfig::new(TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(ms)))
+    }
+
+    #[test]
+    fn phased_arrivals_keep_their_cadence_across_window_slices() {
+        let ms = Timestamp::from_millis;
+        let d = TimeDelta::from_millis;
+        let collect = |window: TimeWindow, phases: &[Timestamp]| {
+            let mut out = Vec::new();
+            for_each_phased_arrival(window, phases, &[d(4), d(3)], |at, task| {
+                out.push((at, task));
+                true
+            });
+            out
+        };
+        // One whole window vs the same window sliced at an arbitrary
+        // epoch boundary: identical arrival sequences.
+        let phases = [ms(0), ms(1)];
+        let whole = collect(TimeWindow::new(ms(0), ms(20)), &phases);
+        let mut sliced = collect(TimeWindow::new(ms(0), ms(9)), &phases);
+        sliced.extend(collect(TimeWindow::new(ms(9), ms(20)), &phases));
+        assert_eq!(whole, sliced);
+        // Phase 1 ms, period 3 ms → 1, 4, 7, ...; ties break by task.
+        assert_eq!(whole[0], (ms(0), 0));
+        assert_eq!(whole[1], (ms(1), 1));
+        assert!(whole.windows(2).all(|w| w[0].0 <= w[1].0));
+        // A phase at/past the end yields nothing; empty window too.
+        assert!(collect(TimeWindow::new(ms(0), ms(0)), &phases).is_empty());
+        assert!(collect(TimeWindow::new(ms(5), ms(6)), &[ms(6), ms(7)]).is_empty());
+        // Early stop.
+        let mut n = 0;
+        for_each_phased_arrival(
+            TimeWindow::new(ms(0), ms(20)),
+            &phases,
+            &[d(4), d(3)],
+            |_, _| {
+                n += 1;
+                n < 3
+            },
+        );
+        assert_eq!(n, 3);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use latency::{layer_cost, transfer_cost, CostEstimate, LayerContext};
 pub use pe::{PeId, PeKind, Platform, ProcessingElement};
 pub use profile::NetworkProfile;
 pub use schedule::{list_schedule, SchedNode, Schedule};
-pub use timeline::{AtomicTimeline, DeviceTimeline, ReservationTimeline, RunRequest};
+pub use timeline::{
+    AtomicTimeline, DeviceTimeline, ReservationTimeline, RunRequest, TimelineSnapshot,
+};
 
 use core::fmt;
 use ev_core::Timestamp;

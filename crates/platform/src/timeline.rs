@@ -60,6 +60,12 @@ pub trait ReservationTimeline {
     /// Busy time accumulated on `queue`.
     fn busy_time(&self, queue: usize) -> TimeDelta;
 
+    /// Jobs completed on `queue` (zero where the implementation does
+    /// not track completion counts).
+    fn completed_jobs(&self, _queue: usize) -> u64 {
+        0
+    }
+
     /// Reserves `queue` at the earliest feasible start for work ready at
     /// `ready`; returns `(start, end)`.
     ///
@@ -371,6 +377,10 @@ impl ReservationTimeline for DeviceTimeline {
     fn busy_time(&self, queue: usize) -> TimeDelta {
         DeviceTimeline::busy_time(self, queue)
     }
+
+    fn completed_jobs(&self, queue: usize) -> u64 {
+        DeviceTimeline::completed_jobs(self, queue)
+    }
 }
 
 /// A sharded atomic free-time table: the lock-free counterpart of
@@ -531,9 +541,18 @@ impl AtomicTimeline {
         }
     }
 
+    // Counter publication order is load-bearing for samplers: the busy
+    // increment is sequenced *before* the completed increment, and both
+    // are `Release`, so an `Acquire` reader that observes a claim in
+    // `completed` also observes that claim's contribution to `busy`
+    // (see [`AtomicTimeline::snapshot`]). With the previous `Relaxed`
+    // orderings a utilization snapshot taken right after a wave
+    // completed was allowed to miss the wave's `fetch_add`s entirely on
+    // weakly-ordered hardware — exactly the signal an admission
+    // controller watches.
     fn note_reserved(&self, queue: usize, busy: TimeDelta, jobs: u64) {
-        self.busy[queue].fetch_add(busy.as_micros(), Ordering::Relaxed);
-        self.completed[queue].fetch_add(jobs, Ordering::Relaxed);
+        self.busy[queue].fetch_add(busy.as_micros(), Ordering::Release);
+        self.completed[queue].fetch_add(jobs, Ordering::Release);
     }
 
     /// When `queue` becomes free.
@@ -548,19 +567,104 @@ impl AtomicTimeline {
     }
 
     /// Busy time accumulated on `queue`.
+    ///
+    /// The counter is exact once the claiming threads have been joined
+    /// (or otherwise synchronized with); a concurrent reader sees a
+    /// monotone prefix that includes at least every claim whose
+    /// completion it has observed.
     pub fn busy_time(&self, queue: usize) -> TimeDelta {
         self.busy
             .get(queue)
-            .map(|b| TimeDelta::from_micros(b.load(Ordering::Relaxed)))
+            .map(|b| TimeDelta::from_micros(b.load(Ordering::Acquire)))
             .unwrap_or(TimeDelta::ZERO)
     }
 
-    /// Jobs completed on `queue`.
+    /// Jobs completed on `queue` (same visibility contract as
+    /// [`AtomicTimeline::busy_time`]).
     pub fn completed_jobs(&self, queue: usize) -> u64 {
         self.completed
             .get(queue)
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Acquire))
             .unwrap_or(0)
+    }
+
+    /// A causally consistent read of every queue's load counters — the
+    /// signal an admission controller samples (`ev_serve`).
+    ///
+    /// Per queue, the fields are read `completed` → `busy` → `free_at`
+    /// with `Acquire` loads, pairing with the `Release` publication
+    /// order in the claim paths (busy before completed, both after the
+    /// free-time compare-exchange). The snapshot therefore guarantees,
+    /// per queue:
+    ///
+    /// - every claim counted in `completed` is also counted in `busy`
+    ///   (so `busy / completed` never under-reports mean slot length);
+    /// - every claim counted in `busy` has published its `free_at`
+    ///   extension (so `free_at` never lags the busy account).
+    ///
+    /// After a happens-before edge with the claiming threads (a
+    /// `thread::join`, a channel receive), all three fields are exact.
+    /// An unsynchronized sampler instead sees a conservative prefix of
+    /// the in-flight wave — counters are monotone, never garbage.
+    pub fn snapshot(&self) -> TimelineSnapshot {
+        let queues = self.queues();
+        let mut snap = TimelineSnapshot {
+            completed: Vec::with_capacity(queues),
+            busy: Vec::with_capacity(queues),
+            free_at: Vec::with_capacity(queues),
+        };
+        for q in 0..queues {
+            snap.completed
+                .push(self.completed[q].load(Ordering::Acquire));
+            snap.busy
+                .push(TimeDelta::from_micros(self.busy[q].load(Ordering::Acquire)));
+            snap.free_at.push(Timestamp::from_micros(
+                self.free_at[q].load(Ordering::Acquire),
+            ));
+        }
+        snap
+    }
+}
+
+/// One causally consistent read of an [`AtomicTimeline`]'s per-queue
+/// counters (see [`AtomicTimeline::snapshot`] for the visibility
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSnapshot {
+    /// Jobs completed per queue.
+    pub completed: Vec<u64>,
+    /// Busy time accumulated per queue.
+    pub busy: Vec<TimeDelta>,
+    /// When each queue becomes free.
+    pub free_at: Vec<Timestamp>,
+}
+
+impl TimelineSnapshot {
+    /// Number of queues captured.
+    pub fn queues(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy time summed over every queue.
+    pub fn total_busy(&self) -> TimeDelta {
+        self.busy.iter().fold(TimeDelta::ZERO, |acc, &b| acc + b)
+    }
+
+    /// Jobs completed summed over every queue.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Mean per-queue utilization over an elapsed wall of simulated
+    /// time: `total_busy / (queues × elapsed)`, `0.0` before any time
+    /// has elapsed. May exceed `1.0` when reservations are booked past
+    /// `elapsed` — exactly the overload signal an admission watermark
+    /// trips on.
+    pub fn utilization(&self, elapsed: TimeDelta) -> f64 {
+        if elapsed.as_micros() <= 0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        self.total_busy().as_secs_f64() / (self.queues() as f64 * elapsed.as_secs_f64())
     }
 }
 
@@ -584,6 +688,10 @@ impl ReservationTimeline for AtomicTimeline {
 
     fn busy_time(&self, queue: usize) -> TimeDelta {
         AtomicTimeline::busy_time(self, queue)
+    }
+
+    fn completed_jobs(&self, queue: usize) -> u64 {
+        AtomicTimeline::completed_jobs(self, queue)
     }
 
     fn reserve_next(
@@ -857,5 +965,134 @@ mod tests {
         assert_eq!(tl.free_at(0).unwrap(), Timestamp::from_micros(total as u64));
         assert_eq!(tl.busy_time(0), TimeDelta::from_micros(total));
         assert_eq!(tl.completed_jobs(0), (threads * per_thread) as u64);
+    }
+
+    /// Regression test for the counter orderings: an unsynchronized
+    /// sampler must see a causally consistent prefix (a claim observed
+    /// in `completed` is also accounted in `busy`, and `free_at` never
+    /// lags the busy account), and the moment a wave's threads are
+    /// joined every counter is exact. Under the old `Relaxed`
+    /// publication both properties were allowed to fail on
+    /// weakly-ordered hardware.
+    #[test]
+    fn atomic_snapshot_is_causally_consistent_under_contention() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let queues = 2;
+        let threads = 4;
+        let per_thread = 200;
+        let d = TimeDelta::from_micros(7);
+        let tl = Arc::new(AtomicTimeline::new(queues));
+        let done = Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let tl = Arc::clone(&tl);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        tl.claim_next(t % queues, Timestamp::ZERO, d).unwrap();
+                    }
+                });
+            }
+            let sampler_tl = Arc::clone(&tl);
+            let sampler_done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last = sampler_tl.snapshot();
+                while !sampler_done.load(Ordering::Acquire) {
+                    let snap = sampler_tl.snapshot();
+                    for q in 0..queues {
+                        // Claims counted complete must be counted busy.
+                        assert!(
+                            snap.busy[q] >= TimeDelta::from_micros(snap.completed[q] as i64 * 7),
+                            "queue {q}: busy {:?} lags completed {}",
+                            snap.busy[q],
+                            snap.completed[q]
+                        );
+                        // Claims counted busy have published free_at.
+                        assert!(
+                            snap.free_at[q] >= Timestamp::ZERO + snap.busy[q],
+                            "queue {q}: free_at {:?} lags busy {:?}",
+                            snap.free_at[q],
+                            snap.busy[q]
+                        );
+                        // Monotone: never goes backward between reads.
+                        assert!(snap.completed[q] >= last.completed[q]);
+                        assert!(snap.busy[q] >= last.busy[q]);
+                    }
+                    last = snap;
+                }
+            });
+            // The scope joins every spawned thread on exit, but the
+            // sampler loops until flagged — release it once all claims
+            // have landed.
+            scope.spawn({
+                let done = Arc::clone(&done);
+                let tl = Arc::clone(&tl);
+                move || {
+                    // Busy-wait for all claims, then release the sampler.
+                    let expected = (threads * per_thread) as u64;
+                    while (0..queues).map(|q| tl.completed_jobs(q)).sum::<u64>() < expected {
+                        std::thread::yield_now();
+                    }
+                    done.store(true, Ordering::Release);
+                }
+            });
+        });
+
+        // Joined: totals are exact.
+        let per_queue = (threads / queues * per_thread) as i64 * 7;
+        for q in 0..queues {
+            assert_eq!(tl.busy_time(q), TimeDelta::from_micros(per_queue));
+            assert_eq!(tl.completed_jobs(q), (threads / queues * per_thread) as u64);
+        }
+        let snap = tl.snapshot();
+        assert_eq!(snap.queues(), queues);
+        assert_eq!(snap.total_completed(), (threads * per_thread) as u64);
+        assert_eq!(
+            snap.total_busy(),
+            TimeDelta::from_micros((threads * per_thread) as i64 * 7)
+        );
+    }
+
+    #[test]
+    fn snapshot_utilization_accounting() {
+        let tl = AtomicTimeline::new(2);
+        tl.reserve(0, ms(0), TimeDelta::from_millis(25)).unwrap();
+        tl.reserve(1, ms(0), TimeDelta::from_millis(75)).unwrap();
+        let snap = tl.snapshot();
+        // (25 + 75) / (2 × 100) = 0.5.
+        assert!((snap.utilization(TimeDelta::from_millis(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(snap.utilization(TimeDelta::ZERO), 0.0);
+        // Booked past the elapsed wall → utilization above 1.0.
+        assert!(snap.utilization(TimeDelta::from_millis(10)) > 1.0);
+        assert_eq!(snap.free_at[1], ms(75));
+        // Trait-level accessor mirrors the inherent one (and defaults
+        // to zero for trackers without completion counts).
+        assert_eq!(ReservationTimeline::completed_jobs(&tl, 0), 1);
+        struct NoCounts;
+        impl ReservationTimeline for NoCounts {
+            fn queues(&self) -> usize {
+                1
+            }
+            fn earliest_start(
+                &self,
+                _queue: usize,
+                ready: Timestamp,
+            ) -> Result<Timestamp, PlatformError> {
+                Ok(ready)
+            }
+            fn reserve(
+                &mut self,
+                _queue: usize,
+                start: Timestamp,
+                duration: TimeDelta,
+            ) -> Result<Timestamp, PlatformError> {
+                Ok(start + duration)
+            }
+            fn busy_time(&self, _queue: usize) -> TimeDelta {
+                TimeDelta::ZERO
+            }
+        }
+        assert_eq!(ReservationTimeline::completed_jobs(&NoCounts, 0), 0);
     }
 }

@@ -1,0 +1,189 @@
+//! Synthetic churn scenarios for the `serve_sim` bin and tests.
+//!
+//! [`synthetic_scenario`] sizes each tenant's arrival period from the
+//! *joined* mix's own critical-path latencies (the sweep module's
+//! near-saturation rule, ¾ of per-task latency), then scales them by a
+//! `pressure` factor: `1.0` arrives right at saturation, `0.5` at
+//! twice the sustainable rate — which keeps the bounded ingress queues
+//! full and guarantees the admission path sheds, exercising the service
+//! layer end to end. One tenant joins at 40% of the window and leaves
+//! at 70%, so every run crosses a drift-triggered re-tune and a
+//! cache-replay epoch.
+
+use crate::service::{ChurnAction, ChurnEvent, ServeConfig, ServeScenario};
+use crate::tenant::TenantSpec;
+use crate::ServeError;
+use ev_core::TimeDelta;
+use ev_edge::nmp::baseline;
+use ev_edge::nmp::fitness::{FitnessConfig, FitnessEvaluator};
+use ev_edge::nmp::sweep::near_saturation_periods;
+use ev_edge::nmp::TaskMix;
+use ev_nn::zoo::NetworkId;
+
+/// Network rotation for synthetic tenants (tenant `i` runs
+/// `ROTATION[i % 7]`, the joiner runs `ROTATION[tenants % 7]`).
+const ROTATION: [NetworkId; 7] = [
+    NetworkId::Dotie,
+    NetworkId::EvFlowNet,
+    NetworkId::AdaptiveSpikeNet,
+    NetworkId::E2Depth,
+    NetworkId::Halsie,
+    NetworkId::SpikeFlowNet,
+    NetworkId::FusionFlowNet,
+];
+
+/// Builds a deterministic N-tenant churn scenario for `config`:
+/// `tenants` initial streams plus one mid-run joiner
+/// (`tenant-join`, joining at 40% and leaving at 70% of the window),
+/// with per-tenant periods at `pressure` × the near-saturation rate of
+/// the joined mix (`pressure < 1.0` oversubscribes the platform).
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for zero tenants,
+/// non-positive/non-finite pressure, or a tenant count the registry
+/// cannot admit; propagates problem-construction errors.
+pub fn synthetic_scenario(
+    config: &ServeConfig,
+    tenants: usize,
+    pressure: f64,
+) -> Result<ServeScenario, ServeError> {
+    if tenants == 0 {
+        return Err(ServeError::InvalidConfig {
+            what: "synthetic scenario needs at least one tenant".to_string(),
+        });
+    }
+    if tenants + 1 > config.max_tenants {
+        return Err(ServeError::InvalidConfig {
+            what: format!(
+                "synthetic scenario needs {} tenant slots, config allows {}",
+                tenants + 1,
+                config.max_tenants
+            ),
+        });
+    }
+    if !pressure.is_finite() || pressure <= 0.0 {
+        return Err(ServeError::InvalidConfig {
+            what: format!("pressure must be finite and positive, got {pressure}"),
+        });
+    }
+
+    // Size periods against the *joined* mix so cadences stay put when
+    // the joiner arrives — its join changes the mapping, not anyone's
+    // arrival phase.
+    let networks: Vec<NetworkId> = (0..=tenants)
+        .map(|i| ROTATION[i % ROTATION.len()])
+        .collect();
+    let mix = TaskMix::Custom {
+        networks: networks.clone(),
+        delta_scale: 1.0,
+    };
+    let problem = mix.build_problem(config.platform.build(), &config.zoo.config())?;
+    let rr = baseline::rr_network(&problem);
+    let report = FitnessEvaluator::new(&problem, FitnessConfig::default()).evaluate(&rr)?;
+    let periods: Vec<TimeDelta> = near_saturation_periods(&report)
+        .into_iter()
+        .map(|p| TimeDelta::from_micros(((p.as_micros() as f64 * pressure) as i64).max(1)))
+        .collect();
+
+    let initial = (0..tenants)
+        .map(|i| TenantSpec {
+            name: format!("tenant-{i:02}"),
+            network: networks[i],
+            period: periods[i],
+        })
+        .collect();
+
+    let start = config.window.start();
+    let span = (config.window.end() - start).as_micros();
+    let join_at = start + TimeDelta::from_micros(span * 2 / 5);
+    let leave_at = start + TimeDelta::from_micros(span * 7 / 10);
+    let churn = vec![
+        ChurnEvent {
+            at: join_at,
+            action: ChurnAction::Join(TenantSpec {
+                name: "tenant-join".to_string(),
+                network: networks[tenants],
+                period: periods[tenants],
+            }),
+        },
+        ChurnEvent {
+            at: leave_at,
+            action: ChurnAction::Leave("tenant-join".to_string()),
+        },
+    ];
+
+    Ok(ServeScenario { initial, churn })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::run_service;
+    use crate::MappingSource;
+    use ev_core::{TimeWindow, Timestamp};
+
+    fn quick_config() -> ServeConfig {
+        let mut config =
+            ServeConfig::new(TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(8)));
+        config.tune_populations = vec![3];
+        config.tune_generations = vec![2];
+        config
+    }
+
+    #[test]
+    fn scenario_validation() {
+        let config = quick_config();
+        assert!(synthetic_scenario(&config, 0, 0.5).is_err());
+        assert!(synthetic_scenario(&config, 2, 0.0).is_err());
+        assert!(synthetic_scenario(&config, 2, f64::NAN).is_err());
+        let mut tiny = quick_config();
+        tiny.max_tenants = 2;
+        assert!(synthetic_scenario(&tiny, 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn oversaturated_scenario_sheds_and_retunes_exactly_once() {
+        let config = quick_config();
+        let scenario = synthetic_scenario(&config, 2, 0.5).unwrap();
+        assert_eq!(scenario.initial.len(), 2);
+        assert_eq!(scenario.churn.len(), 2);
+        let outcome = run_service(&scenario, &config).unwrap();
+        let report = &outcome.report;
+        // Above saturation the front door must shed...
+        assert!(report.totals.shed() > 0, "expected load shedding");
+        // ...and nothing admitted is lost to engine-queue drops.
+        assert_eq!(report.totals.dropped, 0);
+        assert_eq!(
+            report.totals.arrivals,
+            report.totals.admitted + report.totals.shed()
+        );
+        // Join drifts past the threshold (1/3 > 0.1) → exactly one
+        // re-tune; the leave returns to the cached initial mix.
+        assert_eq!(report.totals.retunes, 1);
+        assert_eq!(
+            report.epochs.iter().map(|e| e.mapping).collect::<Vec<_>>(),
+            vec![
+                MappingSource::Tuned,
+                MappingSource::Tuned,
+                MappingSource::Cached
+            ]
+        );
+        // Every cached tuning replays bit for bit from its NmpConfig.
+        assert!(outcome.mappings.verify_replays().unwrap());
+    }
+
+    #[test]
+    fn reports_are_identical_across_worker_counts() {
+        let config = quick_config();
+        let scenario = synthetic_scenario(&config, 2, 0.5).unwrap();
+        let serial = run_service(&scenario, &config).unwrap().report;
+        let mut fanned = config.clone();
+        fanned.workers = 8;
+        let parallel = run_service(&scenario, &fanned).unwrap().report;
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Tenant identity and lifecycle: who is streaming right now.
+//!
+//! A tenant is one event stream with a service contract — the network
+//! it runs and the cadence its batches arrive at. The registry is the
+//! single source of truth for the *live mix*: the task order it reports
+//! is admission order, which is also the task order of every epoch's
+//! mapping problem, so mappings and reports never depend on hash or
+//! name ordering.
+
+use crate::ServeError;
+use ev_core::{TimeDelta, Timestamp};
+use ev_edge::nmp::TaskMix;
+use ev_nn::zoo::NetworkId;
+
+/// Stable identity of an admitted tenant: assigned in admission order,
+/// never reused. Doubles as the index into the service run's per-tenant
+/// accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+/// What a stream asks for at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Unique (among live tenants) display name.
+    pub name: String,
+    /// The network this tenant's events run through.
+    pub network: NetworkId,
+    /// Cadence of the tenant's event-batch arrivals.
+    pub period: TimeDelta,
+}
+
+/// One live tenant: its spec plus admission bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEntry {
+    /// Registry-assigned identity.
+    pub id: TenantId,
+    /// The admission contract.
+    pub spec: TenantSpec,
+    /// When the tenant joined — its arrival *phase*: the stream keeps
+    /// this cadence anchor across epoch boundaries.
+    pub joined_at: Timestamp,
+}
+
+/// Admits and retires tenants; owns the live mix.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    next_id: u64,
+    live: Vec<TenantEntry>,
+    max_tenants: usize,
+}
+
+impl TenantRegistry {
+    /// An empty registry admitting at most `max_tenants` live tenants.
+    pub fn new(max_tenants: usize) -> Self {
+        TenantRegistry {
+            next_id: 0,
+            live: Vec::new(),
+            max_tenants,
+        }
+    }
+
+    /// Admits a tenant at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidTenant`] for an empty name or
+    /// non-positive period, [`ServeError::DuplicateTenant`] when a live
+    /// tenant already has the name, and [`ServeError::TenantLimit`]
+    /// when the registry is full.
+    pub fn admit(&mut self, spec: TenantSpec, now: Timestamp) -> Result<TenantId, ServeError> {
+        if spec.name.is_empty() {
+            return Err(ServeError::InvalidTenant {
+                name: spec.name,
+                reason: "name must be non-empty",
+            });
+        }
+        if spec.period.as_micros() <= 0 {
+            return Err(ServeError::InvalidTenant {
+                name: spec.name,
+                reason: "arrival period must be positive",
+            });
+        }
+        if self.live.iter().any(|t| t.spec.name == spec.name) {
+            return Err(ServeError::DuplicateTenant { name: spec.name });
+        }
+        if self.live.len() >= self.max_tenants {
+            return Err(ServeError::TenantLimit {
+                max: self.max_tenants,
+            });
+        }
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.live.push(TenantEntry {
+            id,
+            spec,
+            joined_at: now,
+        });
+        Ok(id)
+    }
+
+    /// Retires the live tenant named `name`, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownTenant`] when no live tenant has
+    /// the name.
+    pub fn retire(&mut self, name: &str) -> Result<TenantEntry, ServeError> {
+        let idx = self
+            .live
+            .iter()
+            .position(|t| t.spec.name == name)
+            .ok_or_else(|| ServeError::UnknownTenant {
+                name: name.to_string(),
+            })?;
+        Ok(self.live.remove(idx))
+    }
+
+    /// The live tenants, in admission order.
+    pub fn live(&self) -> &[TenantEntry] {
+        &self.live
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no tenant is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The live networks, in admission order.
+    pub fn networks(&self) -> Vec<NetworkId> {
+        self.live.iter().map(|t| t.spec.network).collect()
+    }
+
+    /// The live mix as a mapping workload (paper ΔA budgets, unscaled).
+    pub fn mix(&self) -> TaskMix {
+        TaskMix::Custom {
+            networks: self.networks(),
+            delta_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, network: NetworkId) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            network,
+            period: TimeDelta::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn admission_order_is_identity_order() {
+        let mut reg = TenantRegistry::new(4);
+        let a = reg
+            .admit(spec("a", NetworkId::Dotie), Timestamp::ZERO)
+            .unwrap();
+        let b = reg
+            .admit(spec("b", NetworkId::E2Depth), Timestamp::from_millis(1))
+            .unwrap();
+        assert_eq!((a, b), (TenantId(0), TenantId(1)));
+        assert_eq!(reg.networks(), vec![NetworkId::Dotie, NetworkId::E2Depth]);
+        assert_eq!(
+            reg.mix(),
+            TaskMix::Custom {
+                networks: vec![NetworkId::Dotie, NetworkId::E2Depth],
+                delta_scale: 1.0,
+            }
+        );
+        // Retire + re-admit: the id is never reused, order updates.
+        let gone = reg.retire("a").unwrap();
+        assert_eq!(gone.id, TenantId(0));
+        let c = reg
+            .admit(spec("a", NetworkId::Halsie), Timestamp::from_millis(2))
+            .unwrap();
+        assert_eq!(c, TenantId(2));
+        assert_eq!(reg.networks(), vec![NetworkId::E2Depth, NetworkId::Halsie]);
+    }
+
+    #[test]
+    fn admission_rejections() {
+        let mut reg = TenantRegistry::new(1);
+        assert!(matches!(
+            reg.admit(spec("", NetworkId::Dotie), Timestamp::ZERO),
+            Err(ServeError::InvalidTenant { .. })
+        ));
+        let mut bad = spec("x", NetworkId::Dotie);
+        bad.period = TimeDelta::ZERO;
+        assert!(matches!(
+            reg.admit(bad, Timestamp::ZERO),
+            Err(ServeError::InvalidTenant { .. })
+        ));
+        reg.admit(spec("x", NetworkId::Dotie), Timestamp::ZERO)
+            .unwrap();
+        assert!(matches!(
+            reg.admit(spec("x", NetworkId::Dotie), Timestamp::ZERO),
+            Err(ServeError::DuplicateTenant { .. })
+        ));
+        assert!(matches!(
+            reg.admit(spec("y", NetworkId::Dotie), Timestamp::ZERO),
+            Err(ServeError::TenantLimit { max: 1 })
+        ));
+        assert!(matches!(
+            reg.retire("nope"),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+    }
+}

@@ -1,37 +1,66 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Reproduce every paper figure and table in one command.
 #
 #   ./kick-tires.sh            quick budget (seconds, CI-friendly)
 #   ./kick-tires.sh --full     full paper budget (minutes)
 #
-# Builds the workspace in release mode, then drives the declarative
-# conformance suite in `specs/*.json`: each spec runs one figure/table
-# binary in a sandboxed output directory and checks its report against
-# golden snapshots (f64 bit-equality) and structural assertions.
-# Exit code 0 means every figure and table reproduced.
+# Builds the workspace in release mode, smoke-tests the multi-tenant
+# service layer end to end (`serve_sim --quick`), then drives the
+# declarative conformance suite in `specs/*.json`: each spec runs one
+# figure/table/service binary in a sandboxed output directory and
+# checks its report against golden snapshots (f64 bit-equality) and
+# structural assertions. Exit code 0 means everything reproduced.
 #
-# Extra arguments are forwarded to the conformance runner, e.g.:
+# Known flags (anything else fails loudly — a typo'd `--ful` must
+# never silently run the default budget):
 #
-#   ./kick-tires.sh --filter fig8            run a subset of specs
-#   UPDATE_GOLDEN=1 ./kick-tires.sh          regenerate golden snapshots
+#   --quick | --full           budget selection (default --quick)
+#   --filter <substr>          run the subset of specs matching <substr>
+#   --workers <n>              conformance worker threads (0 = auto)
+#   --specs <dir>              spec directory (default ./specs)
+#   --json <path>              write the suite report as JSON
+#
+#   UPDATE_GOLDEN=1 ./kick-tires.sh    regenerate golden snapshots
 
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")"
 
 budget="--quick"
-args=""
-for arg in "$@"; do
-    case "$arg" in
-        --full) budget="--full" ;;
-        --quick) budget="--quick" ;;
-        *) args="$args $arg" ;;
+specs_given=0
+extra=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --full) budget="--full"; shift ;;
+        --quick) budget="--quick"; shift ;;
+        --filter|--workers|--json)
+            if [ $# -lt 2 ]; then
+                echo "kick-tires: $1 needs a value" >&2
+                exit 2
+            fi
+            extra+=("$1" "$2"); shift 2 ;;
+        --specs)
+            if [ $# -lt 2 ]; then
+                echo "kick-tires: --specs needs a directory" >&2
+                exit 2
+            fi
+            specs_given=1
+            extra+=("$1" "$2"); shift 2 ;;
+        *)
+            echo "kick-tires: unknown argument \`$1\`" >&2
+            echo "known flags: --quick --full --filter <substr> --workers <n> --specs <dir> --json <path>" >&2
+            exit 2 ;;
     esac
 done
+if [ "$specs_given" -eq 0 ]; then
+    extra+=("--specs" "specs")
+fi
 
 echo "== kick-tires: building release binaries =="
 cargo build --release --quiet
 
+echo "== kick-tires: service-layer smoke (serve_sim --quick) =="
+cargo run --release --quiet --bin serve_sim -- --quick
+
 echo "== kick-tires: running conformance suite ($budget) =="
-# shellcheck disable=SC2086  # $args is intentionally word-split
-exec cargo run --release --quiet --bin conformance -- "$budget" --specs specs $args
+exec cargo run --release --quiet --bin conformance -- "$budget" ${extra[@]+"${extra[@]}"}
