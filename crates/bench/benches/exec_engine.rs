@@ -182,6 +182,7 @@ fn bench_exec_modes(c: &mut Criterion) {
         ),
         ("streams_sharded", ExecMode::Sharded { shards: 0 }),
         ("streams_layer_parallel", ExecMode::LayerParallel),
+        ("streams_optimizing", ExecMode::Optimizing),
     ];
     for (label, mode) in modes {
         let mut config = base;

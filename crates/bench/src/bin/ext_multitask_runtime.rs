@@ -1,8 +1,10 @@
 //! Extension experiment: the Figure 9 mixed configuration played forward
 //! in simulated time — periodic concurrent inputs, shared PE queues, and
 //! bounded inference queues with the §4.2 oldest-frame drop rule.
-//! `--mode <mode>` selects the execution machinery (every mode prints
-//! identical numbers).
+//! `--mode <mode>` selects the execution machinery: every
+//! order-preserving mode prints identical numbers, and the opt-in
+//! `optimizing` mode prints the same counts with latencies bounded
+//! above by them (the `exec::equivalence` contract).
 
 use ev_bench::experiments::multitask_runtime_mode;
 use ev_bench::report::{write_json, CommonArgs, TextTable};

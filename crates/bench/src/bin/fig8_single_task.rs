@@ -6,8 +6,9 @@
 //! `ext_autotune` run selected for Xavier AGX instead of the
 //! hard-coded one (sweep → tune → replay). `--mode <mode>` selects the
 //! execution machinery (`serial`, `thread-per-queue`, `pipelined`,
-//! `sharded`, `layer-parallel`) — every mode prints a byte-identical
-//! report.
+//! `sharded`, `layer-parallel`, `optimizing`) — every mode prints a
+//! byte-identical report (the single-task pipeline gives the
+//! schedule-optimizing mode nothing to re-order).
 
 use ev_bench::experiments::{
     default_nmp_config, dsfa_ablation_mode, figure8_mode, tuned_replay_config,

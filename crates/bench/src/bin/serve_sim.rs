@@ -9,10 +9,12 @@
 //!
 //! Flags (besides the common `--quick` / `--json <path>`):
 //!
-//! * `--tenants <n>` — initial tenant count (default 2 quick, 3 full).
+//! * `--tenants <n>` — initial tenant count (default 2 quick, 3 full;
+//!   must be at least 1).
 //! * `--pressure <f>` — arrival-period scale relative to the joined
 //!   mix's near-saturation rate; below `1.0` oversubscribes the
-//!   platform (default `0.5`, i.e. 2× saturation).
+//!   platform (default `0.5`, i.e. 2× saturation; must be finite and
+//!   positive).
 //! * `--workers <n>` — tune-sweep worker threads (`0` = machine
 //!   parallelism; default `0`). The report is byte-identical for any
 //!   worker count.
@@ -69,6 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
+    }
+    // Validate at the flag, not three layers down: the scenario builder
+    // rejects these too, but its messages name fields, not flags.
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    if !pressure.is_finite() || pressure <= 0.0 {
+        return Err(format!("--pressure must be finite and positive, got {pressure}").into());
     }
 
     let window_ms = if args.quick { 8 } else { 20 };

@@ -444,7 +444,9 @@ pub fn figure8_with(quick: bool, nmp: NmpConfig) -> Result<Vec<Fig8Row>, Box<dyn
 /// Figure 8 under an explicit [`ExecMode`] (the binary's `--mode`
 /// flag): every variant's engine runs on the selected machinery. Every
 /// mode produces a byte-identical report — pinned against the serial
-/// golden snapshot in `tests/golden_reports.rs`.
+/// golden snapshot in `tests/golden_reports.rs`. (That includes
+/// `Optimizing`: the single-task pipeline leaves its transformations
+/// nothing to re-order.)
 ///
 /// # Errors
 ///
@@ -1210,7 +1212,8 @@ pub fn dsfa_ablation(quick: bool) -> Result<Vec<DsfaAblationRow>, Box<dyn Error>
 }
 
 /// [`dsfa_ablation`] under an explicit [`ExecMode`] (the binary's
-/// `--mode` flag); rows are identical for every mode.
+/// `--mode` flag); rows are identical for every mode (single-task, so
+/// `Optimizing` degenerates to the serial schedule too).
 ///
 /// # Errors
 ///
@@ -1421,7 +1424,9 @@ pub fn multitask_runtime(quick: bool) -> Result<Vec<RuntimeRow>, Box<dyn Error>>
 }
 
 /// [`multitask_runtime`] under an explicit [`ExecMode`] (the binary's
-/// `--mode` flag); rows are identical for every mode.
+/// `--mode` flag); rows are identical for every order-preserving mode,
+/// while `Optimizing` keeps the same counts with latencies bounded
+/// above by them (the `ev_edge::exec::equivalence` contract).
 ///
 /// # Errors
 ///

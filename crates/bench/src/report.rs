@@ -126,10 +126,10 @@ impl CommonArgs {
     /// Parses the `--mode <name>` flag into an
     /// [`ev_edge::multipipe::ExecMode`]: `serial`, `thread-per-queue`,
     /// `pipelined` (optionally `pipelined:<capacity>`), `sharded`
-    /// (optionally `sharded:<shards>`), or `layer-parallel`. Returns
-    /// `Ok(None)` when the flag is absent — every mode produces a
-    /// bitwise-identical report, so absence simply means the serial
-    /// reference machinery.
+    /// (optionally `sharded:<shards>`), `layer-parallel`, or
+    /// `optimizing`. Returns `Ok(None)` when the flag is absent —
+    /// absence means the serial reference machinery (which every mode
+    /// except the opt-in `optimizing` reproduces bitwise).
     ///
     /// # Errors
     ///
@@ -140,7 +140,7 @@ impl CommonArgs {
             if self.has_flag("--mode") {
                 return Err(
                     "--mode needs a value: serial | thread-per-queue | pipelined[:capacity] \
-                     | sharded[:shards] | layer-parallel"
+                     | sharded[:shards] | layer-parallel | optimizing"
                         .to_string(),
                 );
             }
@@ -168,14 +168,20 @@ impl CommonArgs {
                 shards: parse(param, 0)?,
             },
             "layer-parallel" => ExecMode::LayerParallel,
+            "optimizing" => ExecMode::Optimizing,
             other => {
                 return Err(format!(
                     "unknown execution mode `{other}` (serial | thread-per-queue | \
-                     pipelined[:capacity] | sharded[:shards] | layer-parallel)"
+                     pipelined[:capacity] | sharded[:shards] | layer-parallel | optimizing)"
                 ));
             }
         };
-        if param.is_some() && matches!(name, "serial" | "thread-per-queue" | "layer-parallel") {
+        if param.is_some()
+            && matches!(
+                name,
+                "serial" | "thread-per-queue" | "layer-parallel" | "optimizing"
+            )
+        {
             return Err(format!("--mode {name} takes no parameter"));
         }
         Ok(Some(mode))
@@ -339,8 +345,10 @@ mod tests {
             parse("layer-parallel").unwrap(),
             Some(ExecMode::LayerParallel)
         );
+        assert_eq!(parse("optimizing").unwrap(), Some(ExecMode::Optimizing));
         assert!(parse("warp-speed").is_err());
         assert!(parse("serial:9").is_err());
+        assert!(parse("optimizing:2").is_err());
         assert!(parse("pipelined:x").is_err());
         let absent = CommonArgs::parse_from(["--quick".to_string()]);
         assert_eq!(absent.exec_mode().unwrap(), None);

@@ -111,6 +111,17 @@ pub trait TaskEngine {
     /// When `task`'s in-flight inference finishes.
     fn task_free_at(&self, task: usize) -> Timestamp;
 
+    /// Whether `task` still holds queued inputs it has not dispatched.
+    ///
+    /// Engines that cannot see their queues conservatively report
+    /// `true`: a speculative consumer (the pipelined stage's local
+    /// early-flush proof) may only treat a task's free time as frozen
+    /// when the engine *proves* the backlog empty — `false` means "the
+    /// free time cannot advance until new work is sent".
+    fn task_backlog(&self, _task: usize) -> bool {
+        true
+    }
+
     /// Every task's free time, in task order (the state vector the
     /// pipelined frontend's lockstep feedback channel carries).
     fn task_free_times(&self) -> Vec<Timestamp> {
@@ -340,9 +351,16 @@ impl<T: ReservationTimeline> ExecEngine<T> {
                 break;
             };
             let ready = job.ready.max(self.task_free[task]);
-            let (end, energy) = model.dispatch(task, &job, ready, &mut self.timeline)?;
+            // `end` is the job's real completion (latency/makespan);
+            // `gate` is when the task counts as busy until. For every
+            // order-preserving model they coincide. An optimizing model
+            // returns its serial-equivalent gate so an early finish
+            // never changes which jobs are popped or dropped (see
+            // `JobModel::dispatch_gated`).
+            let (end, gate, energy) =
+                model.dispatch_gated(task, &job, ready, &mut self.timeline)?;
             self.energy += energy;
-            self.task_free[task] = end;
+            self.task_free[task] = gate;
             self.makespan_end = self.makespan_end.max(end);
             self.completed[task] += 1;
             let latency = end - job.ready;
@@ -407,6 +425,11 @@ impl<T: ReservationTimeline> ExecEngine<T> {
         self.task_free[task]
     }
 
+    /// Whether `task` still holds queued inputs it has not dispatched.
+    pub fn task_backlog(&self, task: usize) -> bool {
+        !self.queues[task].is_empty()
+    }
+
     /// The underlying timeline (read access for drivers).
     pub fn timeline(&self) -> &T {
         &self.timeline
@@ -461,6 +484,10 @@ impl<T: ReservationTimeline> TaskEngine for ExecEngine<T> {
 
     fn task_free_at(&self, task: usize) -> Timestamp {
         ExecEngine::task_free_at(self, task)
+    }
+
+    fn task_backlog(&self, task: usize) -> bool {
+        ExecEngine::task_backlog(self, task)
     }
 
     fn service_all(&mut self, now: Timestamp, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {

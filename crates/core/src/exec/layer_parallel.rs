@@ -57,6 +57,18 @@
 //!   precomputed by [`TaskSegments::build`] with the exact f64 addition
 //!   sequence of the serial dispatch (f64 addition is not associative).
 //!
+//! # Beyond bitwise: the optimizing model
+//!
+//! [`OptimizingModel`] deliberately relaxes the bitwise pin. It may
+//! dispatch a wave's compute chains critical-path-first when a local
+//! simulation proves the reorder **pointwise dominates** the serial
+//! order, and it *gates* the engine on a shadow replay of the serial
+//! schedule, so queue pops, drop decisions, and cross-task dispatch
+//! order remain exactly serial while real completions only ever move
+//! earlier. Its contract is semantic — same job set, same per-job
+//! payloads, per-job completion ≤ the serial schedule's — and is
+//! pinned by [`crate::exec::equivalence`] rather than byte equality.
+//!
 //! # Examples
 //!
 //! The mode plugs into the multi-task drivers unchanged:
@@ -100,6 +112,7 @@ use ev_core::{TimeDelta, Timestamp};
 use ev_nn::LayerId;
 use ev_platform::energy::Energy;
 use ev_platform::latency::transfer_cost;
+use ev_platform::timeline::DeviceTimeline;
 use ev_platform::{ReservationTimeline, RunRequest};
 
 /// One unified-memory transfer a segment's first layer pays for a
@@ -131,6 +144,12 @@ pub struct JobSegment {
     /// design: FIFO order already serializes them exactly (see the
     /// [module docs](self)).
     pub dep_segments: Vec<usize>,
+    /// Longest-downstream-path weight through the cross-PE segment DAG:
+    /// this segment's own chained duration plus the heaviest dependent
+    /// path (transfer latency + dependent weight). The
+    /// [`OptimizingModel`] sorts each wave's compute chains by this
+    /// weight, critical path first.
+    pub cp_weight: TimeDelta,
 }
 
 /// The per-`(task, candidate)` segment DAG, precomputed once and
@@ -143,6 +162,13 @@ pub struct TaskSegments {
     /// Dispatch waves over `segments`, precomputed (they are a pure
     /// function of the segment DAG).
     waves: Vec<core::ops::Range<usize>>,
+    /// Per wave, the critical-path-first dispatch order the
+    /// [`OptimizingModel`] proposes: a permutation of `0..wave.len()`
+    /// in descending [`JobSegment::cp_weight`], constrained to be a
+    /// linear extension of the *full* segment dependency DAG —
+    /// including the same-queue edges `dep_segments` omits, so a
+    /// reordered chain never runs before a chain producing its input.
+    cp_orders: Vec<Vec<usize>>,
     /// Busy energy of one job (compute + transfers), folded in the
     /// serial dispatch's exact f64 addition order.
     energy: Energy,
@@ -232,12 +258,37 @@ impl TaskSegments {
                 durations: vec![cost.latency],
                 transfers,
                 dep_segments,
+                cp_weight: TimeDelta::ZERO,
             });
         }
+        compute_cp_weights(&mut segments, &segment_of);
         let waves = compute_waves(&segments);
+        // The full cross-segment dependency relation, *including* the
+        // same-queue edges `dep_segments` drops: reordering must never
+        // hoist a chain above a chain producing its input, even where
+        // FIFO order alone used to serialize them.
+        let mut true_deps: Vec<Vec<usize>> = vec![Vec::new(); segments.len()];
+        for layer in graph.layers() {
+            let l = layer.id.0;
+            for pred in graph.predecessors(layer.id) {
+                let (sp, sl) = (segment_of[pred.0], segment_of[l]);
+                if sp != sl {
+                    true_deps[sl].push(sp);
+                }
+            }
+        }
+        for deps in &mut true_deps {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        let cp_orders = waves
+            .iter()
+            .map(|w| cp_first_order(&segments, &true_deps, w.clone()))
+            .collect();
         Ok(TaskSegments {
             segments,
             waves,
+            cp_orders,
             energy,
             layer_count: graph.len(),
             memory_queue,
@@ -259,6 +310,97 @@ impl TaskSegments {
     /// earlier waves, as segment-index ranges.
     pub fn waves(&self) -> &[core::ops::Range<usize>] {
         &self.waves
+    }
+
+    /// Every queue a dispatch of this task can touch: the segments'
+    /// compute queues, plus the memory queue when any segment pays a
+    /// transfer. Sorted ascending, deduplicated. The sharded engine's
+    /// work-stealing mode uses this set to prove two tasks' dispatches
+    /// commute (disjoint queue sets never contend for a reservation).
+    pub fn queue_set(&self) -> Vec<usize> {
+        let mut queues: Vec<usize> = self.segments.iter().map(|s| s.queue).collect();
+        if self.segments.iter().any(|s| !s.transfers.is_empty()) {
+            queues.push(self.memory_queue);
+        }
+        queues.sort_unstable();
+        queues.dedup();
+        queues
+    }
+
+    /// Per wave, the critical-path-first order the [`OptimizingModel`]
+    /// proposes (a permutation of `0..wave.len()`, dependency-valid by
+    /// construction). The identity permutation means the serial order
+    /// is already critical-path-first.
+    pub fn cp_orders(&self) -> &[Vec<usize>] {
+        &self.cp_orders
+    }
+}
+
+/// Greedy critical-path-first linearization of one wave: repeatedly
+/// emit the heaviest-[`JobSegment::cp_weight`] segment whose in-wave
+/// dependencies (per `true_deps`, the FIFO-implicit edges included)
+/// are already emitted; ties keep segment order. The serial order is a
+/// valid linearization, so the greedy can never deadlock.
+fn cp_first_order(
+    segments: &[JobSegment],
+    true_deps: &[Vec<usize>],
+    wave: core::ops::Range<usize>,
+) -> Vec<usize> {
+    let n = wave.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if placed[i] {
+                continue;
+            }
+            let unblocked = true_deps[wave.start + i]
+                .iter()
+                .all(|&d| d < wave.start || placed[d - wave.start]);
+            if !unblocked {
+                continue;
+            }
+            let heavier = best.is_none_or(|b| {
+                segments[wave.start + i].cp_weight > segments[wave.start + b].cp_weight
+            });
+            if heavier {
+                best = Some(i);
+            }
+        }
+        let pick = best.expect("the serial order linearizes the wave DAG");
+        placed[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+/// Fills every segment's longest-downstream-path weight: own chained
+/// duration plus the heaviest (transfer + dependent-weight) path
+/// through the cross-PE segment DAG, by reverse topological sweep.
+/// Same-queue successor chains are not folded in — FIFO order already
+/// serializes those, so reordering cannot move them relative to their
+/// queue — the weight only ranks chains competing inside one wave.
+fn compute_cp_weights(segments: &mut [JobSegment], segment_of: &[usize]) {
+    for s in (0..segments.len()).rev() {
+        let own = segments[s]
+            .durations
+            .iter()
+            .fold(TimeDelta::ZERO, |acc, &d| acc + d);
+        let mut downstream = TimeDelta::ZERO;
+        for succ in segments.iter().skip(s + 1) {
+            if succ.dep_segments.binary_search(&s).is_ok() {
+                let transfer = succ
+                    .transfers
+                    .iter()
+                    .filter(|t| segment_of[t.pred] == s)
+                    .map(|t| t.duration)
+                    .max()
+                    .unwrap_or(TimeDelta::ZERO);
+                downstream = downstream.max(succ.cp_weight + transfer);
+            }
+        }
+        segments[s].cp_weight = own + downstream;
     }
 }
 
@@ -357,6 +499,257 @@ impl JobModel for LayerParallelModel<'_> {
         }
         Ok((last_end, ts.energy))
     }
+}
+
+/// The schedule-optimizing [`JobModel`] behind
+/// [`crate::multipipe::ExecMode::Optimizing`]: critical-path-first
+/// wave reordering over the same segment DAG as
+/// [`LayerParallelModel`], pinned by *semantic* equivalence
+/// ([`crate::exec::equivalence`]) instead of byte equality.
+///
+/// # The gate
+///
+/// Every dispatch also replays the exact serial reservation sequence
+/// into a private **shadow timeline** and returns that serial
+/// completion as the gate of [`JobModel::dispatch_gated`]. The engine
+/// advances the task's free time by the gate, so queue pops, drop
+/// decisions, and cross-task dispatch order stay exactly serial — an
+/// early-finishing job can never pull its successors forward and
+/// push *another* task's jobs past their serial completions (the
+/// classic Graham scheduling anomaly). Only the *real* timeline
+/// receives the optimized reservations, and only the real completion
+/// feeds latency and makespan.
+///
+/// # The reorder rule
+///
+/// Within one wave the model proposes the precomputed
+/// [`TaskSegments::cp_orders`] linearization — descending
+/// [`JobSegment::cp_weight`], constrained to the full dependency DAG
+/// (same-queue edges included). The proposal is applied only when a
+/// local simulation of both orders against the live queue free times
+/// shows **pointwise dominance**: every chain ends no later than under
+/// the serial order *and* every queue is freed no later. Dominance is
+/// exactly what chains across waves and jobs: later transfers read
+/// per-layer ends, later chains read queue frees, and both only ever
+/// see earlier-or-equal values, so every per-job completion stays ≤
+/// the serial schedule's — the contract the equivalence checker pins.
+/// The simulation is exact, not a heuristic: a wave's chains reserve
+/// contiguous `start = max(free, ready)` runs, which is precisely the
+/// arithmetic [`ReservationTimeline::reserve_runs`] performs.
+#[derive(Debug)]
+pub struct OptimizingModel<'a> {
+    problem: &'a MultiTaskProblem,
+    candidate: &'a Candidate,
+    tasks: Vec<Option<TaskSegments>>,
+    /// The serial schedule, replayed verbatim — the gate source.
+    shadow: DeviceTimeline,
+    /// Per-layer completion scratch on the real timeline.
+    end_of: Vec<Timestamp>,
+    /// Per-layer completion scratch on the shadow timeline.
+    shadow_end_of: Vec<Timestamp>,
+    dispatched_waves: u64,
+    reordered_waves: u64,
+}
+
+impl<'a> OptimizingModel<'a> {
+    /// A model executing `candidate` over `problem`'s tasks.
+    pub fn new(problem: &'a MultiTaskProblem, candidate: &'a Candidate) -> Self {
+        OptimizingModel {
+            problem,
+            candidate,
+            tasks: vec![None; problem.tasks().len()],
+            shadow: DeviceTimeline::new(problem.platform().queue_count()),
+            end_of: Vec::new(),
+            shadow_end_of: Vec::new(),
+            dispatched_waves: 0,
+            reordered_waves: 0,
+        }
+    }
+
+    /// The task-segment decomposition used for `task`, building it on
+    /// first use — the same lazy path a dispatch takes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskSegments::build`] errors.
+    pub fn segments(&mut self, task: usize) -> Result<&TaskSegments, EvEdgeError> {
+        if self.tasks[task].is_none() {
+            self.tasks[task] = Some(TaskSegments::build(self.problem, self.candidate, task)?);
+        }
+        Ok(self.tasks[task].as_ref().expect("built above"))
+    }
+
+    /// Waves dispatched so far, across all tasks and jobs.
+    pub fn dispatched_waves(&self) -> u64 {
+        self.dispatched_waves
+    }
+
+    /// Waves where the critical-path-first proposal was accepted (it
+    /// differed from serial order and dominated pointwise).
+    pub fn reordered_waves(&self) -> u64 {
+        self.reordered_waves
+    }
+}
+
+impl JobModel for OptimizingModel<'_> {
+    fn dispatch(
+        &mut self,
+        task: usize,
+        job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Energy), EvEdgeError> {
+        self.dispatch_gated(task, job, ready, timeline)
+            .map(|(end, _, energy)| (end, energy))
+    }
+
+    fn dispatch_gated(
+        &mut self,
+        task: usize,
+        _job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Timestamp, Energy), EvEdgeError> {
+        if self.tasks[task].is_none() {
+            self.tasks[task] = Some(TaskSegments::build(self.problem, self.candidate, task)?);
+        }
+        let ts = self.tasks[task].as_ref().expect("built above");
+        self.end_of.clear();
+        self.end_of.resize(ts.layer_count, ready);
+        self.shadow_end_of.clear();
+        self.shadow_end_of.resize(ts.layer_count, ready);
+        let mut last_end = ready;
+        let mut shadow_last = ready;
+        let mut requests: Vec<RunRequest<'_>> = Vec::new();
+        for (wave_idx, wave) in ts.waves.iter().enumerate() {
+            // Shadow replay — the serial model's reservation sequence,
+            // verbatim (per segment: transfers, then its chain). Its
+            // last end is the gate.
+            for seg in &ts.segments[wave.clone()] {
+                let mut dep_ready = ready;
+                for t in &seg.transfers {
+                    let (_, end) = self.shadow.reserve_next(
+                        ts.memory_queue,
+                        self.shadow_end_of[t.pred],
+                        t.duration,
+                    )?;
+                    dep_ready = dep_ready.max(end);
+                }
+                let slots = self
+                    .shadow
+                    .reserve_run(seg.queue, dep_ready, &seg.durations)?;
+                for (&l, &(_, end)) in seg.layers.iter().zip(&slots) {
+                    self.shadow_end_of[l] = end;
+                    shadow_last = shadow_last.max(end);
+                }
+            }
+            // Real phase 1 — transfers, serially, in the serial memory-
+            // queue order (reordering never touches the memory queue).
+            requests.clear();
+            for seg in &ts.segments[wave.clone()] {
+                let mut dep_ready = ready;
+                for t in &seg.transfers {
+                    let (_, end) =
+                        timeline.reserve_next(ts.memory_queue, self.end_of[t.pred], t.duration)?;
+                    dep_ready = dep_ready.max(end);
+                }
+                requests.push(RunRequest {
+                    queue: seg.queue,
+                    ready: dep_ready,
+                    durations: &seg.durations,
+                });
+            }
+            // Real phase 2 — the wave's compute chains, in serial order
+            // unless the critical-path-first order dominates pointwise.
+            self.dispatched_waves += 1;
+            let cp_order = &ts.cp_orders[wave_idx];
+            let is_identity = cp_order.iter().enumerate().all(|(i, &s)| i == s);
+            let accepted = !is_identity && plan_dominates(&*timeline, &requests, cp_order)?;
+            let slot_sets = if accepted {
+                self.reordered_waves += 1;
+                let ordered: Vec<RunRequest<'_>> = cp_order.iter().map(|&i| requests[i]).collect();
+                let ordered_slots = timeline.reserve_runs(&ordered)?;
+                // Scatter back to wave positions.
+                let mut slots: Vec<Vec<(Timestamp, Timestamp)>> = vec![Vec::new(); requests.len()];
+                for (&i, s) in cp_order.iter().zip(ordered_slots) {
+                    slots[i] = s;
+                }
+                slots
+            } else {
+                timeline.reserve_runs(&requests)?
+            };
+            for (seg, slots) in ts.segments[wave.clone()].iter().zip(&slot_sets) {
+                for (&l, &(_, end)) in seg.layers.iter().zip(slots) {
+                    self.end_of[l] = end;
+                    last_end = last_end.max(end);
+                }
+            }
+        }
+        debug_assert!(
+            last_end <= shadow_last,
+            "optimized completion exceeds the serial gate"
+        );
+        Ok((last_end, shadow_last, ts.energy))
+    }
+}
+
+/// Exact local simulation of one wave's compute chains in `order`
+/// against the given per-queue free times: each chain reserves a
+/// contiguous `start = max(free, ready)` run, the arithmetic
+/// [`ReservationTimeline::reserve_runs`] performs. Returns per-request
+/// chain ends (indexed by wave position) and the final free times
+/// (aligned with `base`).
+fn simulate_plan(
+    base: &[(usize, Timestamp)],
+    requests: &[RunRequest<'_>],
+    order: &[usize],
+) -> (Vec<Timestamp>, Vec<Timestamp>) {
+    let mut free: Vec<(usize, Timestamp)> = base.to_vec();
+    let mut ends = vec![Timestamp::ZERO; requests.len()];
+    for &i in order {
+        let r = &requests[i];
+        let slot = free
+            .iter_mut()
+            .find(|(q, _)| *q == r.queue)
+            .expect("every request queue is in the base set");
+        let start = slot.1.max(r.ready);
+        let total = r.durations.iter().fold(TimeDelta::ZERO, |acc, &d| acc + d);
+        let end = start + total;
+        slot.1 = end;
+        ends[i] = end;
+    }
+    (ends, free.into_iter().map(|(_, f)| f).collect())
+}
+
+/// Whether dispatching `requests` in `proposal` order **pointwise
+/// dominates** the serial (as-given) order on `timeline`'s current
+/// free times: every chain ends no later *and* every involved queue is
+/// freed no later. The per-chain condition keeps later transfers (which
+/// read per-layer ends) early; the per-queue condition keeps later
+/// chains (which read queue frees) early — together they are exactly
+/// the induction step for per-job completion ≤ serial.
+///
+/// # Errors
+///
+/// Propagates timeline errors from reading free times.
+fn plan_dominates(
+    timeline: &dyn ReservationTimeline,
+    requests: &[RunRequest<'_>],
+    proposal: &[usize],
+) -> Result<bool, EvEdgeError> {
+    let mut queues: Vec<usize> = requests.iter().map(|r| r.queue).collect();
+    queues.sort_unstable();
+    queues.dedup();
+    // `earliest_start` at time zero is the queue's free time.
+    let mut base: Vec<(usize, Timestamp)> = Vec::with_capacity(queues.len());
+    for &q in &queues {
+        base.push((q, timeline.earliest_start(q, Timestamp::ZERO)?));
+    }
+    let identity: Vec<usize> = (0..requests.len()).collect();
+    let (serial_ends, serial_free) = simulate_plan(&base, requests, &identity);
+    let (ends, free) = simulate_plan(&base, requests, proposal);
+    Ok(ends.iter().zip(&serial_ends).all(|(b, a)| b <= a)
+        && free.iter().zip(&serial_free).all(|(b, a)| b <= a))
 }
 
 /// A convenience check used by tests and debug builds: replays one job
@@ -577,6 +970,212 @@ mod tests {
             }
             assert_eq!(serial_tl, parallel_tl);
         }
+    }
+
+    #[test]
+    fn cp_weight_is_longest_downstream_path() {
+        let p = diamond_problem();
+        let candidate = assignments(&p, &["gpu", "dla0", "dla1", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        let segs = ts.segments();
+        let dur = |s: usize| {
+            segs[s]
+                .durations
+                .iter()
+                .fold(TimeDelta::ZERO, |acc, &d| acc + d)
+        };
+        let transfer = |s: usize, pred: usize| {
+            segs[s]
+                .transfers
+                .iter()
+                .find(|t| t.pred == pred)
+                .unwrap()
+                .duration
+        };
+        let w3 = dur(3);
+        let w1 = dur(1) + (transfer(3, 1) + w3);
+        let w2 = dur(2) + (transfer(3, 2) + w3);
+        let w0 = dur(0) + (transfer(1, 0) + w1).max(transfer(2, 0) + w2);
+        assert_eq!(segs[3].cp_weight, w3);
+        assert_eq!(segs[1].cp_weight, w1);
+        assert_eq!(segs[2].cp_weight, w2);
+        assert_eq!(segs[0].cp_weight, w0);
+    }
+
+    /// slow(dla0) → x(gpu) → y(gpu), slow → m(dla0); y cannot extend
+    /// x's segment (m's segment opens in between) and its dependency on
+    /// x is carried by FIFO order alone — `dep_segments` omits it. A
+    /// naive weight sort would hoist the heavier y above its producer.
+    fn fifo_dep_problem() -> MultiTaskProblem {
+        let mut b = GraphBuilder::new(
+            "fifo-dep",
+            Task::OpticalFlow,
+            Shape::Chw { c: 4, h: 16, w: 16 },
+        );
+        let slow = b
+            .layer("slow", LayerKind::Conv2d(Conv2dCfg::same(4, 64, 7)), &[])
+            .unwrap();
+        let x = b
+            .layer("x", LayerKind::Conv2d(Conv2dCfg::same(64, 4, 1)), &[slow])
+            .unwrap();
+        let _m = b
+            .layer("m", LayerKind::Conv2d(Conv2dCfg::same(64, 4, 1)), &[slow])
+            .unwrap();
+        let _y = b
+            .layer("y", LayerKind::Conv2d(Conv2dCfg::same(4, 16, 5)), &[x])
+            .unwrap();
+        let graph = b.finish().unwrap();
+        MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![TaskSpec::new(
+                graph,
+                NetworkId::Dotie.accuracy_model(),
+                0.05,
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cp_order_respects_fifo_implicit_dependencies() {
+        let p = fifo_dep_problem();
+        let candidate = assignments(&p, &["dla0", "gpu", "dla0", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        // Segments: [slow], [x], [m], [y]; x, m, y share one wave.
+        assert_eq!(ts.segments().len(), 4);
+        assert_eq!(ts.waves(), vec![0..1, 1..4]);
+        // The bait: y outweighs its producer x …
+        assert!(ts.segments()[3].cp_weight > ts.segments()[1].cp_weight);
+        // … yet the proposed order must keep x (local 0) before y
+        // (local 2): their dependency rides on FIFO order alone.
+        let order = &ts.cp_orders()[1];
+        let pos = |local: usize| order.iter().position(|&s| s == local).unwrap();
+        assert!(
+            pos(0) < pos(2),
+            "critical-path order {order:?} hoists a chain above its producer"
+        );
+    }
+
+    /// g(gpu) → slow(dla0) → x(gpu); g → m(dla0); g → y(gpu).
+    /// Serially, the gpu dispatches x before y, so y — ready as soon as
+    /// g finishes — sits behind x's long wait for slow's transfer:
+    /// head-of-line blocking the critical-path-first order removes.
+    /// (m only exists to keep y from merging into x's segment.)
+    fn head_of_line_problem() -> MultiTaskProblem {
+        let mut b = GraphBuilder::new(
+            "head-of-line",
+            Task::OpticalFlow,
+            Shape::Chw { c: 4, h: 16, w: 16 },
+        );
+        let g = b
+            .layer("g", LayerKind::Conv2d(Conv2dCfg::same(4, 4, 3)), &[])
+            .unwrap();
+        let slow = b
+            .layer("slow", LayerKind::Conv2d(Conv2dCfg::same(4, 64, 7)), &[g])
+            .unwrap();
+        let _x = b
+            .layer("x", LayerKind::Conv2d(Conv2dCfg::same(64, 4, 1)), &[slow])
+            .unwrap();
+        let _m = b
+            .layer("m", LayerKind::Conv2d(Conv2dCfg::same(4, 2, 1)), &[g])
+            .unwrap();
+        let _y = b
+            .layer("y", LayerKind::Conv2d(Conv2dCfg::same(4, 640, 5)), &[g])
+            .unwrap();
+        let graph = b.finish().unwrap();
+        MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![TaskSpec::new(
+                graph,
+                NetworkId::Dotie.accuracy_model(),
+                0.05,
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimizing_dispatch_beats_serial_under_head_of_line_blocking() {
+        let p = head_of_line_problem();
+        let candidate = assignments(&p, &["gpu", "dla0", "gpu", "dla0", "gpu"]);
+        let ready = Timestamp::from_millis(1);
+        let job = JobInput::arrival(ready);
+        let queues = p.platform().queue_count();
+        let mut serial_tl = DeviceTimeline::new(queues);
+        let mut serial = MappedJobModel::new(&p, &candidate);
+        let (serial_end, serial_energy) = serial.dispatch(0, &job, ready, &mut serial_tl).unwrap();
+        let mut opt_tl = DeviceTimeline::new(queues);
+        let mut opt = OptimizingModel::new(&p, &candidate);
+        let (end, gate, energy) = opt.dispatch_gated(0, &job, ready, &mut opt_tl).unwrap();
+        // The gate is the serial completion, bit for bit; the real
+        // completion is strictly earlier — y no longer waits for x.
+        assert_eq!(gate, serial_end);
+        assert_eq!(energy, serial_energy);
+        assert!(
+            end < serial_end,
+            "expected strict improvement, got {end:?} vs serial {serial_end:?}"
+        );
+        assert!(opt.reordered_waves() >= 1);
+        assert_eq!(
+            opt.dispatched_waves() as usize,
+            opt.segments(0).unwrap().waves().len()
+        );
+    }
+
+    #[test]
+    fn optimizing_dispatch_never_exceeds_serial_on_zoo_networks() {
+        let cfg = ZooConfig::small();
+        let p = MultiTaskProblem::new(
+            Platform::xavier_agx(),
+            vec![
+                TaskSpec::new(
+                    NetworkId::FusionFlowNet.build(&cfg).unwrap(),
+                    NetworkId::FusionFlowNet.accuracy_model(),
+                    0.07,
+                ),
+                TaskSpec::new(
+                    NetworkId::E2Depth.build(&cfg).unwrap(),
+                    NetworkId::E2Depth.accuracy_model(),
+                    0.02,
+                ),
+            ],
+        )
+        .unwrap();
+        for candidate in [baseline::rr_network(&p), baseline::rr_layer(&p)] {
+            let queues = p.platform().queue_count();
+            let mut serial_tl = DeviceTimeline::new(queues);
+            let mut opt_tl = DeviceTimeline::new(queues);
+            let mut serial = MappedJobModel::new(&p, &candidate);
+            let mut opt = OptimizingModel::new(&p, &candidate);
+            for task in 0..p.tasks().len() {
+                let ready = Timestamp::from_millis(task as u64);
+                let job = JobInput::arrival(ready);
+                let (serial_end, serial_energy) =
+                    serial.dispatch(task, &job, ready, &mut serial_tl).unwrap();
+                let (end, gate, energy) =
+                    opt.dispatch_gated(task, &job, ready, &mut opt_tl).unwrap();
+                assert_eq!(gate, serial_end, "the gate replays the serial schedule");
+                assert_eq!(energy, serial_energy);
+                assert!(end <= serial_end);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_set_covers_compute_and_memory_queues() {
+        let p = diamond_problem();
+        let candidate = assignments(&p, &["gpu", "dla0", "dla1", "gpu"]);
+        let ts = TaskSegments::build(&p, &candidate, 0).unwrap();
+        let gpu = p.platform().id_by_name("gpu").unwrap().0;
+        let dla0 = p.platform().id_by_name("dla0").unwrap().0;
+        let dla1 = p.platform().id_by_name("dla1").unwrap().0;
+        let mut expected = vec![gpu, dla0, dla1, p.platform().memory_queue()];
+        expected.sort_unstable();
+        assert_eq!(ts.queue_set(), expected);
+        // A single-PE mapping pays no transfers: no memory queue.
+        let all_gpu = assignments(&p, &["gpu", "gpu", "gpu", "gpu"]);
+        let one = TaskSegments::build(&p, &all_gpu, 0).unwrap();
+        assert_eq!(one.queue_set(), vec![gpu]);
     }
 
     #[test]

@@ -50,6 +50,13 @@
 //!   sync request and block for fresh state — which reflects every
 //!   arrival sent so far, i.e. exactly the serial loop's view. All other
 //!   arrivals stream down the channel without any round trip;
+//! * [`run_pipelined_streams_speculative`] sharpens the stale-copy
+//!   argument further: sync replies also carry each task's backlog flag,
+//!   and a task whose last reply showed an empty queue and for which the
+//!   stage has emitted no jobs since has a provably *exact* stale free
+//!   time (free times only advance by dispatching queued jobs), so even
+//!   the overtaken-free-time case resolves locally. The skipped round
+//!   trips change no decision — the job stream stays bitwise identical;
 //! * simulated time is carried *in* the messages, so thread scheduling
 //!   never influences any modeled quantity.
 //!
@@ -115,15 +122,19 @@ struct Arrival {
 enum StageMsg {
     /// Apply the arrivals in order; no reply expected.
     Batch(Vec<Arrival>),
-    /// Apply the arrivals in order, then reply with the per-task free
-    /// times (the stage needs fresh idleness state).
+    /// Apply the arrivals in order, then reply with the per-task
+    /// engine state (the stage needs fresh idleness state).
     Sync(Vec<Arrival>),
     /// End-of-stream flush for `task`: enqueue `jobs`, drain the task,
-    /// then reply with the per-task free times.
+    /// then reply with the per-task engine state.
     Tail { task: usize, jobs: Vec<JobInput> },
     /// A frontend stage failed; the run must abort with this error.
     Abort(EvEdgeError),
 }
+
+/// Per-task engine state carried in a sync reply: the task's free time
+/// and whether any jobs still sit in its bounded inference queue.
+type TaskState = (Timestamp, bool);
 
 /// An interval's frames (in ready order) or a frontend failure, as sent
 /// by an E2SF worker.
@@ -186,29 +197,78 @@ impl MergeHeads {
     }
 }
 
+/// The stage thread's view of the engine, refreshed by sync replies.
+struct StaleEngineView {
+    /// Stale lower bounds on the engine's per-task free times (free
+    /// times never decrease, so `free[t] > ready` is already proof of
+    /// busyness).
+    free: Vec<Timestamp>,
+    /// Whether the task's bounded queue held jobs at the last reply.
+    backlog: Vec<bool>,
+    /// Whether any jobs were emitted for the task since the last reply
+    /// (sent downstream *or* still sitting in the pending batch).
+    dirty: Vec<bool>,
+}
+
+impl StaleEngineView {
+    fn new(tasks: usize, start: Timestamp) -> Self {
+        StaleEngineView {
+            free: vec![start; tasks],
+            backlog: vec![false; tasks],
+            dirty: vec![false; tasks],
+        }
+    }
+
+    /// Folds in a sync reply: everything emitted so far is reflected in
+    /// the reply, so the view is exact again for every task.
+    fn refresh(&mut self, reply: Vec<TaskState>) {
+        for (task, (free, backlog)) in reply.into_iter().enumerate() {
+            self.free[task] = free;
+            self.backlog[task] = backlog;
+            self.dirty[task] = false;
+        }
+    }
+
+    /// Whether the stale free time is provably *exact* (not merely a
+    /// lower bound): a task's free time advances only when it
+    /// dispatches, dispatch requires queued jobs, the last reply saw an
+    /// empty queue, and no jobs were emitted since — so the engine
+    /// cannot have moved it.
+    fn frozen(&self, task: usize) -> bool {
+        !self.backlog[task] && !self.dirty[task]
+    }
+}
+
 /// The DSFA stage thread: ordered merge, aggregation, on-demand sync.
+///
+/// With `speculative` set, the §4.2 early-flush decision skips the sync
+/// round trip whenever the stale free time is provably exact (see
+/// [`StaleEngineView::frozen`]); the decision — and therefore the whole
+/// job stream — is bitwise identical either way.
 fn stage_loop(
     receivers: Vec<Receiver<FrameBatchResult>>,
     mut frontends: Vec<DsfaStage>,
     window: TimeWindow,
+    speculative: bool,
     msg_tx: &SyncSender<StageMsg>,
-    free_rx: &Receiver<Vec<Timestamp>>,
+    free_rx: &Receiver<Vec<TaskState>>,
 ) {
     let tasks = frontends.len();
-    // Stale lower bounds on the engine's per-task free times (free
-    // times never decrease, so `stale[t] > ready` is already proof of
-    // busyness).
-    let mut free = vec![window.start(); tasks];
+    let mut view = StaleEngineView::new(tasks, window.start());
     let mut pending: Vec<Arrival> = Vec::new();
-    let run = |free: &mut Vec<Timestamp>| -> Result<bool, EvEdgeError> {
+    let run = |view: &mut StaleEngineView| -> Result<bool, EvEdgeError> {
         let mut merge = MergeHeads::new(receivers);
         while let Some((task, frame)) = merge.next()? {
             let ready = frame.ready_at();
             // The §4.2 early-flush decision needs *fresh* engine state
             // only when something is buffered (flushing an empty
-            // aggregator is a no-op) and the stale free time no longer
-            // proves the task busy.
-            if frontends[task].has_buffered() && free[task] <= ready {
+            // aggregator is a no-op), the stale free time no longer
+            // proves the task busy, and the stale value is not already
+            // known to be exact.
+            if frontends[task].has_buffered()
+                && view.free[task] <= ready
+                && !(speculative && view.frozen(task))
+            {
                 if msg_tx
                     .send(StageMsg::Sync(std::mem::take(&mut pending)))
                     .is_err()
@@ -216,15 +276,18 @@ fn stage_loop(
                     return Ok(false);
                 }
                 match free_rx.recv() {
-                    Ok(times) => *free = times,
+                    Ok(reply) => view.refresh(reply),
                     Err(_) => return Ok(false),
                 }
             }
             let mut jobs = Vec::new();
-            if frontends[task].has_buffered() && free[task] <= ready {
+            if frontends[task].has_buffered() && view.free[task] <= ready {
                 jobs.extend(frontends[task].flush(ready)?);
             }
             jobs.extend(frontends[task].push(frame)?);
+            if !jobs.is_empty() {
+                view.dirty[task] = true;
+            }
             pending.push(Arrival { task, ready, jobs });
             if pending.len() >= ARRIVAL_BATCH
                 && msg_tx
@@ -244,23 +307,23 @@ fn stage_loop(
             return Ok(false);
         }
         match free_rx.recv() {
-            Ok(times) => *free = times,
+            Ok(reply) => view.refresh(reply),
             Err(_) => return Ok(false),
         }
         for (task, frontend) in frontends.iter_mut().enumerate() {
-            let tail = free[task].max(window.end());
+            let tail = view.free[task].max(window.end());
             let jobs = frontend.flush(tail)?;
             if msg_tx.send(StageMsg::Tail { task, jobs }).is_err() {
                 return Ok(false);
             }
             match free_rx.recv() {
-                Ok(times) => *free = times,
+                Ok(reply) => view.refresh(reply),
                 Err(_) => return Ok(false),
             }
         }
         Ok(true)
     };
-    if let Err(e) = run(&mut free) {
+    if let Err(e) = run(&mut view) {
         let _ = msg_tx.send(StageMsg::Abort(e));
     }
 }
@@ -289,6 +352,89 @@ fn stage_loop(
 ///
 /// Propagates frontend (E2SF/DSFA) and dispatch errors.
 pub fn run_pipelined_streams<E, P>(
+    engine: E,
+    frontends: Vec<DsfaStage>,
+    producers: Vec<P>,
+    model: &mut dyn JobModel,
+    window: TimeWindow,
+    channel_capacity: usize,
+    static_power_w: f64,
+) -> Result<EngineReport, EvEdgeError>
+where
+    E: TaskEngine,
+    P: FnOnce(SyncSender<FrameBatchResult>) + Send,
+{
+    run_pipelined_streams_inner(
+        engine,
+        frontends,
+        producers,
+        model,
+        window,
+        channel_capacity,
+        static_power_w,
+        false,
+    )
+}
+
+/// [`run_pipelined_streams`] with speculative early-flush: the DSFA
+/// stage skips the sync round trip whenever its stale free time is
+/// provably exact.
+///
+/// A task's free time advances only when the engine dispatches for it,
+/// and dispatch requires queued jobs. So when the last sync reply
+/// reported an empty inference queue for the task *and* the stage has
+/// emitted no jobs for it since, the stale free time is not a lower
+/// bound — it is the engine's exact value, and the §4.2 early-flush
+/// decision can be taken locally without blocking on the engine. The
+/// decision sequence, and therefore the whole job stream and the final
+/// report, stay bitwise identical to [`run_pipelined_streams`]; only
+/// the number of synchronization round trips shrinks.
+///
+/// # Panics
+///
+/// Same wiring preconditions as [`run_pipelined_streams`].
+///
+/// # Errors
+///
+/// Propagates frontend (E2SF/DSFA) and dispatch errors.
+pub fn run_pipelined_streams_speculative<E, P>(
+    engine: E,
+    frontends: Vec<DsfaStage>,
+    producers: Vec<P>,
+    model: &mut dyn JobModel,
+    window: TimeWindow,
+    channel_capacity: usize,
+    static_power_w: f64,
+) -> Result<EngineReport, EvEdgeError>
+where
+    E: TaskEngine,
+    P: FnOnce(SyncSender<FrameBatchResult>) + Send,
+{
+    run_pipelined_streams_inner(
+        engine,
+        frontends,
+        producers,
+        model,
+        window,
+        channel_capacity,
+        static_power_w,
+        true,
+    )
+}
+
+/// Per-task engine state snapshot for a sync reply: free time plus
+/// whether the bounded inference queue still holds jobs.
+fn engine_state<E: TaskEngine>(engine: &E) -> Vec<TaskState> {
+    engine
+        .task_free_times()
+        .into_iter()
+        .enumerate()
+        .map(|(task, free)| (free, engine.task_backlog(task)))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined_streams_inner<E, P>(
     mut engine: E,
     frontends: Vec<DsfaStage>,
     producers: Vec<P>,
@@ -296,6 +442,7 @@ pub fn run_pipelined_streams<E, P>(
     window: TimeWindow,
     channel_capacity: usize,
     static_power_w: f64,
+    speculative: bool,
 ) -> Result<EngineReport, EvEdgeError>
 where
     E: TaskEngine,
@@ -319,8 +466,10 @@ where
             frame_rxs.push(rx);
         }
         let (msg_tx, msg_rx) = sync_channel::<StageMsg>(channel_capacity.max(1));
-        let (free_tx, free_rx) = sync_channel::<Vec<Timestamp>>(1);
-        scope.spawn(move || stage_loop(frame_rxs, frontends, window, &msg_tx, &free_rx));
+        let (free_tx, free_rx) = sync_channel::<Vec<TaskState>>(1);
+        scope.spawn(move || {
+            stage_loop(frame_rxs, frontends, window, speculative, &msg_tx, &free_rx)
+        });
 
         fn apply<E: TaskEngine>(
             engine: &mut E,
@@ -341,7 +490,7 @@ where
                 StageMsg::Batch(arrivals) => apply(&mut engine, model, arrivals)?,
                 StageMsg::Sync(arrivals) => {
                     apply(&mut engine, model, arrivals)?;
-                    if free_tx.send(engine.task_free_times()).is_err() {
+                    if free_tx.send(engine_state(&engine)).is_err() {
                         break;
                     }
                 }
@@ -350,7 +499,7 @@ where
                         engine.enqueue(task, job);
                     }
                     engine.drain(task, model)?;
-                    if free_tx.send(engine.task_free_times()).is_err() {
+                    if free_tx.send(engine_state(&engine)).is_err() {
                         break;
                     }
                 }

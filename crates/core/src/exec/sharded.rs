@@ -22,6 +22,21 @@
 //! * every per-task statistic lives in exactly one shard and never
 //!   crosses a float-summation boundary.
 //!
+//! # Work-stealing
+//!
+//! [`ShardedEngine::with_work_stealing`] — the service-order half of
+//! [`crate::multipipe::ExecMode::Optimizing`] — relaxes the strict
+//! global order: a shard whose own partition has nothing serviceable
+//! pulls the earliest serviceable task of any other shard instead of
+//! idling, and a shard may service a later own task ahead of another
+//! shard's turn. Reorders are guarded: two tasks swap only when their
+//! declared queue footprints are **disjoint**, so every device queue
+//! still sees exactly the serial reservation sequence and every
+//! timing, latency, and drop decision is unchanged. The single
+//! observable divergence is the f64 fold order of busy energy across
+//! commuting dispatches — which is why the optimizing mode is pinned
+//! by [`crate::exec::equivalence`] rather than byte equality.
+//!
 //! # Examples
 //!
 //! ```
@@ -164,6 +179,20 @@ impl JobModel for GlobalTaskModel<'_> {
         *self.energy += energy;
         Ok((end, energy))
     }
+
+    // Forwarded explicitly: falling back to the default would route
+    // through `dispatch` and silently discard the inner model's gate.
+    fn dispatch_gated(
+        &mut self,
+        _local_task: usize,
+        job: &JobInput,
+        ready: Timestamp,
+        timeline: &mut dyn ReservationTimeline,
+    ) -> Result<(Timestamp, Timestamp, Energy), EvEdgeError> {
+        let (end, gate, energy) = self.inner.dispatch_gated(self.task, job, ready, timeline)?;
+        *self.energy += energy;
+        Ok((end, gate, energy))
+    }
 }
 
 /// A multi-task engine whose tasks are partitioned over independent
@@ -181,6 +210,12 @@ pub struct ShardedEngine<T: ReservationTimeline> {
     start: Timestamp,
     /// Busy energy accumulated in global dispatch order.
     energy: Energy,
+    /// Per-task queue-footprint bitmasks; `Some` enables work-stealing
+    /// in [`TaskEngine::service_all`] (see [`Self::with_work_stealing`]).
+    steal_masks: Option<Vec<u64>>,
+    /// Services that jumped ahead of an earlier-positioned serviceable
+    /// task (work-stealing reorder events).
+    steals: u64,
 }
 
 impl<T: ReservationTimeline> ShardedEngine<T> {
@@ -221,7 +256,31 @@ impl<T: ReservationTimeline> ShardedEngine<T> {
             placement,
             start,
             energy: Energy::ZERO,
+            steal_masks: None,
+            steals: 0,
         })
+    }
+
+    /// Enables work-stealing service order: instead of idling on its
+    /// static partition, a shard whose own tasks have nothing
+    /// serviceable pulls the earliest serviceable task of *any* shard.
+    ///
+    /// `queue_sets[task]` lists every device queue a dispatch of that
+    /// task can reserve (e.g.
+    /// [`crate::exec::layer_parallel::TaskSegments::queue_set`]);
+    /// `None` — or a queue index ≥ 64 — is treated conservatively as
+    /// "touches everything". Two tasks may swap service order only when
+    /// their queue sets are disjoint, so every device queue still sees
+    /// exactly the serial reservation sequence and all timings are
+    /// unchanged; the one observable divergence is the f64 fold order
+    /// of busy energy across commuting dispatches (see the
+    /// [module docs](self)).
+    pub fn with_work_stealing(mut self, queue_sets: Vec<Option<Vec<usize>>>) -> Self {
+        let masks = (0..self.placement.len())
+            .map(|task| queue_mask(queue_sets.get(task).and_then(Option::as_ref)))
+            .collect();
+        self.steal_masks = Some(masks);
+        self
     }
 
     /// Number of engine shards.
@@ -229,9 +288,84 @@ impl<T: ReservationTimeline> ShardedEngine<T> {
         self.shards.len()
     }
 
+    /// Services that jumped ahead of an earlier-positioned serviceable
+    /// task — i.e., reorders the mask guard actually allowed. Always
+    /// zero without [`Self::with_work_stealing`].
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
     fn place(&self, task: usize) -> (usize, usize) {
         self.placement[task]
     }
+
+    /// Work-stealing service round: tasks serviceable at `now` are
+    /// visited exactly once each, shards round-robin picking their own
+    /// earliest serviceable task first and stealing the globally
+    /// earliest one otherwise — but a task may only jump ahead of
+    /// earlier-positioned peers whose queue masks are disjoint from its
+    /// own, so reordered dispatches provably commute on the timeline.
+    /// The earliest unserviced task is always eligible, so every pick
+    /// succeeds and the round terminates.
+    fn service_all_stealing(
+        &mut self,
+        masks: &[u64],
+        now: Timestamp,
+        model: &mut dyn JobModel,
+    ) -> Result<(), EvEdgeError> {
+        // Serviceability is fixed at entry: a task's free time only
+        // advances when the task itself dispatches.
+        let mut pending: Vec<usize> = (0..self.placement.len())
+            .filter(|&task| {
+                let (shard, local) = self.placement[task];
+                self.shards[shard].task_backlog(local)
+                    && self.shards[shard].task_free_at(local) <= now
+            })
+            .collect();
+        while !pending.is_empty() {
+            for shard in 0..self.shards.len() {
+                if pending.is_empty() {
+                    break;
+                }
+                let unblocked = |pos: usize| {
+                    let task = pending[pos];
+                    pending[..pos].iter().all(|&u| masks[u] & masks[task] == 0)
+                };
+                let pos = (0..pending.len())
+                    .find(|&pos| self.placement[pending[pos]].0 == shard && unblocked(pos))
+                    .or_else(|| (0..pending.len()).find(|&pos| unblocked(pos)))
+                    .expect("the earliest pending task is always unblocked");
+                if pos > 0 {
+                    self.steals += 1;
+                }
+                let task = pending.remove(pos);
+                let (task_shard, local) = self.placement[task];
+                let mut global = GlobalTaskModel {
+                    inner: model,
+                    task,
+                    energy: &mut self.energy,
+                };
+                self.shards[task_shard].service(local, now, &mut global)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bitmask of a task's queue footprint; `None` or an unrepresentable
+/// queue index collapses to "every queue" (never reordered).
+fn queue_mask(queue_set: Option<&Vec<usize>>) -> u64 {
+    let Some(queues) = queue_set else {
+        return u64::MAX;
+    };
+    let mut mask = 0u64;
+    for &q in queues {
+        if q >= 64 {
+            return u64::MAX;
+        }
+        mask |= 1 << q;
+    }
+    mask
 }
 
 impl<T: ReservationTimeline> TaskEngine for ShardedEngine<T> {
@@ -254,7 +388,15 @@ impl<T: ReservationTimeline> TaskEngine for ShardedEngine<T> {
         self.shards[shard].task_free_at(local)
     }
 
+    fn task_backlog(&self, task: usize) -> bool {
+        let (shard, local) = self.place(task);
+        self.shards[shard].task_backlog(local)
+    }
+
     fn service_all(&mut self, now: Timestamp, model: &mut dyn JobModel) -> Result<(), EvEdgeError> {
+        if let Some(masks) = self.steal_masks.clone() {
+            return self.service_all_stealing(&masks, now, model);
+        }
         // Global task order: the shared timeline must see exactly the
         // monolithic engine's reservation sequence.
         for task in 0..self.placement.len() {
@@ -355,6 +497,146 @@ mod tests {
             );
             assert_eq!(reference, sharded, "shards = {shards}");
         }
+    }
+
+    /// Dispatches task `t` on queue `t` (or queue 0 when `shared`),
+    /// with per-task durations — lets tests stage disjoint or
+    /// overlapping queue footprints precisely.
+    struct PerTaskQueueModel {
+        durations: Vec<TimeDelta>,
+        shared: bool,
+    }
+
+    impl JobModel for PerTaskQueueModel {
+        fn dispatch(
+            &mut self,
+            task: usize,
+            _job: &JobInput,
+            ready: Timestamp,
+            timeline: &mut dyn ReservationTimeline,
+        ) -> Result<(Timestamp, Energy), EvEdgeError> {
+            let queue = if self.shared { 0 } else { task };
+            let (_, end) = timeline.reserve_next(queue, ready, self.durations[task])?;
+            Ok((end, Energy::from_joules(0.25)))
+        }
+    }
+
+    /// Task 0 gets a long job at t=0 so it is still busy at t=10ms,
+    /// when a second burst arrives for everyone: whoever services
+    /// tasks 1 and 2 first decides the timeline order.
+    fn drive_staggered<E: TaskEngine>(mut engine: E, shared: bool) -> EngineReport {
+        let mut model = PerTaskQueueModel {
+            durations: vec![
+                TimeDelta::from_millis(50),
+                TimeDelta::from_millis(5),
+                TimeDelta::from_millis(6),
+            ],
+            shared,
+        };
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::ZERO));
+        }
+        engine.service_all(Timestamp::ZERO, &mut model).unwrap();
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::from_millis(10)));
+        }
+        engine
+            .service_all(Timestamp::from_millis(10), &mut model)
+            .unwrap();
+        engine.drain_all(&mut model).unwrap();
+        engine.finish(1.5)
+    }
+
+    #[test]
+    fn work_stealing_with_disjoint_masks_matches_monolithic() {
+        let reference = drive_staggered(
+            ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(3), 3, 4).unwrap(),
+            false,
+        );
+        // Tasks on queues 0/1/2: all masks disjoint, every reorder
+        // commutes. Shard 0 owns tasks {0, 2}; with task 0 busy at the
+        // second burst, shard 0 services task 2 ahead of task 1's turn.
+        let mut engine = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(3), 3, 4, 2)
+            .unwrap()
+            .with_work_stealing(vec![Some(vec![0]), Some(vec![1]), Some(vec![2])]);
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::ZERO));
+        }
+        let mut model = PerTaskQueueModel {
+            durations: vec![
+                TimeDelta::from_millis(50),
+                TimeDelta::from_millis(5),
+                TimeDelta::from_millis(6),
+            ],
+            shared: false,
+        };
+        engine.service_all(Timestamp::ZERO, &mut model).unwrap();
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::from_millis(10)));
+        }
+        engine
+            .service_all(Timestamp::from_millis(10), &mut model)
+            .unwrap();
+        assert!(engine.steals() >= 1, "expected an out-of-order service");
+        engine.drain_all(&mut model).unwrap();
+        let report = engine.finish(1.5);
+        assert_eq!(reference, report);
+    }
+
+    #[test]
+    fn work_stealing_with_overlapping_masks_preserves_global_order() {
+        // Everyone on queue 0: no reorder commutes, so the stealing
+        // path must degrade to the exact global service order.
+        let reference = drive_staggered(
+            ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 3, 4).unwrap(),
+            true,
+        );
+        let engine = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(1), 3, 4, 2)
+            .unwrap()
+            .with_work_stealing(vec![Some(vec![0]), Some(vec![0]), Some(vec![0])]);
+        let report = drive_staggered(engine, true);
+        assert_eq!(reference, report);
+    }
+
+    #[test]
+    fn work_stealing_with_unknown_footprints_is_conservative() {
+        // `None` means "touches everything": bitwise-identical to the
+        // monolithic engine, and no reorder is ever counted.
+        let reference = drive_staggered(
+            ExecEngine::new(Timestamp::ZERO, DeviceTimeline::new(3), 3, 4).unwrap(),
+            false,
+        );
+        let mut engine = ShardedEngine::new(Timestamp::ZERO, DeviceTimeline::new(3), 3, 4, 2)
+            .unwrap()
+            .with_work_stealing(vec![None, None, None]);
+        let mut model = PerTaskQueueModel {
+            durations: vec![
+                TimeDelta::from_millis(50),
+                TimeDelta::from_millis(5),
+                TimeDelta::from_millis(6),
+            ],
+            shared: false,
+        };
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::ZERO));
+        }
+        engine.service_all(Timestamp::ZERO, &mut model).unwrap();
+        for task in 0..3 {
+            engine.submit(task, JobInput::arrival(Timestamp::from_millis(10)));
+        }
+        engine
+            .service_all(Timestamp::from_millis(10), &mut model)
+            .unwrap();
+        assert_eq!(engine.steals(), 0);
+        engine.drain_all(&mut model).unwrap();
+        assert_eq!(reference, engine.finish(1.5));
+    }
+
+    #[test]
+    fn oversized_queue_indices_collapse_to_full_mask() {
+        assert_eq!(queue_mask(Some(&vec![0, 64])), u64::MAX);
+        assert_eq!(queue_mask(Some(&vec![1, 3])), 0b1010);
+        assert_eq!(queue_mask(None), u64::MAX);
     }
 
     #[test]

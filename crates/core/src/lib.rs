@@ -56,6 +56,7 @@ pub mod queue;
 pub mod exec {
     pub mod clock;
     pub mod engine;
+    pub mod equivalence;
     pub mod job;
     pub mod layer_parallel;
     pub mod parallel;
@@ -65,12 +66,17 @@ pub mod exec {
 
     pub use clock::EventClock;
     pub use engine::{EngineReport, ExecEngine, LoadProbe, TaskEngine, TaskStats};
+    pub use equivalence::{check_job_records, check_reports, EquivalenceError};
     pub use job::{
         BatchCostModel, JobInput, JobModel, JobRecord, MappedJobModel, SchedGraphBuilder,
     };
-    pub use layer_parallel::{JobSegment, LayerParallelModel, SegmentTransfer, TaskSegments};
+    pub use layer_parallel::{
+        JobSegment, LayerParallelModel, OptimizingModel, SegmentTransfer, TaskSegments,
+    };
     pub use parallel::{parallel_map, parallel_try_map, ParallelTimeline};
-    pub use pipelined::{run_pipelined_arrivals, run_pipelined_streams};
+    pub use pipelined::{
+        run_pipelined_arrivals, run_pipelined_streams, run_pipelined_streams_speculative,
+    };
     pub use sharded::{ShardedEngine, SharedTimeline};
     pub use stage::{Compose, DirectStage, DsfaStage, E2sfStage, Stage};
 }

@@ -15,13 +15,19 @@
 //! executes — serially, over thread-per-queue reservations, behind a
 //! stage-pipelined frontend, sharded across per-task engines, or with
 //! each job's same-PE layer segments dispatched in parallel waves —
-//! with bitwise-identical reports in every mode (see [`ExecMode`]).
+//! with bitwise-identical reports in every mode except the opt-in
+//! [`ExecMode::Optimizing`], which re-orders work and promises the
+//! [`crate::exec::equivalence`] contract instead (same job set, every
+//! metric no worse than serial).
 
 use crate::exec::clock::EventClock;
 use crate::exec::engine::{EngineReport, ExecEngine, TaskEngine};
 use crate::exec::job::{JobInput, JobModel, MappedJobModel};
-use crate::exec::layer_parallel::LayerParallelModel;
-use crate::exec::pipelined::{run_pipelined_arrivals, run_pipelined_streams, FrameBatchResult};
+use crate::exec::layer_parallel::{LayerParallelModel, OptimizingModel, TaskSegments};
+use crate::exec::pipelined::{
+    run_pipelined_arrivals, run_pipelined_streams, run_pipelined_streams_speculative,
+    FrameBatchResult,
+};
 use crate::exec::sharded::ShardedEngine;
 use crate::exec::stage::{DsfaStage, E2sfStage, Stage};
 use crate::nmp::candidate::Candidate;
@@ -32,9 +38,12 @@ use ev_platform::energy::Energy;
 use ev_platform::timeline::{AtomicTimeline, DeviceTimeline};
 use std::sync::mpsc::SyncSender;
 
-/// How the multi-task engine executes. Every mode produces bitwise-
-/// identical reports — the mode chooses *where the wall-clock time
-/// goes*, never what the simulation computes.
+/// How the multi-task engine executes. Every mode except
+/// [`ExecMode::Optimizing`] produces bitwise-identical reports — the
+/// mode chooses *where the wall-clock time goes*, never what the
+/// simulation computes. `Optimizing` alone is allowed to change the
+/// schedule, and only ever for the better: it is pinned to the
+/// semantic-equivalence contract of [`crate::exec::equivalence`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// One thread, serial [`DeviceTimeline`] — the reference semantics.
@@ -66,6 +75,21 @@ pub enum ExecMode {
     /// table's batched wave entry point (see
     /// [`crate::exec::layer_parallel`]).
     LayerParallel,
+    /// Schedule-optimizing execution — the one mode that is *not*
+    /// order-preserving. Three schedule transformations compose:
+    /// critical-path-first reordering of each wave's same-queue
+    /// segments ([`crate::exec::layer_parallel::OptimizingModel`]),
+    /// work-stealing across per-task engine shards with
+    /// queue-footprint commutation proofs
+    /// ([`crate::exec::sharded::ShardedEngine::with_work_stealing`]),
+    /// and speculative early-flush in the pipelined DSFA stage
+    /// ([`crate::exec::pipelined::run_pipelined_streams_speculative`]).
+    /// Each is accepted only when provably no worse, so the mode keeps
+    /// the [`crate::exec::equivalence`] contract: the same jobs run
+    /// with the same payloads and drop decisions, and every per-job
+    /// completion, per-task latency, the makespan, and total energy
+    /// (up to `f64` fold order) are bounded by the serial schedule's.
+    Optimizing,
 }
 
 impl ExecMode {
@@ -80,7 +104,10 @@ pub struct MultiTaskRuntimeConfig {
     pub window: TimeWindow,
     /// Per-task inference-queue capacity (pending inputs before drops).
     pub queue_capacity: usize,
-    /// Execution mode (identical results, different wall-clock shape).
+    /// Execution mode. Every mode reproduces the serial report
+    /// bitwise except [`ExecMode::Optimizing`], which promises the
+    /// semantic-equivalence contract (no worse on every metric)
+    /// instead.
     pub mode: ExecMode,
 }
 
@@ -125,6 +152,15 @@ impl MultiTaskRuntimeConfig {
     #[must_use]
     pub fn with_layer_parallel(mut self) -> Self {
         self.mode = ExecMode::LayerParallel;
+        self
+    }
+
+    /// Opts into the schedule-optimizing runtime: non-order-preserving
+    /// reordering, work-stealing and speculative flushing under the
+    /// semantic-equivalence contract (see [`ExecMode::Optimizing`]).
+    #[must_use]
+    pub fn with_optimizing(mut self) -> Self {
+        self.mode = ExecMode::Optimizing;
         self
     }
 }
@@ -295,7 +331,40 @@ pub fn run_multi_task_runtime(
                 &mut model,
             )
         }
+        ExecMode::Optimizing => {
+            let engine = optimizing_engine(problem, candidate, config)?;
+            let mut model = OptimizingModel::new(problem, candidate);
+            run_periodic(problem, periods, config, engine, &mut model)
+        }
     }
+}
+
+/// The engine of [`ExecMode::Optimizing`]: one shard per task over a
+/// shared serial timeline, with work-stealing armed by each task's
+/// queue footprint (tasks whose mappings cannot contend for a queue
+/// may be serviced out of global order). A task whose footprint cannot
+/// be derived gets the conservative full mask and is never commuted.
+fn optimizing_engine(
+    problem: &MultiTaskProblem,
+    candidate: &Candidate,
+    config: MultiTaskRuntimeConfig,
+) -> Result<ShardedEngine<DeviceTimeline>, EvEdgeError> {
+    let tasks = problem.tasks().len();
+    let queue_sets = (0..tasks)
+        .map(|t| {
+            TaskSegments::build(problem, candidate, t)
+                .ok()
+                .map(|ts| ts.queue_set())
+        })
+        .collect();
+    Ok(ShardedEngine::new(
+        config.window.start(),
+        DeviceTimeline::new(problem.platform().queue_count()),
+        tasks,
+        config.queue_capacity,
+        0,
+    )?
+    .with_work_stealing(queue_sets))
 }
 
 /// Schedules every periodic arrival of the window in global time order,
@@ -512,6 +581,23 @@ pub fn run_multi_task_streams(
                 config,
                 engine,
                 channel_capacity,
+                false,
+                &mut model,
+            )
+        }
+        ExecMode::Optimizing => {
+            // All three optimizing transformations compose here: the
+            // speculative pipelined frontend, the work-stealing shard
+            // array, and the wave-reordering job model.
+            let engine = optimizing_engine(problem, candidate, config)?;
+            let mut model = OptimizingModel::new(problem, candidate);
+            run_streams_pipelined(
+                problem,
+                streams,
+                config,
+                engine,
+                ExecMode::DEFAULT_CHANNEL_CAPACITY,
+                true,
                 &mut model,
             )
         }
@@ -594,12 +680,16 @@ fn run_streams<E: TaskEngine>(
 /// per-task E2SF producers slice events interval by interval while the
 /// DSFA stage thread merges, aggregates and feeds the engine loop — the
 /// full three-stage pipeline of [`crate::exec::pipelined`].
+/// `speculative` selects the sync-skipping DSFA stage (used by
+/// [`ExecMode::Optimizing`]); the job stream is identical either way.
+#[allow(clippy::too_many_arguments)]
 fn run_streams_pipelined<E: TaskEngine>(
     problem: &MultiTaskProblem,
     streams: &[StreamTask],
     config: MultiTaskRuntimeConfig,
     engine: E,
     channel_capacity: usize,
+    speculative: bool,
     model: &mut dyn JobModel,
 ) -> Result<MultiTaskRuntimeReport, EvEdgeError> {
     use crate::e2sf::E2sfConfig;
@@ -635,7 +725,12 @@ fn run_streams_pipelined<E: TaskEngine>(
             }
         })
         .collect();
-    let report = run_pipelined_streams(
+    let run = if speculative {
+        run_pipelined_streams_speculative
+    } else {
+        run_pipelined_streams
+    };
+    let report = run(
         engine,
         frontends,
         producers,

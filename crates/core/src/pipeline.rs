@@ -20,7 +20,9 @@
 //! [`PipelineOptions::exec_mode`] selects the same engine machinery as
 //! the multi-task drivers — serial, thread-per-queue, E2SF on a
 //! producer thread, or a (degenerate, single-task) sharded engine —
-//! with bitwise-identical reports in every mode. With one task there is
+//! with bitwise-identical reports in every mode (including
+//! [`ExecMode::Optimizing`], whose transformations are all cross-task
+//! or cross-queue and so have no effect here). With one task there is
 //! no cross-stream merge and no contention, and the whole-job
 //! [`BatchCostModel`] reserves a single platform-wide queue, so the
 //! intra-job segment machinery of [`crate::exec::layer_parallel`] has
@@ -141,7 +143,8 @@ pub struct PipelineOptions {
     pub max_degradation: f64,
     /// Which engine machinery executes the jobs. Every mode produces a
     /// bitwise-identical report (see the [module docs](self));
-    /// [`ExecMode::Sharded`] cannot record jobs, leaving
+    /// [`ExecMode::Sharded`] and [`ExecMode::Optimizing`] run the
+    /// sharded engine, which cannot record jobs, leaving
     /// [`PipelineReport::jobs`] empty.
     pub exec_mode: ExecMode,
 }
@@ -350,6 +353,22 @@ pub fn run_single_task(
         )?,
         ExecMode::Sharded { shards } => drive_single_task(
             ShardedEngine::new(start, DeviceTimeline::new(1), 1, queue_capacity, shards)?,
+            &mut model,
+            events,
+            &intervals,
+            bins,
+            options,
+            setup.window,
+            static_power_w,
+            None,
+        )?,
+        // One task on one platform-wide queue leaves nothing to
+        // re-order or steal, so the optimizing mode degenerates to the
+        // work-stealing sharded engine with the task's (total) queue
+        // footprint — the report stays bitwise serial here.
+        ExecMode::Optimizing => drive_single_task(
+            ShardedEngine::new(start, DeviceTimeline::new(1), 1, queue_capacity, 0)?
+                .with_work_stealing(vec![Some(vec![0])]),
             &mut model,
             events,
             &intervals,
@@ -657,14 +676,17 @@ mod tests {
                     channel_capacity: 4,
                 },
                 ExecMode::Sharded { shards: 0 },
+                ExecMode::Optimizing,
             ] {
                 let moded = run_single_task(
                     &setup(NetworkId::SpikeFlowNet),
                     &options.clone().with_exec_mode(mode),
                 )
                 .unwrap();
-                if matches!(mode, ExecMode::Sharded { .. }) {
-                    // The sharded engine records no jobs.
+                if matches!(mode, ExecMode::Sharded { .. } | ExecMode::Optimizing) {
+                    // The sharded engine records no jobs. With a single
+                    // task the optimizing transformations have nothing
+                    // to re-order, so even that mode is bitwise serial.
                     assert!(moded.jobs.is_empty());
                     let mut jobless = serial.clone();
                     jobless.jobs.clear();

@@ -2,19 +2,48 @@
 //! queue capacities, channel capacities, shard counts and random NMP
 //! mappings, the pipelined, sharded and intra-task layer-parallel
 //! runtimes report exactly the serial engine's drop counts, latencies,
-//! energy, makespan and utilization.
+//! energy, makespan and utilization — and the non-order-preserving
+//! optimizing runtime keeps the semantic-equivalence contract (same
+//! job set, every metric no worse) on the same random space.
 
 use ev_core::{TimeDelta, TimeWindow, Timestamp};
 use ev_datasets::mvsec::SequenceId;
 use ev_edge::dsfa::{CMode, DsfaConfig};
+use ev_edge::exec::engine::{EngineReport, TaskStats};
+use ev_edge::exec::equivalence::check_reports;
 use ev_edge::multipipe::{
-    run_multi_task_runtime, run_multi_task_streams, ExecMode, MultiTaskRuntimeConfig, StreamTask,
+    run_multi_task_runtime, run_multi_task_streams, ExecMode, MultiTaskRuntimeConfig,
+    MultiTaskRuntimeReport, StreamTask,
 };
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
 use ev_nn::zoo::{NetworkId, ZooConfig};
 use ev_platform::pe::Platform;
 use proptest::prelude::*;
+
+/// Recasts a runtime report for the `exec::equivalence` checker
+/// (`busy_time` is not carried by the runtime report and not part of
+/// the contract).
+fn as_engine_report(report: &MultiTaskRuntimeReport) -> EngineReport {
+    EngineReport {
+        per_task: report
+            .per_task
+            .iter()
+            .map(|t| TaskStats {
+                arrivals: t.arrivals,
+                completed: t.completed,
+                dropped: t.dropped,
+                mean_latency: t.mean_latency,
+                max_latency: t.max_latency,
+            })
+            .collect(),
+        jobs: Vec::new(),
+        makespan: report.makespan,
+        busy_time: TimeDelta::ZERO,
+        energy: report.energy,
+        utilization: report.utilization.clone(),
+    }
+}
 
 const NETWORKS: [NetworkId; 3] = [
     NetworkId::Dotie,
@@ -164,5 +193,82 @@ proptest! {
         config.mode = ExecMode::LayerParallel;
         let layer_parallel = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
         prop_assert_eq!(&serial, &layer_parallel);
+    }
+
+    /// The optimizing runtime keeps the semantic-equivalence contract
+    /// on *random NMP mappings*: arbitrary per-layer (PE, precision)
+    /// assignments carve arbitrary segment DAGs, wave shapes and queue
+    /// footprints, and every schedule the optimizer emits must run the
+    /// serial job set no worse on every metric.
+    #[test]
+    fn optimizing_keeps_the_contract_on_random_mappings(
+        tasks in 1usize..4,
+        seed in 0u64..1_000_000_000,
+        period_base in 2i64..9,
+        window_ms in 15u64..50,
+        queue_capacity in 1usize..4,
+    ) {
+        use ev_edge::nmp::candidate::Candidate;
+        use rand::SeedableRng;
+
+        let p = problem(tasks);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        let periods: Vec<TimeDelta> = (0..tasks)
+            .map(|t| TimeDelta::from_millis(period_base + 2 * t as i64))
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        config.mode = ExecMode::Optimizing;
+        let optimizing = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        for (s, o) in serial.per_task.iter().zip(&optimizing.per_task) {
+            prop_assert_eq!(&s.name, &o.name);
+        }
+        let verdict = check_reports(&as_engine_report(&serial), &as_engine_report(&optimizing));
+        prop_assert!(verdict.is_ok(), "equivalence violated: {:?}", verdict);
+    }
+
+    /// The full optimizing streaming runtime (speculative frontend +
+    /// work-stealing + reordering) keeps the contract over random
+    /// frontend configurations.
+    #[test]
+    fn optimizing_streams_keep_the_contract(
+        tasks in 1usize..4,
+        bins in 2usize..9,
+        window_ms in 15u64..45,
+        queue_capacity in 1usize..4,
+        cbatch in any::<bool>(),
+    ) {
+        let p = problem(tasks);
+        let candidate = baseline::rr_network(&p);
+        let streams: Vec<StreamTask> = (0..tasks)
+            .map(|t| StreamTask {
+                sequence: SEQUENCES[t].sequence(),
+                bins_per_interval: bins,
+                dsfa: if cbatch {
+                    DsfaConfig {
+                        cmode: CMode::CBatch,
+                        mb_size: 1,
+                        ..DsfaConfig::default()
+                    }
+                } else {
+                    DsfaConfig::default()
+                },
+            })
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+        config.mode = ExecMode::Optimizing;
+        let optimizing = run_multi_task_streams(&p, &candidate, &streams, config).unwrap();
+        let verdict = check_reports(&as_engine_report(&serial), &as_engine_report(&optimizing));
+        prop_assert!(verdict.is_ok(), "equivalence violated: {:?}", verdict);
     }
 }

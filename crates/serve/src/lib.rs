@@ -161,6 +161,17 @@ pub enum ServeError {
         /// The mix display name.
         mix: String,
     },
+    /// A tenant has no slot in the per-tenant accounting table — the
+    /// registry and the accumulators disagree. Surfaced as an error so
+    /// a broken bookkeeping invariant fails loudly in release builds
+    /// instead of panicking on (or silently misattributing to) a wrong
+    /// index.
+    MissingAccumulator {
+        /// The tenant whose accumulator failed to resolve.
+        name: String,
+        /// Its registry-assigned id.
+        id: u64,
+    },
     /// An exec-core error surfaced through the service.
     Edge(EvEdgeError),
 }
@@ -183,6 +194,11 @@ impl fmt::Display for ServeError {
             ServeError::NoSelection { mix } => {
                 write!(f, "auto-tune produced no selection for mix {mix}")
             }
+            ServeError::MissingAccumulator { name, id } => write!(
+                f,
+                "tenant `{name}` (id {id}) has no accounting slot — registry \
+                 and accumulator table disagree"
+            ),
             ServeError::Edge(e) => write!(f, "{e}"),
         }
     }

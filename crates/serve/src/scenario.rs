@@ -83,8 +83,8 @@ pub fn synthetic_scenario(
     let report = FitnessEvaluator::new(&problem, FitnessConfig::default()).evaluate(&rr)?;
     let periods: Vec<TimeDelta> = near_saturation_periods(&report)
         .into_iter()
-        .map(|p| TimeDelta::from_micros(((p.as_micros() as f64 * pressure) as i64).max(1)))
-        .collect();
+        .map(|p| scaled_period(p, pressure))
+        .collect::<Result<_, _>>()?;
 
     let initial = (0..tenants)
         .map(|i| TenantSpec {
@@ -116,6 +116,45 @@ pub fn synthetic_scenario(
     Ok(ServeScenario { initial, churn })
 }
 
+/// Largest synthetic arrival period: one hour of simulated time. Far
+/// beyond any service window, and small enough that downstream phase
+/// arithmetic (`joined_at + k·period`) stays clear of timestamp
+/// overflow.
+const MAX_PERIOD_US: i64 = 3_600_000_000;
+
+/// Scales one near-saturation period by `pressure`, validating the
+/// result instead of casting it. The old `(… as f64 * pressure) as i64`
+/// silently saturated huge products to `i64::MAX` (overflowing phase
+/// arithmetic later) and rounded sub-microsecond products toward a
+/// clamp; both now fail loudly naming the pressure and the period.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] when the scaled period falls
+/// outside `[1 µs, 1 hour]` or is not finite.
+fn scaled_period(p: TimeDelta, pressure: f64) -> Result<TimeDelta, ServeError> {
+    let scaled = p.as_micros() as f64 * pressure;
+    if !scaled.is_finite() || scaled < 1.0 {
+        return Err(ServeError::InvalidConfig {
+            what: format!(
+                "pressure {pressure} scales a {} µs period to {scaled} µs \
+                 (must be at least 1 µs)",
+                p.as_micros()
+            ),
+        });
+    }
+    if scaled > MAX_PERIOD_US as f64 {
+        return Err(ServeError::InvalidConfig {
+            what: format!(
+                "pressure {pressure} scales a {} µs period to {scaled} µs \
+                 (must be at most {MAX_PERIOD_US} µs)",
+                p.as_micros()
+            ),
+        });
+    }
+    Ok(TimeDelta::from_micros(scaled as i64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +179,34 @@ mod tests {
         let mut tiny = quick_config();
         tiny.max_tenants = 2;
         assert!(synthetic_scenario(&tiny, 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn scaled_periods_are_validated_not_cast() {
+        let p = TimeDelta::from_micros(10);
+        // Exactly 1 µs is the smallest representable period.
+        assert_eq!(scaled_period(p, 0.1).unwrap(), TimeDelta::from_micros(1));
+        // Below it the old cast clamped; now it names the pressure.
+        let err = scaled_period(p, 0.05).unwrap_err();
+        assert!(err.to_string().contains("0.05"), "{err}");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // The hour cap is inclusive; one step past it fails instead of
+        // saturating to i64::MAX like the old `as i64`.
+        let hour = TimeDelta::from_micros(MAX_PERIOD_US);
+        assert_eq!(scaled_period(hour, 1.0).unwrap(), hour);
+        let err = scaled_period(hour, 2.0).unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+        // An overflow-scale product is an error, not i64::MAX.
+        assert!(scaled_period(p, 1e30).is_err());
+        // Non-finite products are caught even past the pressure check.
+        assert!(scaled_period(p, f64::INFINITY).is_err());
+        // End to end: a pressure that collapses every period below 1 µs
+        // fails scenario construction loudly.
+        let config = quick_config();
+        assert!(matches!(
+            synthetic_scenario(&config, 2, 1e-12),
+            Err(ServeError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

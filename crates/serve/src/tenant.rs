@@ -13,8 +13,9 @@ use ev_edge::nmp::TaskMix;
 use ev_nn::zoo::NetworkId;
 
 /// Stable identity of an admitted tenant: assigned in admission order,
-/// never reused. Doubles as the index into the service run's per-tenant
-/// accumulators.
+/// never reused. It is an opaque key — the service layer resolves it to
+/// its accounting slot through an explicit map, never by treating the
+/// raw value as an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TenantId(pub u64);
 

@@ -5,7 +5,9 @@
 #   ./kick-tires.sh --full     full paper budget (minutes)
 #
 # Builds the workspace in release mode, smoke-tests the multi-tenant
-# service layer end to end (`serve_sim --quick`), then drives the
+# service layer end to end (`serve_sim --quick`) and the opt-in
+# schedule-optimizing execution mode (`ext_multitask_runtime --quick
+# --mode optimizing`), then drives the
 # declarative conformance suite in `specs/*.json`: each spec runs one
 # figure/table/service binary in a sandboxed output directory and
 # checks its report against golden snapshots (f64 bit-equality) and
@@ -61,6 +63,9 @@ cargo build --release --quiet
 
 echo "== kick-tires: service-layer smoke (serve_sim --quick) =="
 cargo run --release --quiet --bin serve_sim -- --quick
+
+echo "== kick-tires: schedule-optimizing mode smoke (ext_multitask_runtime --mode optimizing) =="
+cargo run --release --quiet --bin ext_multitask_runtime -- --quick --mode optimizing
 
 echo "== kick-tires: running conformance suite ($budget) =="
 exec cargo run --release --quiet --bin conformance -- "$budget" ${extra[@]+"${extra[@]}"}
