@@ -17,8 +17,14 @@
 //! * `--mode <name>` — runtime playback execution mode (see
 //!   `CommonArgs::exec_mode`); every mode yields a byte-identical
 //!   report.
+//! * `--hetero` — sweep the heterogeneous built-in grid instead: the
+//!   GNN-heavy and corner+inference mixes (data-dependent GraphNet
+//!   tasks plus the always-on corner frontend) crossed with the
+//!   GPU-class and composable-dataflow platform presets.
 
-use ev_bench::experiments::{load_sweep_spec, sweep_cells_table, sweep_grid_spec};
+use ev_bench::experiments::{
+    load_sweep_spec, sweep_cells_table, sweep_grid_hetero_spec, sweep_grid_spec,
+};
 use ev_bench::report::{write_json, CommonArgs};
 use ev_edge::multipipe::ExecMode;
 use ev_edge::nmp::sweep::{run_sweep_mode, SweepSpec};
@@ -28,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mode = args.exec_mode()?.unwrap_or(ExecMode::Serial);
     let mut workers = 0usize;
     let mut spec_path: Option<String> = None;
+    let mut hetero = false;
     let mut rest = args.rest.iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -44,11 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--mode" => {
                 rest.next(); // value already consumed by exec_mode()
             }
+            "--hetero" => hetero = true,
             other => return Err(format!("unknown flag `{other}`").into()),
         }
     }
+    if hetero && spec_path.is_some() {
+        return Err("--hetero and --spec are mutually exclusive".into());
+    }
     let spec: SweepSpec = match &spec_path {
         Some(path) => load_sweep_spec(std::path::Path::new(path))?,
+        None if hetero => sweep_grid_hetero_spec(args.quick),
         None => sweep_grid_spec(args.quick),
     };
 

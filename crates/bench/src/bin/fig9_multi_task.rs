@@ -10,29 +10,37 @@
 //! `pipelined`, `sharded`, `layer-parallel`, `optimizing`) — the
 //! playback numbers are identical for every order-preserving mode;
 //! `optimizing` may beat them (and never does worse, per the
-//! semantic-equivalence contract).
+//! semantic-equivalence contract). `--mix <name>` narrows the run to a
+//! single named workload mix (`all-ann`, `all-snn`, `mixed`,
+//! `gnn-heavy`, `corner-inference`) — the heterogeneous mixes exercise
+//! the data-dependent GraphNet and always-on corner-frontend tasks.
 
 use ev_bench::experiments::{
-    default_nmp_config, fig9_playback_table, figure9_with, figure9_with_playback,
-    tuned_replay_config,
+    default_nmp_config, fig9_playback_table, figure9_mix, figure9_with, figure9_with_playback,
+    mix_flag, tuned_replay_config,
 };
 use ev_bench::report::{write_json, CommonArgs, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    args.reject_unknown(&["--tuned", "--mode"], &[])?;
+    args.reject_unknown(&["--tuned", "--mode", "--mix"], &[])?;
     let mode = args.exec_mode()?;
+    let mix = mix_flag(&args)?;
     let config = match tuned_replay_config(&args)? {
         Some(config) => config,
         None => default_nmp_config(args.quick),
     };
     // One search pass feeds both the table and the optional playback.
-    let (rows, playback) = match mode {
-        Some(mode) => {
+    let (rows, playback) = match (mix, mode) {
+        (Some(mix), mode) => {
+            let (rows, playback) = figure9_mix(config, &mix, mode.map(|mode| (args.quick, mode)))?;
+            (rows, mode.zip(playback))
+        }
+        (None, Some(mode)) => {
             let (rows, playback) = figure9_with_playback(config, args.quick, mode)?;
             (rows, Some((mode, playback)))
         }
-        None => (figure9_with(config)?, None),
+        (None, None) => (figure9_with(config)?, None),
     };
 
     println!("Figure 9 — multi-task execution latency");

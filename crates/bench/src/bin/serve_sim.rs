@@ -18,6 +18,10 @@
 //! * `--workers <n>` — tune-sweep worker threads (`0` = machine
 //!   parallelism; default `0`). The report is byte-identical for any
 //!   worker count.
+//! * `--corner` — run the heterogeneous scenario instead: the initial
+//!   mix leads with a data-dependent GraphNet tenant and an always-on
+//!   corner-detection frontend (`CornerNet`) joins mid-window and never
+//!   leaves.
 //!
 //! `--json` writes `{ replay_bits_match, report }`: the serde
 //! round-trippable `ServeReport` plus the receipt that every cached
@@ -25,7 +29,9 @@
 
 use ev_bench::report::{write_json, CommonArgs, TextTable};
 use ev_core::{TimeWindow, Timestamp};
-use ev_serve::{run_service, synthetic_scenario, ServeConfig, ServeReport};
+use ev_serve::{
+    corner_frontend_scenario, run_service, synthetic_scenario, ServeConfig, ServeReport,
+};
 use serde::Serialize;
 
 /// The `--json` artifact shape.
@@ -41,10 +47,11 @@ struct ServeSimArtifact {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse();
-    args.reject_unknown(&["--tenants", "--pressure", "--workers"], &[])?;
+    args.reject_unknown(&["--tenants", "--pressure", "--workers"], &["--corner"])?;
     let mut tenants = if args.quick { 2 } else { 3 };
     let mut pressure = 0.5f64;
     let mut workers = 0usize;
+    let corner = args.has_flag("--corner");
     let mut rest = args.rest.iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -69,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
             }
+            "--corner" => {}
             other => return Err(format!("unknown flag `{other}`").into()),
         }
     }
@@ -92,14 +100,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.tune_generations = vec![2];
     }
 
-    let scenario = synthetic_scenario(&config, tenants, pressure)?;
+    let scenario = if corner {
+        corner_frontend_scenario(&config, tenants, pressure)?
+    } else {
+        synthetic_scenario(&config, tenants, pressure)?
+    };
     let outcome = run_service(&scenario, &config)?;
     let report = &outcome.report;
 
     println!(
-        "Ev-Edge service layer — {} initial tenants + 1 join/leave over {} ms on {}, \
+        "Ev-Edge service layer — {} initial tenants + 1 {} over {} ms on {}, \
          pressure {:.2}, watermark {:.2}, drift threshold {:.2}",
-        tenants, window_ms, report.platform, pressure, report.watermark, report.drift_threshold,
+        tenants,
+        if corner {
+            "always-on corner-frontend join"
+        } else {
+            "join/leave"
+        },
+        window_ms,
+        report.platform,
+        pressure,
+        report.watermark,
+        report.drift_threshold,
     );
     println!();
 

@@ -37,7 +37,8 @@ pub fn sequence_for(network: NetworkId) -> SequenceId {
         | NetworkId::EvFlowNet => SequenceId::IndoorFlying1,
         NetworkId::Halsie => SequenceId::OutdoorDay1,
         NetworkId::E2Depth => SequenceId::DenseTown10,
-        NetworkId::Dotie => SequenceId::IndoorFlying2,
+        NetworkId::Dotie | NetworkId::GraphNet => SequenceId::IndoorFlying2,
+        NetworkId::CornerNet => SequenceId::OutdoorDay1,
     }
 }
 
@@ -526,15 +527,12 @@ pub fn multitask_configs() -> Vec<(&'static str, Vec<NetworkId>)> {
 /// Propagates graph/profile construction errors.
 pub fn build_problem(networks: &[NetworkId]) -> Result<MultiTaskProblem, Box<dyn Error>> {
     let zoo = ZooConfig::mvsec();
+    // The shared task constructor attaches the measured density schedule
+    // of data-dependent networks (GraphNet), so the recorded cost tables
+    // price them identically everywhere.
     let tasks = networks
         .iter()
-        .map(|&n| {
-            Ok(TaskSpec::new(
-                n.build(&zoo)?,
-                n.accuracy_model(),
-                delta_a_for(n),
-            ))
-        })
+        .map(|&n| ev_edge::nmp::task_spec_for(n, &zoo, 1.0))
         .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
     Ok(MultiTaskProblem::new(Platform::xavier_agx(), tasks)?)
 }
@@ -579,7 +577,7 @@ pub fn figure9(quick: bool) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
 ///
 /// Propagates search errors.
 pub fn figure9_with(config: NmpConfig) -> Result<Vec<Fig9Row>, Box<dyn Error>> {
-    Ok(figure9_detail(config, None)?.0)
+    Ok(figure9_detail(config, None, None)?.0)
 }
 
 /// [`figure9_with`] plus a runtime playback of each configuration's
@@ -594,21 +592,49 @@ pub fn figure9_with_playback(
     quick: bool,
     mode: ExecMode,
 ) -> Result<(Vec<Fig9Row>, Vec<Fig9PlaybackRow>), Box<dyn Error>> {
-    let (rows, playback) = figure9_detail(config, Some((quick, mode)))?;
+    let (rows, playback) = figure9_detail(config, Some((quick, mode)), None)?;
     Ok((rows, playback.expect("playback requested")))
 }
 
-type Fig9Detail = (Vec<Fig9Row>, Option<Vec<Fig9PlaybackRow>>);
+/// The Figure 9 experiment narrowed to a single named [`TaskMix`] (the
+/// binary's `--mix` flag): one table row (and optionally one playback
+/// row under `mode`) for that mix instead of the paper's three
+/// configurations. The heterogeneous mixes (`gnn-heavy`,
+/// `corner-inference`) route their data-dependent density schedules
+/// into the cost tables via the shared task constructor.
+///
+/// # Errors
+///
+/// Propagates search and simulation errors.
+pub fn figure9_mix(
+    config: NmpConfig,
+    mix: &TaskMix,
+    playback: Option<(bool, ExecMode)>,
+) -> Result<Fig9Detail, Box<dyn Error>> {
+    figure9_detail(config, playback, Some(mix))
+}
+
+/// A Figure 9 result set: the table rows plus the optional runtime
+/// playback rows (present when a mode was requested).
+pub type Fig9Detail = (Vec<Fig9Row>, Option<Vec<Fig9PlaybackRow>>);
 
 fn figure9_detail(
     config: NmpConfig,
     playback: Option<(bool, ExecMode)>,
+    mix: Option<&TaskMix>,
 ) -> Result<Fig9Detail, Box<dyn Error>> {
     use ev_edge::multipipe::{run_multi_task_runtime, MultiTaskRuntimeConfig};
 
+    let configs: Vec<(String, Vec<NetworkId>)> = match mix {
+        Some(mix) => vec![(mix.name(), mix.networks())],
+        None => multitask_configs()
+            .into_iter()
+            .map(|(name, networks)| (name.to_string(), networks))
+            .collect(),
+    };
     let mut rows = Vec::new();
     let mut playback_rows = playback.map(|_| Vec::new());
-    for (name, networks) in multitask_configs() {
+    for (name, networks) in configs {
         let problem = build_problem(&networks)?;
         let mut evaluator = FitnessEvaluator::new(&problem, FitnessConfig::default());
         let rr_net = evaluator.evaluate(&baseline::rr_network(&problem))?;
@@ -846,6 +872,64 @@ pub fn sweep_grid(quick: bool, workers: usize) -> Result<SweepReport, Box<dyn Er
     Ok(run_sweep(&sweep_grid_spec(quick), workers)?)
 }
 
+/// The heterogeneous configuration-sweep grid (`ext_sweep_grid
+/// --hetero`): the GNN-heavy and corner+inference mixes — every cell
+/// holds at least one data-dependent GraphNet task and the
+/// corner+inference cells add the always-on frontend — crossed with the
+/// GPU-class and composable-dataflow platform presets. Quick mode is an
+/// 8-cell (2×2×2) grid at reduced scale; full mode widens the search
+/// axes at MVSEC scale.
+pub fn sweep_grid_hetero_spec(quick: bool) -> SweepSpec {
+    if quick {
+        SweepSpec {
+            base_seed: 0x6E7E60, // "hetero"
+            populations: vec![4, 8],
+            generations: vec![4],
+            mutation_layers: vec![1],
+            elite_fractions: vec![0.25],
+            queue_capacities: vec![2],
+            platforms: vec![
+                PlatformPreset::XavierAgx,
+                PlatformPreset::ComposableDataflow,
+            ],
+            task_mixes: vec![TaskMix::GnnHeavy, TaskMix::CornerPlusInference],
+            algorithms: vec![SearchAlgorithm::Evolutionary],
+            zoo: ZooPreset::Small,
+            runtime_window_ms: 8,
+            keep_history: false,
+        }
+    } else {
+        SweepSpec {
+            base_seed: 0x6E7E60,
+            populations: vec![8, 16],
+            generations: vec![8, 16],
+            mutation_layers: vec![1, 2],
+            elite_fractions: vec![0.25],
+            queue_capacities: vec![2],
+            platforms: vec![
+                PlatformPreset::XavierAgx,
+                PlatformPreset::ComposableDataflow,
+            ],
+            task_mixes: vec![TaskMix::GnnHeavy, TaskMix::CornerPlusInference],
+            algorithms: vec![SearchAlgorithm::Evolutionary],
+            zoo: ZooPreset::Mvsec,
+            runtime_window_ms: 40,
+            keep_history: false,
+        }
+    }
+}
+
+/// Runs the heterogeneous configuration-sweep grid (`0` workers =
+/// machine parallelism). The report is bitwise identical for any worker
+/// count.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn sweep_grid_hetero(quick: bool, workers: usize) -> Result<SweepReport, Box<dyn Error>> {
+    Ok(run_sweep(&sweep_grid_hetero_spec(quick), workers)?)
+}
+
 /// Renders a sweep's per-cell results as an aligned text table (shared
 /// by the `fig10_search --grid` and `ext_sweep_grid` binaries).
 pub fn sweep_cells_table(report: &SweepReport) -> crate::report::TextTable {
@@ -917,7 +1001,13 @@ pub fn autotune_spec(quick: bool) -> SweepSpec {
                 PlatformPreset::OrinLike,
                 PlatformPreset::NanoLike,
             ],
-            task_mixes: vec![TaskMix::AllAnn, TaskMix::AllSnn, TaskMix::MixedSnnAnn],
+            task_mixes: vec![
+                TaskMix::AllAnn,
+                TaskMix::AllSnn,
+                TaskMix::MixedSnnAnn,
+                TaskMix::GnnHeavy,
+                TaskMix::CornerPlusInference,
+            ],
             algorithms: vec![SearchAlgorithm::Evolutionary],
             zoo: ZooPreset::Mvsec,
             runtime_window_ms: 40,
@@ -1048,6 +1138,31 @@ pub fn tuned_replay_config(
         config.seed,
     );
     Ok(Some(config))
+}
+
+/// Parses the figure binaries' `--mix <name>` flag into a [`TaskMix`]
+/// (`all-ann`, `all-snn`, `mixed`, `gnn-heavy`, `corner-inference`).
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Fails loudly on a missing value or an unknown task-mix name.
+pub fn mix_flag(args: &crate::report::CommonArgs) -> Result<Option<TaskMix>, Box<dyn Error>> {
+    let Some(name) = args.flag_value("--mix") else {
+        if args.has_flag("--mix") {
+            return Err(
+                "--mix needs a value: all-ann | all-snn | mixed | gnn-heavy | corner-inference"
+                    .into(),
+            );
+        }
+        return Ok(None);
+    };
+    TaskMix::from_flag(name).map(Some).ok_or_else(|| {
+        format!(
+            "unknown task mix `{name}` (all-ann | all-snn | mixed | gnn-heavy | corner-inference)"
+        )
+        .into()
+    })
 }
 
 /// One (platform, task-mix) pair's tuned-vs-default comparison.

@@ -1,0 +1,420 @@
+//! Event-driven corner detection (the always-on frontend class).
+//!
+//! Heterogeneous Ev-Edge deployments pair heavyweight inference tasks
+//! with cheap, high-rate frontends that run on *every* event. This
+//! module implements the canonical member of that class: an
+//! arc-consistency corner test over the **Surface of Active Events**
+//! (SAE) in the style of eFAST/Arc*. Per event the detector
+//!
+//! 1. stamps the event's timestamp into the per-polarity SAE, and
+//! 2. tests two Bresenham circles (radius 3 and radius 4) around the
+//!    pixel for a contiguous arc of *strictly newest* timestamps —
+//!    the signature of two moving edges meeting at a corner.
+//!
+//! The cost is a fixed, small constant per event — no frames, no
+//! windows of accumulation — which is what makes the class "always
+//! on". The matching cost-model workload in the zoo is
+//! `NetworkId::CornerNet`; this module is its algorithmic ground
+//! truth.
+
+use ev_core::event::Polarity;
+use ev_core::stream::EventSlice;
+use ev_core::{TimeWindow, Timestamp};
+
+/// Inner circle (radius 3, 16 pixels) in circular order.
+const CIRCLE3: [(i32, i32); 16] = [
+    (0, 3),
+    (1, 3),
+    (2, 2),
+    (3, 1),
+    (3, 0),
+    (3, -1),
+    (2, -2),
+    (1, -3),
+    (0, -3),
+    (-1, -3),
+    (-2, -2),
+    (-3, -1),
+    (-3, 0),
+    (-3, 1),
+    (-2, 2),
+    (-1, 3),
+];
+
+/// Outer circle (radius 4, 20 pixels) in circular order.
+const CIRCLE4: [(i32, i32); 20] = [
+    (0, 4),
+    (1, 4),
+    (2, 3),
+    (3, 2),
+    (4, 1),
+    (4, 0),
+    (4, -1),
+    (3, -2),
+    (2, -3),
+    (1, -4),
+    (0, -4),
+    (-1, -4),
+    (-2, -3),
+    (-3, -2),
+    (-4, -1),
+    (-4, 0),
+    (-4, 1),
+    (-3, 2),
+    (-2, 3),
+    (-1, 4),
+];
+
+/// Pixels within this distance of the sensor border are never corner
+/// candidates (the outer circle would leave the sensor).
+const BORDER: u16 = 4;
+
+/// Corner-detector configuration: the admissible contiguous-arc lengths
+/// on each test circle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CornerConfig {
+    /// Admissible arc lengths `(min, max)` on the radius-3 circle.
+    pub inner_arc: (usize, usize),
+    /// Admissible arc lengths `(min, max)` on the radius-4 circle.
+    pub outer_arc: (usize, usize),
+}
+
+impl CornerConfig {
+    /// The standard eFAST arc bounds: 3–6 newest pixels on the inner
+    /// circle and 4–8 on the outer.
+    pub fn new() -> Self {
+        CornerConfig {
+            inner_arc: (3, 6),
+            outer_arc: (4, 8),
+        }
+    }
+
+    /// Overrides the inner-circle arc bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty or exceed the circle.
+    pub fn with_inner_arc(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max && max < CIRCLE3.len(), "bad arc");
+        self.inner_arc = (min, max);
+        self
+    }
+
+    /// Overrides the outer-circle arc bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty or exceed the circle.
+    pub fn with_outer_arc(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max && max < CIRCLE4.len(), "bad arc");
+        self.outer_arc = (min, max);
+        self
+    }
+}
+
+impl Default for CornerConfig {
+    fn default() -> Self {
+        CornerConfig::new()
+    }
+}
+
+/// A detected corner event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corner {
+    /// Pixel column.
+    pub x: u16,
+    /// Pixel row.
+    pub y: u16,
+    /// Timestamp of the triggering event.
+    pub t: Timestamp,
+    /// Polarity of the triggering event.
+    pub polarity: Polarity,
+}
+
+/// Streaming detector state: one timestamp plane per polarity (the SAE).
+///
+/// The surface persists across calls, so feeding a recording window by
+/// window through [`CornerDetector::detect_with`] yields exactly the
+/// corners of one whole-recording pass — the streaming stages rely on
+/// this.
+#[derive(Debug, Clone, Default)]
+pub struct CornerScratch {
+    /// `[2, H, W]` flat planes of stamped event times (µs + 1; 0 = never).
+    sae: Vec<u64>,
+    height: usize,
+    width: usize,
+}
+
+impl CornerScratch {
+    /// Ready-to-use scratch; planes grow on first detection.
+    pub fn new() -> Self {
+        CornerScratch::default()
+    }
+
+    fn ensure(&mut self, height: usize, width: usize) {
+        if self.height != height || self.width != width {
+            self.sae.clear();
+            self.sae.resize(2 * height * width, 0);
+            self.height = height;
+            self.width = width;
+        }
+    }
+
+    fn plane(&self, channel: usize) -> &[u64] {
+        let plane = self.height * self.width;
+        &self.sae[channel * plane..(channel + 1) * plane]
+    }
+}
+
+/// The event-driven corner detector.
+///
+/// # Examples
+///
+/// ```
+/// use ev_edge::corner::{CornerConfig, CornerDetector};
+/// use ev_core::event::{Event, Polarity, SensorGeometry};
+/// use ev_core::stream::EventSlice;
+/// use ev_core::time::{TimeWindow, Timestamp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = SensorGeometry::new(32, 32);
+/// let events = EventSlice::new(g, vec![
+///     Event::new(16, 16, Timestamp::from_millis(2), Polarity::On),
+/// ])?;
+/// let detector = CornerDetector::new(CornerConfig::new());
+/// let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(10));
+/// // An isolated event has no supporting arc: not a corner.
+/// assert!(detector.detect(&events, window).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CornerDetector {
+    config: CornerConfig,
+}
+
+impl CornerDetector {
+    /// Creates a detector.
+    pub fn new(config: CornerConfig) -> Self {
+        CornerDetector { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CornerConfig {
+        self.config
+    }
+
+    /// Processes the events of one window with a fresh surface and
+    /// returns the detected corners in event order.
+    pub fn detect(&self, events: &EventSlice, window: TimeWindow) -> Vec<Corner> {
+        self.detect_with(events, window, &mut CornerScratch::new())
+    }
+
+    /// [`CornerDetector::detect`] with a caller-owned surface: repeated
+    /// calls stream a recording window by window and the SAE carries
+    /// over, so the concatenated output matches a single whole-recording
+    /// pass.
+    pub fn detect_with(
+        &self,
+        events: &EventSlice,
+        window: TimeWindow,
+        scratch: &mut CornerScratch,
+    ) -> Vec<Corner> {
+        let geometry = events.geometry();
+        let (h, w) = (geometry.height as usize, geometry.width as usize);
+        scratch.ensure(h, w);
+        let mut corners = Vec::new();
+        for ev in events.window(window) {
+            let channel = ev.polarity.channel();
+            // 0 marks "never fired", so stamp µs + 1.
+            let stamp = ev.t.saturating_since(Timestamp::ZERO).as_micros() as u64 + 1;
+            let plane_base = channel * h * w;
+            scratch.sae[plane_base + ev.y as usize * w + ev.x as usize] = stamp;
+            if ev.x < BORDER
+                || ev.y < BORDER
+                || u32::from(ev.x) + u32::from(BORDER) >= geometry.width
+                || u32::from(ev.y) + u32::from(BORDER) >= geometry.height
+            {
+                continue;
+            }
+            let plane = scratch.plane(channel);
+            if circle_has_arc(plane, w, ev.x, ev.y, &CIRCLE3, self.config.inner_arc)
+                && circle_has_arc(plane, w, ev.x, ev.y, &CIRCLE4, self.config.outer_arc)
+            {
+                corners.push(Corner {
+                    x: ev.x,
+                    y: ev.y,
+                    t: ev.t,
+                    polarity: ev.polarity,
+                });
+            }
+        }
+        corners
+    }
+}
+
+/// Tests one circle for a contiguous arc of length within `bounds` whose
+/// oldest member is strictly newer than every pixel outside the arc.
+fn circle_has_arc(
+    plane: &[u64],
+    width: usize,
+    x: u16,
+    y: u16,
+    circle: &[(i32, i32)],
+    bounds: (usize, usize),
+) -> bool {
+    let n = circle.len();
+    let mut ts = [0u64; 20];
+    for (slot, &(dx, dy)) in ts.iter_mut().zip(circle) {
+        let px = (x as i32 + dx) as usize;
+        let py = (y as i32 + dy) as usize;
+        *slot = plane[py * width + px];
+    }
+    let ts = &ts[..n];
+    let (min_len, max_len) = bounds;
+    for start in 0..n {
+        for len in min_len..=max_len {
+            let mut arc_min = u64::MAX;
+            for k in 0..len {
+                arc_min = arc_min.min(ts[(start + k) % n]);
+            }
+            if arc_min == 0 {
+                continue;
+            }
+            let mut rest_max = 0u64;
+            for k in len..n {
+                rest_max = rest_max.max(ts[(start + k) % n]);
+            }
+            if arc_min > rest_max {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::event::{Event, SensorGeometry};
+
+    fn ev(x: u16, y: u16, t_us: u64, p: Polarity) -> Event {
+        Event::new(x, y, Timestamp::from_micros(t_us), p)
+    }
+
+    fn slice(events: Vec<Event>) -> EventSlice {
+        EventSlice::new(SensorGeometry::new(32, 32), events).unwrap()
+    }
+
+    fn interval_ms(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(Timestamp::from_millis(a), Timestamp::from_millis(b))
+    }
+
+    /// Events stamping a contiguous arc on both circles around (16, 16):
+    /// inner indices 0..4 and outer indices 0..5 (both at the top of the
+    /// circle), then the center event last.
+    fn corner_pattern(p: Polarity) -> Vec<Event> {
+        let (cx, cy) = (16i32, 16i32);
+        let mut events = Vec::new();
+        let mut t = 1_000;
+        for &(dx, dy) in CIRCLE3[..4].iter().chain(&CIRCLE4[..5]) {
+            events.push(ev((cx + dx) as u16, (cy + dy) as u16, t, p));
+            t += 100;
+        }
+        events.push(ev(cx as u16, cy as u16, t, p));
+        events
+    }
+
+    #[test]
+    fn wedge_of_recent_timestamps_is_a_corner() {
+        let detector = CornerDetector::new(CornerConfig::new());
+        let corners = detector.detect(&slice(corner_pattern(Polarity::On)), interval_ms(0, 10));
+        assert_eq!(corners.len(), 1);
+        assert_eq!((corners[0].x, corners[0].y), (16, 16));
+        assert_eq!(corners[0].polarity, Polarity::On);
+    }
+
+    #[test]
+    fn isolated_and_uniform_activity_is_not_a_corner() {
+        let detector = CornerDetector::new(CornerConfig::new());
+        // Isolated event: empty surface, no arc.
+        let lone = slice(vec![ev(16, 16, 5_000, Polarity::On)]);
+        assert!(detector.detect(&lone, interval_ms(0, 10)).is_empty());
+        // Uniform texture: every circle pixel equally recent — no arc is
+        // *strictly* newest.
+        let mut events: Vec<Event> = CIRCLE3
+            .iter()
+            .chain(&CIRCLE4)
+            .map(|&(dx, dy)| ev((16 + dx) as u16, (16 + dy) as u16, 1_000, Polarity::On))
+            .collect();
+        events.push(ev(16, 16, 2_000, Polarity::On));
+        assert!(detector
+            .detect(&slice(events), interval_ms(0, 10))
+            .is_empty());
+    }
+
+    #[test]
+    fn border_events_are_never_candidates() {
+        let detector = CornerDetector::new(CornerConfig::new());
+        // Shift the corner pattern into the border margin.
+        let events: Vec<Event> = corner_pattern(Polarity::On)
+            .into_iter()
+            .map(|e| Event::new(e.x - 14, e.y - 14, e.t, e.polarity))
+            .collect();
+        assert!(detector
+            .detect(&slice(events), interval_ms(0, 10))
+            .is_empty());
+    }
+
+    #[test]
+    fn polarities_keep_separate_surfaces() {
+        let detector = CornerDetector::new(CornerConfig::new());
+        // Arc stamped by OFF events, center fired ON: the ON surface is
+        // empty, so no corner.
+        let mut events = corner_pattern(Polarity::Off);
+        let center = events.pop().unwrap();
+        events.push(Event::new(center.x, center.y, center.t, Polarity::On));
+        assert!(detector
+            .detect(&slice(events), interval_ms(0, 10))
+            .is_empty());
+        // Same-polarity center: corner.
+        let corners = detector.detect(&slice(corner_pattern(Polarity::Off)), interval_ms(0, 10));
+        assert_eq!(corners.len(), 1);
+        assert_eq!(corners[0].polarity, Polarity::Off);
+    }
+
+    #[test]
+    fn streaming_windows_match_one_pass() {
+        let detector = CornerDetector::new(CornerConfig::new());
+        // Two corner firings in consecutive windows over one surface.
+        let mut events = corner_pattern(Polarity::On);
+        events.push(ev(16, 16, 12_000, Polarity::On));
+        let events = slice(events);
+        let whole = detector.detect(&events, interval_ms(0, 20));
+        let mut scratch = CornerScratch::new();
+        let mut streamed = detector.detect_with(&events, interval_ms(0, 10), &mut scratch);
+        streamed.extend(detector.detect_with(&events, interval_ms(10, 20), &mut scratch));
+        assert_eq!(whole, streamed);
+        assert_eq!(whole.len(), 2);
+    }
+
+    #[test]
+    fn arc_bounds_are_configurable() {
+        // Demand longer arcs than the pattern provides: no corner.
+        let strict = CornerDetector::new(
+            CornerConfig::new()
+                .with_inner_arc(6, 6)
+                .with_outer_arc(8, 8),
+        );
+        assert!(strict
+            .detect(&slice(corner_pattern(Polarity::On)), interval_ms(0, 10))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad arc")]
+    fn degenerate_arc_bounds_rejected() {
+        let _ = CornerConfig::new().with_inner_arc(5, 2);
+    }
+}

@@ -16,6 +16,8 @@
 //!   (§4.3), plus the RR-Network / RR-Layer / random-search baselines.
 //! * [`pipeline`] — the integrated single-task runtime reproducing the
 //!   Figure 8 experiments.
+//! * [`corner`] — the always-on event-driven corner frontend (the cheap,
+//!   high-rate workload class of heterogeneous deployments).
 //!
 //! ## Example
 //!
@@ -40,6 +42,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corner;
 pub mod dsfa;
 pub mod e2sf;
 pub mod frame;
@@ -94,14 +97,15 @@ pub mod nmp {
     pub mod tune;
 
     pub use sweep::{
-        run_cells, run_sweep, run_sweep_mode, PlatformPreset, SearchAlgorithm, SweepCell,
-        SweepCellReport, SweepReport, SweepSpec, TaskMix, ZooPreset,
+        run_cells, run_sweep, run_sweep_mode, task_spec_for, PlatformPreset, SearchAlgorithm,
+        SweepCell, SweepCellReport, SweepReport, SweepSpec, TaskMix, ZooPreset,
     };
     pub use tune::{
         rank_cells, AutoTuner, CellObjective, TuneObjective, TuneReport, TuneSelection,
     };
 }
 
+pub use corner::{Corner, CornerConfig, CornerDetector};
 pub use dsfa::{CMode, Dsfa, DsfaConfig, MergedBatch};
 pub use e2sf::{E2sf, E2sfConfig};
 pub use frame::SparseFrame;

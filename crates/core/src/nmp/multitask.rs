@@ -29,6 +29,12 @@ pub struct TaskSpec {
     /// Arrival period of this task's inputs under streaming execution
     /// (used by the `Streaming` fitness objective; `None` for one-shot).
     pub arrival_period: Option<ev_core::TimeDelta>,
+    /// Measured per-layer input densities for *data-dependent* workloads
+    /// (one entry per layer; e.g. the GraphNet active-node schedule).
+    /// `None` profiles with domain-default densities. Densities enter the
+    /// cost tables once, at profile time, so every execution mode prices
+    /// the task identically.
+    pub densities: Option<Vec<f64>>,
 }
 
 impl TaskSpec {
@@ -41,7 +47,28 @@ impl TaskSpec {
             max_degradation,
             aggregation: 0.0,
             arrival_period: None,
+            densities: None,
         }
+    }
+
+    /// Sets the measured per-layer input densities (data-dependent cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not have one density per layer of the
+    /// task's graph, or any density is outside `[0, 1]`.
+    pub fn with_densities(mut self, densities: Vec<f64>) -> Self {
+        assert_eq!(
+            densities.len(),
+            self.graph.len(),
+            "one density per layer required"
+        );
+        assert!(
+            densities.iter().all(|d| (0.0..=1.0).contains(d)),
+            "densities must be in [0, 1]"
+        );
+        self.densities = Some(densities);
+        self
     }
 
     /// Sets the streaming arrival period.
@@ -104,7 +131,7 @@ impl MultiTaskProblem {
         let mut offsets = Vec::with_capacity(tasks.len());
         for (t, task) in tasks.iter().enumerate() {
             let w = task.graph.workloads();
-            let profile = NetworkProfile::record(&platform, &w, None)?;
+            let profile = NetworkProfile::record(&platform, &w, task.densities.as_deref())?;
             offsets.push(nodes.len());
             for l in 0..task.graph.len() {
                 nodes.push((t, l));

@@ -76,6 +76,10 @@ pub enum PlatformPreset {
     OrinLike,
     /// A Nano-class device (a single weaker GPU).
     NanoLike,
+    /// An FPGA-like composable-dataflow fabric (sparse-first PEs with
+    /// near-zero dispatch cost — inverts the GPU-first PE ranking for
+    /// data-dependent workloads).
+    ComposableDataflow,
 }
 
 impl PlatformPreset {
@@ -85,6 +89,7 @@ impl PlatformPreset {
             PlatformPreset::XavierAgx => Platform::xavier_agx(),
             PlatformPreset::OrinLike => Platform::orin_like(),
             PlatformPreset::NanoLike => Platform::nano_like(),
+            PlatformPreset::ComposableDataflow => Platform::composable_dataflow(),
         }
     }
 
@@ -94,6 +99,7 @@ impl PlatformPreset {
             PlatformPreset::XavierAgx => "xavier_agx",
             PlatformPreset::OrinLike => "orin_like",
             PlatformPreset::NanoLike => "nano_like",
+            PlatformPreset::ComposableDataflow => "composable_dataflow",
         }
     }
 }
@@ -150,6 +156,13 @@ pub enum TaskMix {
     /// The mixed SNN-ANN configuration: Fusion-FlowNet + HALSIE +
     /// DOTIE + E2Depth (the Figure 10 workload).
     MixedSnnAnn,
+    /// The GNN-heavy heterogeneous configuration: two GraphNet instances
+    /// (data-dependent per-layer cost) + DOTIE. Exercises the
+    /// density-aware cost tables end to end.
+    GnnHeavy,
+    /// Corner frontend + heterogeneous inference: CornerNet (cheap,
+    /// high-rate, always-on) + GraphNet + E2Depth.
+    CornerPlusInference,
     /// An explicit workload: the listed networks, each with its Table 2
     /// ΔA budget scaled by `delta_scale` (1.0 = the paper's budgets;
     /// smaller is stricter).
@@ -173,6 +186,12 @@ impl TaskMix {
                 NetworkId::Dotie,
                 NetworkId::E2Depth,
             ],
+            TaskMix::GnnHeavy => vec![NetworkId::GraphNet, NetworkId::GraphNet, NetworkId::Dotie],
+            TaskMix::CornerPlusInference => vec![
+                NetworkId::CornerNet,
+                NetworkId::GraphNet,
+                NetworkId::E2Depth,
+            ],
             TaskMix::Custom { networks, .. } => networks.clone(),
         }
     }
@@ -191,6 +210,8 @@ impl TaskMix {
             TaskMix::AllAnn => "all-ANN".to_string(),
             TaskMix::AllSnn => "all-SNN".to_string(),
             TaskMix::MixedSnnAnn => "mixed SNN-ANN".to_string(),
+            TaskMix::GnnHeavy => "GNN-heavy".to_string(),
+            TaskMix::CornerPlusInference => "corner+inference".to_string(),
             TaskMix::Custom {
                 networks,
                 delta_scale,
@@ -201,7 +222,24 @@ impl TaskMix {
         }
     }
 
-    /// Builds the mapping problem of this mix on a platform.
+    /// Parses a command-line mix name (the `--mix` flag of the bench
+    /// binaries). `None` for unknown names.
+    pub fn from_flag(name: &str) -> Option<TaskMix> {
+        match name {
+            "all-ann" => Some(TaskMix::AllAnn),
+            "all-snn" => Some(TaskMix::AllSnn),
+            "mixed" => Some(TaskMix::MixedSnnAnn),
+            "gnn-heavy" => Some(TaskMix::GnnHeavy),
+            "corner-inference" => Some(TaskMix::CornerPlusInference),
+            _ => None,
+        }
+    }
+
+    /// Builds the mapping problem of this mix on a platform. Networks
+    /// with a data-dependent cost schedule (see
+    /// [`NetworkId::density_schedule`]) get their measured densities
+    /// attached, so `Custom` mixes assembled elsewhere (e.g. the serve
+    /// tenant registry) automatically price them correctly too.
     ///
     /// # Errors
     ///
@@ -215,13 +253,7 @@ impl TaskMix {
         let tasks = self
             .networks()
             .iter()
-            .map(|&n| {
-                Ok(TaskSpec::new(
-                    n.build(zoo)?,
-                    n.accuracy_model(),
-                    n.delta_a() * scale,
-                ))
-            })
+            .map(|&n| task_spec_for(n, zoo, scale))
             .collect::<Result<Vec<_>, ev_nn::NnError>>()?;
         MultiTaskProblem::new(platform, tasks)
     }
@@ -233,6 +265,8 @@ impl TaskMix {
             TaskMix::AllAnn => vec![0],
             TaskMix::AllSnn => vec![1],
             TaskMix::MixedSnnAnn => vec![2],
+            TaskMix::GnnHeavy => vec![4],
+            TaskMix::CornerPlusInference => vec![5],
             TaskMix::Custom {
                 networks,
                 delta_scale,
@@ -244,6 +278,32 @@ impl TaskMix {
             }
         }
     }
+}
+
+/// Builds one network's [`TaskSpec`] with its ΔA budget scaled by
+/// `delta_scale`, attaching the network's data-dependent density
+/// schedule when it has one ([`NetworkId::density_schedule`]). The
+/// single task-construction path shared by [`TaskMix::build_problem`]
+/// and the bench/serve layers, so data-dependent costs can never be
+/// silently dropped by one of them.
+///
+/// # Errors
+///
+/// Propagates graph construction errors.
+pub fn task_spec_for(
+    network: NetworkId,
+    zoo: &ZooConfig,
+    delta_scale: f64,
+) -> Result<TaskSpec, ev_nn::NnError> {
+    let mut spec = TaskSpec::new(
+        network.build(zoo)?,
+        network.accuracy_model(),
+        network.delta_a() * delta_scale,
+    );
+    if let Some(densities) = network.density_schedule(zoo) {
+        spec = spec.with_densities(densities);
+    }
+    Ok(spec)
 }
 
 /// A declarative grid over NMP search configurations (the Figure 10
@@ -1194,5 +1254,88 @@ mod tests {
         assert_eq!(custom.delta_scale(), 0.5);
         assert!(custom.name().contains("DOTIE"));
         assert_ne!(TaskMix::AllAnn.seed_words(), TaskMix::AllSnn.seed_words());
+    }
+
+    #[test]
+    fn heterogeneous_mixes_parse_and_seed_distinctly() {
+        assert_eq!(TaskMix::from_flag("gnn-heavy"), Some(TaskMix::GnnHeavy));
+        assert_eq!(
+            TaskMix::from_flag("corner-inference"),
+            Some(TaskMix::CornerPlusInference)
+        );
+        assert_eq!(TaskMix::from_flag("mixed"), Some(TaskMix::MixedSnnAnn));
+        assert_eq!(TaskMix::from_flag("no-such-mix"), None);
+        let mixes = [
+            TaskMix::AllAnn,
+            TaskMix::AllSnn,
+            TaskMix::MixedSnnAnn,
+            TaskMix::GnnHeavy,
+            TaskMix::CornerPlusInference,
+        ];
+        for i in 0..mixes.len() {
+            for j in (i + 1)..mixes.len() {
+                assert_ne!(mixes[i].seed_words(), mixes[j].seed_words());
+            }
+        }
+        assert!(TaskMix::GnnHeavy.networks().contains(&NetworkId::GraphNet));
+        let corner = TaskMix::CornerPlusInference.networks();
+        assert!(corner.contains(&NetworkId::CornerNet));
+        assert!(corner.contains(&NetworkId::GraphNet));
+    }
+
+    #[test]
+    fn heterogeneous_problems_carry_density_schedules() {
+        let zoo = ZooConfig::small();
+        let problem = TaskMix::CornerPlusInference
+            .build_problem(PlatformPreset::ComposableDataflow.build(), &zoo)
+            .unwrap();
+        assert_eq!(problem.tasks().len(), 3);
+        // GraphNet (task 1) carries its measured schedule; the others
+        // profile with domain defaults.
+        assert!(problem.tasks()[0].densities.is_none());
+        let densities = problem.tasks()[1].densities.as_ref().unwrap();
+        assert_eq!(densities.len(), problem.tasks()[1].graph.len());
+        assert!(problem.tasks()[2].densities.is_none());
+        // Custom mixes built through the shared helper agree.
+        let custom = TaskMix::Custom {
+            networks: vec![NetworkId::GraphNet],
+            delta_scale: 1.0,
+        }
+        .build_problem(Platform::xavier_agx(), &zoo)
+        .unwrap();
+        assert_eq!(
+            custom.tasks()[0].densities,
+            problem.tasks()[1].densities,
+            "the same schedule must flow through every construction path"
+        );
+    }
+
+    #[test]
+    fn densities_change_the_recorded_costs() {
+        let zoo = ZooConfig::small();
+        let platform = Platform::xavier_agx();
+        let with = task_spec_for(NetworkId::GraphNet, &zoo, 1.0).unwrap();
+        let mut without = with.clone();
+        without.densities = None;
+        let p_with = MultiTaskProblem::new(platform.clone(), vec![with]).unwrap();
+        let p_without = MultiTaskProblem::new(platform, vec![without]).unwrap();
+        assert_ne!(
+            format!("{:?}", p_with.profile(0)),
+            format!("{:?}", p_without.profile(0)),
+            "the density schedule must actually reach the cost tables"
+        );
+    }
+
+    #[test]
+    fn gnn_mix_sweeps_on_the_dataflow_preset() {
+        let mut spec = tiny_spec();
+        spec.populations = vec![3];
+        spec.queue_capacities = vec![2];
+        spec.task_mixes = vec![TaskMix::GnnHeavy];
+        spec.platforms = vec![PlatformPreset::ComposableDataflow];
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0].best_score > 0.0);
+        assert!(report.cells[0].runtime.completed > 0);
     }
 }

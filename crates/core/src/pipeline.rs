@@ -178,6 +178,8 @@ impl PipelineOptions {
             NetworkId::E2Depth => 0.02,
             NetworkId::Dotie => 0.04,
             NetworkId::EvFlowNet => 0.04,
+            NetworkId::GraphNet => 0.05,
+            NetworkId::CornerNet => 0.06,
         };
         PipelineOptions {
             variant,

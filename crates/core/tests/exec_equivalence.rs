@@ -26,6 +26,7 @@ use ev_edge::multipipe::{
 };
 use ev_edge::nmp::baseline;
 use ev_edge::nmp::multitask::{MultiTaskProblem, TaskSpec};
+use ev_edge::nmp::sweep::TaskMix;
 use ev_edge::EvEdgeError;
 use ev_nn::zoo::{NetworkId, ZooConfig};
 use ev_platform::pe::Platform;
@@ -602,6 +603,97 @@ fn speculative_pipelined_stage_is_bitwise_identical() {
     }
     assert!(reports[0].per_task.iter().any(|t| t.completed > 0));
     assert_eq!(reports[0], reports[1]);
+}
+
+/// The heterogeneous workload classes — data-dependent GraphNet tasks
+/// (GNN-heavy mix) and the always-on corner-detection frontend beside
+/// dense inference (corner+inference mix) — are bitwise identical
+/// across every order-preserving execution mode, on both the GPU-class
+/// preset and the composable-dataflow fabric. The data-dependent costs
+/// enter the profile once, at problem-construction time, so no mode can
+/// see a different price for the same layer.
+#[test]
+fn heterogeneous_mixes_match_serial_across_all_order_preserving_modes() {
+    let cfg = ZooConfig::mvsec();
+    for (mix, platform) in [
+        (TaskMix::GnnHeavy, Platform::xavier_agx()),
+        (
+            TaskMix::CornerPlusInference,
+            Platform::composable_dataflow(),
+        ),
+    ] {
+        let problem = mix.build_problem(platform, &cfg).unwrap();
+        assert!(
+            problem.tasks().iter().any(|t| t.densities.is_some()),
+            "mix {} must carry at least one data-dependent task",
+            mix.name()
+        );
+        let periods: Vec<TimeDelta> = (0..problem.tasks().len())
+            .map(|t| TimeDelta::from_millis(3 + 2 * t as i64))
+            .collect();
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(50));
+        for candidate in [baseline::rr_network(&problem), baseline::rr_layer(&problem)] {
+            let serial_config = MultiTaskRuntimeConfig::new(window);
+            let serial =
+                run_multi_task_runtime(&problem, &candidate, &periods, serial_config).unwrap();
+            assert!(
+                serial.per_task.iter().all(|t| t.completed > 0),
+                "mix {} must execute every task",
+                mix.name()
+            );
+            let modes = [
+                ExecMode::ThreadPerQueue,
+                ExecMode::LayerParallel,
+                ExecMode::Pipelined {
+                    channel_capacity: 0,
+                },
+                ExecMode::Pipelined {
+                    channel_capacity: 8,
+                },
+                ExecMode::Sharded { shards: 0 },
+                ExecMode::Sharded { shards: 2 },
+            ];
+            for mode in modes {
+                let mut config = serial_config;
+                config.mode = mode;
+                let report =
+                    run_multi_task_runtime(&problem, &candidate, &periods, config).unwrap();
+                assert_eq!(serial, report, "mix {}, mode {mode:?}", mix.name());
+            }
+        }
+    }
+}
+
+/// The sixth mode: on the same heterogeneous mixes the optimizing
+/// runtime keeps the semantic-equivalence contract — same task names,
+/// and every latency statistic, the makespan and the energy bounded
+/// above by serial.
+#[test]
+fn optimizing_keeps_the_contract_on_heterogeneous_mixes() {
+    let cfg = ZooConfig::mvsec();
+    for (mix, platform) in [
+        (TaskMix::GnnHeavy, Platform::composable_dataflow()),
+        (TaskMix::CornerPlusInference, Platform::xavier_agx()),
+    ] {
+        let problem = mix.build_problem(platform, &cfg).unwrap();
+        let periods: Vec<TimeDelta> = (0..problem.tasks().len())
+            .map(|t| TimeDelta::from_millis(3 + 2 * t as i64))
+            .collect();
+        let window = TimeWindow::new(Timestamp::ZERO, Timestamp::from_millis(50));
+        for candidate in [baseline::rr_layer(&problem), baseline::rr_network(&problem)] {
+            let config = MultiTaskRuntimeConfig::new(window);
+            let serial = run_multi_task_runtime(&problem, &candidate, &periods, config).unwrap();
+            assert!(serial.per_task.iter().all(|t| t.completed > 0));
+            let optimizing =
+                run_multi_task_runtime(&problem, &candidate, &periods, config.with_optimizing())
+                    .unwrap();
+            for (s, o) in serial.per_task.iter().zip(&optimizing.per_task) {
+                assert_eq!(s.name, o.name, "mix {}", mix.name());
+            }
+            check_reports(&as_engine_report(&serial), &as_engine_report(&optimizing))
+                .unwrap_or_else(|e| panic!("mix {}: contract violated: {e:?}", mix.name()));
+        }
+    }
 }
 
 #[test]

@@ -69,6 +69,34 @@ fn problem(tasks: usize) -> MultiTaskProblem {
     .unwrap()
 }
 
+/// The heterogeneous workload pool: the data-dependent GraphNet, the
+/// always-on corner frontend, and a dense ANN. Specs are built through
+/// `task_spec_for` so GraphNet carries its measured per-layer density
+/// schedule into the profile.
+const HETERO_NETWORKS: [NetworkId; 3] = [
+    NetworkId::GraphNet,
+    NetworkId::CornerNet,
+    NetworkId::E2Depth,
+];
+
+fn hetero_problem(tasks: usize, dataflow: bool) -> MultiTaskProblem {
+    let cfg = ZooConfig::mvsec();
+    let platform = if dataflow {
+        Platform::composable_dataflow()
+    } else {
+        Platform::xavier_agx()
+    };
+    MultiTaskProblem::new(
+        platform,
+        HETERO_NETWORKS
+            .iter()
+            .take(tasks)
+            .map(|&n| ev_edge::nmp::task_spec_for(n, &cfg, 1.0).unwrap())
+            .collect(),
+    )
+    .unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -212,6 +240,92 @@ proptest! {
         use rand::SeedableRng;
 
         let p = problem(tasks);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        let periods: Vec<TimeDelta> = (0..tasks)
+            .map(|t| TimeDelta::from_millis(period_base + 2 * t as i64))
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        config.mode = ExecMode::Optimizing;
+        let optimizing = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        for (s, o) in serial.per_task.iter().zip(&optimizing.per_task) {
+            prop_assert_eq!(&s.name, &o.name);
+        }
+        let verdict = check_reports(&as_engine_report(&serial), &as_engine_report(&optimizing));
+        prop_assert!(verdict.is_ok(), "equivalence violated: {:?}", verdict);
+    }
+
+    /// Heterogeneous workloads under *random NMP mappings*: a problem
+    /// whose GraphNet task carries its data-dependent density schedule
+    /// (and whose platform may include the composable-dataflow fabric)
+    /// still replays the serial engine bit for bit in every
+    /// order-preserving mode. The densities enter the cost tables once,
+    /// at profile time, so no mapping or mode can reprice a layer.
+    #[test]
+    fn heterogeneous_modes_agree_on_random_mappings(
+        tasks in 1usize..4,
+        dataflow in any::<bool>(),
+        seed in 0u64..1_000_000_000,
+        period_base in 2i64..9,
+        window_ms in 15u64..50,
+        queue_capacity in 1usize..4,
+        channel_capacity in 0usize..9,
+        shards in 0usize..4,
+    ) {
+        use ev_edge::nmp::candidate::Candidate;
+        use rand::SeedableRng;
+
+        let p = hetero_problem(tasks, dataflow);
+        prop_assert!(p.tasks().iter().any(|t| t.densities.is_some()));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let candidate = Candidate::random(&p, &mut rng);
+        let periods: Vec<TimeDelta> = (0..tasks)
+            .map(|t| TimeDelta::from_millis(period_base + 2 * t as i64))
+            .collect();
+        let mut config = MultiTaskRuntimeConfig::new(TimeWindow::new(
+            Timestamp::ZERO,
+            Timestamp::from_millis(window_ms),
+        ));
+        config.queue_capacity = queue_capacity;
+        let serial = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+
+        config.mode = ExecMode::ThreadPerQueue;
+        let threaded = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &threaded);
+
+        config.mode = ExecMode::Pipelined { channel_capacity };
+        let pipelined = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &pipelined);
+
+        config.mode = ExecMode::Sharded { shards };
+        let sharded = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &sharded);
+
+        config.mode = ExecMode::LayerParallel;
+        let layer_parallel = run_multi_task_runtime(&p, &candidate, &periods, config).unwrap();
+        prop_assert_eq!(&serial, &layer_parallel);
+    }
+
+    /// And the optimizing runtime keeps the semantic-equivalence
+    /// contract on the same heterogeneous random-mapping space.
+    #[test]
+    fn optimizing_keeps_the_contract_on_heterogeneous_random_mappings(
+        tasks in 1usize..4,
+        dataflow in any::<bool>(),
+        seed in 0u64..1_000_000_000,
+        period_base in 2i64..9,
+        window_ms in 15u64..50,
+        queue_capacity in 1usize..4,
+    ) {
+        use ev_edge::nmp::candidate::Candidate;
+        use rand::SeedableRng;
+
+        let p = hetero_problem(tasks, dataflow);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let candidate = Candidate::random(&p, &mut rng);
         let periods: Vec<TimeDelta> = (0..tasks)

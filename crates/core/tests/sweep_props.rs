@@ -87,6 +87,34 @@ proptest! {
         }
     }
 
+    /// The heterogeneous mixes keep the worker-count invariance: sweeps
+    /// over GNN-heavy and corner+inference cells — data-dependent
+    /// GraphNet costs, the composable-dataflow preset in the grid — are
+    /// byte-identical between serial and fanned-out runs.
+    #[test]
+    fn heterogeneous_sweeps_are_worker_count_invariant(
+        pops in prop::collection::vec(2usize..5, 1..3),
+        gens in prop::collection::vec(1usize..3, 1..2),
+        base_seed in 0u64..1_000_000,
+        dataflow in any::<bool>(),
+    ) {
+        let spec = SweepSpec {
+            platforms: if dataflow {
+                vec![PlatformPreset::ComposableDataflow]
+            } else {
+                vec![PlatformPreset::XavierAgx, PlatformPreset::ComposableDataflow]
+            },
+            task_mixes: vec![TaskMix::GnnHeavy, TaskMix::CornerPlusInference],
+            ..spec_from(pops, gens, vec![2], 0.25, base_seed, false)
+        };
+        let serial = run_sweep(&spec, 1).expect("serial sweep runs");
+        prop_assert!(serial.cells.iter().all(|c| c.best_score > 0.0));
+        for workers in [2usize, 8] {
+            let parallel = run_sweep(&spec, workers).expect("parallel sweep runs");
+            prop_assert_eq!(&serial, &parallel, "workers = {}", workers);
+        }
+    }
+
     #[test]
     fn cell_seeds_are_pairwise_distinct_across_searches(
         pops in prop::collection::vec(2usize..8, 1..4),

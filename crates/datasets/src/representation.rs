@@ -83,6 +83,10 @@ pub fn representation_for(network: NetworkId) -> InputRepresentation {
         // DOTIE's working principle).
         NetworkId::Dotie => InputRepresentation::new(24, 1),
         NetworkId::AdaptiveSpikeNet => InputRepresentation::new(32, 1),
+        // Event-driven workloads consume per-event updates rather than
+        // binned frames; a single coarse bin models their batch fallback.
+        NetworkId::GraphNet => InputRepresentation::new(2, 2),
+        NetworkId::CornerNet => InputRepresentation::new(2, 2),
     }
 }
 

@@ -12,7 +12,9 @@ use crate::layer::{LayerId, LayerKind, Shape};
 use crate::snn::LifState;
 use crate::NnError;
 use ev_sparse::coo::SparseTensor;
+use ev_sparse::csr::CsrMatrix;
 use ev_sparse::dense::Tensor;
+use ev_sparse::graph::{gather_mean, grid_adjacency};
 use ev_sparse::opcount::{OpCount, WorkComparison};
 use ev_sparse::ops::conv::{conv2d_dense, conv2d_sparse, conv_transpose2d_dense, Conv2dSpec};
 use ev_sparse::ops::linear::{linear, relu_in_place};
@@ -137,6 +139,8 @@ pub struct Executor {
     graph: NetworkGraph,
     weights: HashMap<LayerId, LayerWeights>,
     lif_states: HashMap<LayerId, LifState>,
+    /// CSR grid adjacencies for graph-conv layers, built on first use.
+    adjacency: HashMap<LayerId, CsrMatrix>,
 }
 
 impl Executor {
@@ -223,6 +227,18 @@ impl Executor {
                         ),
                     );
                 }
+                LayerKind::GraphConv(g) => {
+                    weights.insert(
+                        layer.id,
+                        make_weights(
+                            &[g.out_features, g.in_features],
+                            g.in_features,
+                            g.out_features,
+                            lseed,
+                            1.0,
+                        ),
+                    );
+                }
                 LayerKind::MaxPool2d { .. } | LayerKind::Concat => {}
             }
         }
@@ -230,6 +246,7 @@ impl Executor {
             graph,
             weights,
             lif_states,
+            adjacency: HashMap::new(),
         }
     }
 
@@ -445,6 +462,52 @@ impl Executor {
                         },
                     ))
                 }
+            }
+            LayerKind::GraphConv(g) => {
+                let dense = inputs[0].to_dense_chw()?;
+                let (f_in, f_out) = (g.in_features, g.out_features);
+                let (h, w) = (g.nodes_h, g.nodes_w);
+                let nodes = g.nodes();
+                // Re-layout [C,H,W] into node-major [nodes, features] for the
+                // neighborhood gather.
+                let mut node_feats = Vec::with_capacity(nodes * f_in);
+                for n in 0..nodes {
+                    let (r, c) = (n / w, n % w);
+                    for k in 0..f_in {
+                        node_feats.push(dense.get(&[k, r, c]));
+                    }
+                }
+                let x = Tensor::from_vec(&[nodes, f_in], node_feats).map_err(wrap)?;
+                if let std::collections::hash_map::Entry::Vacant(e) = self.adjacency.entry(id) {
+                    e.insert(grid_adjacency(h, w, g.radius).map_err(wrap)?);
+                }
+                let adj = &self.adjacency[&id];
+                let (gathered, gather_work) = gather_mean(adj, &x).map_err(wrap)?;
+                // Per-node linear transform + ReLU, back into [C,H,W] layout.
+                let lw = &self.weights[&id];
+                let wslice = lw.weight.as_slice();
+                let mut out = Tensor::zeros(&[f_out, h, w]);
+                for n in 0..nodes {
+                    let (r, c) = (n / w, n % w);
+                    for o in 0..f_out {
+                        let mut acc = lw.bias[o];
+                        for k in 0..f_in {
+                            acc += wslice[o * f_in + k] * gathered.get(&[n, k]);
+                        }
+                        out.set(&[o, r, c], acc.max(0.0));
+                    }
+                }
+                let transform = OpCount {
+                    macs: (nodes * f_in * f_out) as u64,
+                    adds: (nodes * f_out) as u64,
+                    bytes_read: ((nodes * f_in + f_in * f_out + f_out) * 4) as u64,
+                    bytes_written: (nodes * f_out * 4) as u64,
+                };
+                let work = WorkComparison {
+                    actual: gather_work.actual + transform,
+                    dense_equivalent: gather_work.dense_equivalent + transform,
+                };
+                Ok((Activation::Dense(out), work))
             }
             LayerKind::Head { .. } => {
                 let spec = Conv2dSpec {

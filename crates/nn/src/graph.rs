@@ -248,6 +248,12 @@ impl LayerWorkload {
                 },
                 _,
             ) => (in_features * out_features) as u64,
+            (LayerKind::GraphConv(g), _) => {
+                // Neighbourhood gather over the grid adjacency, then the
+                // shared per-node linear transform.
+                g.edges() * g.in_features as u64
+                    + (g.nodes() * g.in_features * g.out_features) as u64
+            }
             (LayerKind::MaxPool2d { .. }, _) | (LayerKind::Concat, _) => 0,
             _ => 0,
         };
@@ -474,6 +480,20 @@ fn infer_shape(kind: &LayerKind, in_shapes: &[Shape], name: &str) -> Result<Shap
                 c: *out_channels,
                 h,
                 w,
+            })
+        }
+        LayerKind::GraphConv(g) => {
+            let (c, h, w) = single_chw()?;
+            if c != g.in_features || h != g.nodes_h || w != g.nodes_w {
+                return Err(incompatible(format!(
+                    "graph conv expects [{}, {}, {}] node features, got [{c}, {h}, {w}]",
+                    g.in_features, g.nodes_h, g.nodes_w
+                )));
+            }
+            Ok(Shape::Chw {
+                c: g.out_features,
+                h: g.nodes_h,
+                w: g.nodes_w,
             })
         }
     }

@@ -104,6 +104,48 @@ impl ConvT2dCfg {
     }
 }
 
+/// Configuration of an EvGNN-style event-graph convolution over a fixed
+/// spatial node grid (one node per grid site, edges within a Chebyshev
+/// neighbourhood).
+///
+/// The layer consumes a `[in_features, nodes_h, nodes_w]` feature map,
+/// gathers each node's closed neighbourhood over the grid adjacency,
+/// and applies a shared per-node linear transform. Its *useful* work is
+/// data-dependent: only nodes activated by the event stream (plus their
+/// dilated neighbourhoods) carry signal, which is what the per-layer
+/// density overrides in the platform profile model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphConvCfg {
+    /// Node-grid height.
+    pub nodes_h: usize,
+    /// Node-grid width.
+    pub nodes_w: usize,
+    /// Chebyshev neighbourhood radius of the grid adjacency.
+    pub radius: usize,
+    /// Input features per node.
+    pub in_features: usize,
+    /// Output features per node.
+    pub out_features: usize,
+}
+
+impl GraphConvCfg {
+    /// Total node count (`nodes_h × nodes_w`).
+    pub fn nodes(&self) -> usize {
+        self.nodes_h * self.nodes_w
+    }
+
+    /// Directed edge count of the grid adjacency (closed form, no
+    /// matrix construction).
+    pub fn edges(&self) -> u64 {
+        ev_sparse::graph::grid_edge_count(self.nodes_h, self.nodes_w, self.radius)
+    }
+
+    /// Parameter count (per-node linear weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+}
+
 /// Leaky integrate-and-fire neuron configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifCfg {
@@ -155,6 +197,9 @@ pub enum LayerKind {
     },
     /// Channel-wise concatenation of all predecessor outputs (skip links).
     Concat,
+    /// Event-graph convolution: neighbourhood gather over the node-grid
+    /// adjacency, then a shared per-node linear transform (+ ReLU).
+    GraphConv(GraphConvCfg),
     /// Prediction head: 1×1 convolution producing the task output channels.
     Head {
         /// Input channels.
@@ -187,6 +232,7 @@ impl LayerKind {
                 in_channels,
                 out_channels,
             } => in_channels * out_channels + out_channels,
+            LayerKind::GraphConv(g) => g.param_count(),
             LayerKind::MaxPool2d { .. } | LayerKind::Concat => 0,
         }
     }
@@ -216,6 +262,10 @@ impl LayerKind {
                 in_channels,
                 out_channels,
             } => format!("Head {in_channels}→{out_channels}"),
+            LayerKind::GraphConv(g) => format!(
+                "GraphConv {}→{} r{} ({}x{} nodes)",
+                g.in_features, g.out_features, g.radius, g.nodes_h, g.nodes_w
+            ),
         }
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod accuracy;
 pub mod forward;
+pub mod gnn;
 pub mod graph;
 pub mod layer;
 pub mod quant;

@@ -72,7 +72,7 @@ impl ZooConfig {
         }
     }
 
-    fn input_shape(&self) -> Shape {
+    pub(crate) fn input_shape(&self) -> Shape {
         Shape::Chw {
             c: self.input_channels,
             h: self.height,
@@ -80,7 +80,7 @@ impl ZooConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), NnError> {
+    pub(crate) fn validate(&self) -> Result<(), NnError> {
         if !self.height.is_multiple_of(16) || !self.width.is_multiple_of(16) {
             return Err(NnError::IncompatibleShape {
                 layer: "input".to_string(),
@@ -539,6 +539,31 @@ pub fn ev_flownet(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
     b.finish()
 }
 
+/// CornerNet — the corner-detection/tracking frontend class (after the
+/// memory-efficient event-camera corner detectors, arXiv 2401.09797): a
+/// cheap, high-rate, always-on two-layer ANN that consumes the corner
+/// detector's event surface and emits a per-pixel cornerness map. Its
+/// channel widths are fixed (not scaled by `base_width`) so the network
+/// stays cheap at every zoo scale.
+pub fn corner_net(cfg: &ZooConfig) -> Result<NetworkGraph, NnError> {
+    cfg.validate()?;
+    let mut b = GraphBuilder::new("CornerNet", Task::ObjectTracking, cfg.input_shape());
+    let c1 = b.layer(
+        "c1",
+        LayerKind::Conv2d(Conv2dCfg::down(cfg.input_channels, 4, 3)),
+        &[],
+    )?;
+    let _head = b.layer(
+        "corner",
+        LayerKind::Head {
+            in_channels: 4,
+            out_channels: 1,
+        },
+        &[c1],
+    )?;
+    b.finish()
+}
+
 /// Identifier of a zoo network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -557,6 +582,12 @@ pub enum NetworkId {
     Dotie,
     /// EV-FlowNet — ANN optical flow (multi-task configurations).
     EvFlowNet,
+    /// GraphNet — EvGNN-style event-driven graph network with
+    /// data-dependent per-layer cost (heterogeneous workload class).
+    GraphNet,
+    /// CornerNet — cheap always-on corner/tracking frontend
+    /// (heterogeneous workload class).
+    CornerNet,
 }
 
 impl NetworkId {
@@ -580,6 +611,8 @@ impl NetworkId {
             NetworkId::E2Depth => "E2Depth",
             NetworkId::Dotie => "DOTIE",
             NetworkId::EvFlowNet => "EV-FlowNet",
+            NetworkId::GraphNet => "GraphNet",
+            NetworkId::CornerNet => "CornerNet",
         }
     }
 
@@ -597,6 +630,25 @@ impl NetworkId {
             NetworkId::E2Depth => e2depth(cfg),
             NetworkId::Dotie => dotie(cfg),
             NetworkId::EvFlowNet => ev_flownet(cfg),
+            NetworkId::GraphNet => crate::gnn::graph_net(cfg),
+            NetworkId::CornerNet => corner_net(cfg),
+        }
+    }
+
+    /// Deterministic per-layer input-density schedule for networks whose
+    /// cost is *data-dependent* (the EvGNN-style [`NetworkId::GraphNet`]:
+    /// each graph layer only touches the active node set the event stream
+    /// dilated). `None` for the frame-based networks, which are profiled
+    /// with domain-default or measured densities instead.
+    ///
+    /// The schedule has one entry per entry of
+    /// [`NetworkGraph::workloads`](crate::graph::NetworkGraph) and feeds
+    /// the platform profile's `densities` argument, so every execution
+    /// mode prices the network identically.
+    pub fn density_schedule(self, cfg: &ZooConfig) -> Option<Vec<f64>> {
+        match self {
+            NetworkId::GraphNet => crate::gnn::graph_net_density_schedule(cfg).ok(),
+            _ => None,
         }
     }
 
@@ -617,6 +669,10 @@ impl NetworkId {
             NetworkId::Dotie => (MetricKind::MIou, 0.86, 0.04),
             // EV-FlowNet is not in Table 2; use SpikeFlowNet-like anchors.
             NetworkId::EvFlowNet => (MetricKind::Aee, 0.95, 0.04),
+            // The heterogeneous workload classes are not in Table 2;
+            // detection-accuracy-style anchors with DOTIE-like budgets.
+            NetworkId::GraphNet => (MetricKind::MIou, 0.88, 0.05),
+            NetworkId::CornerNet => (MetricKind::MIou, 0.92, 0.06),
         };
         AccuracyModel::new(metric, baseline, delta * 1.2, delta * 0.4)
     }
@@ -634,6 +690,9 @@ impl NetworkId {
             NetworkId::Dotie => 0.04,
             // EV-FlowNet is not in Table 2; SpikeFlowNet-like budget.
             NetworkId::EvFlowNet => 0.04,
+            // Heterogeneous workload classes (not in Table 2).
+            NetworkId::GraphNet => 0.05,
+            NetworkId::CornerNet => 0.06,
         }
     }
 
@@ -647,6 +706,8 @@ impl NetworkId {
             NetworkId::E2Depth => (0, 15),
             NetworkId::Dotie => (1, 0),
             NetworkId::EvFlowNet => (0, 11),
+            NetworkId::GraphNet => (0, 6),
+            NetworkId::CornerNet => (0, 2),
         }
     }
 }
@@ -697,6 +758,48 @@ mod tests {
     fn ev_flownet_counts() {
         let g = ev_flownet(&ZooConfig::small()).unwrap();
         assert_eq!(counted_layers(&g), (0, 11));
+    }
+
+    #[test]
+    fn heterogeneous_networks_build_with_expected_counts() {
+        let cfg = ZooConfig::small();
+        for id in [NetworkId::GraphNet, NetworkId::CornerNet] {
+            let g = id.build(&cfg).expect("buildable");
+            assert_eq!(
+                counted_layers(&g),
+                id.expected_layer_counts(),
+                "{id} layer counts"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_net_is_much_cheaper_than_graph_net() {
+        let cfg = ZooConfig::small();
+        let macs = |id: NetworkId| {
+            id.build(&cfg)
+                .unwrap()
+                .workloads()
+                .iter()
+                .map(|w| w.macs)
+                .sum::<u64>()
+        };
+        assert!(
+            5 * macs(NetworkId::CornerNet) < macs(NetworkId::GraphNet),
+            "the corner frontend must stay cheap"
+        );
+    }
+
+    #[test]
+    fn density_schedule_only_for_data_dependent_networks() {
+        let cfg = ZooConfig::small();
+        let sched = NetworkId::GraphNet.density_schedule(&cfg).unwrap();
+        let g = NetworkId::GraphNet.build(&cfg).unwrap();
+        assert_eq!(sched.len(), g.workloads().len());
+        for id in NetworkId::TABLE1 {
+            assert!(id.density_schedule(&cfg).is_none(), "{id}");
+        }
+        assert!(NetworkId::CornerNet.density_schedule(&cfg).is_none());
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum PeKind {
     Gpu,
     /// Fixed-function deep-learning accelerator (dense only).
     Dla,
+    /// Reconfigurable composable-dataflow fabric (FPGA-like): spatial
+    /// pipelines stream sparse event data with no per-kernel launches.
+    Dataflow,
 }
 
 impl fmt::Display for PeKind {
@@ -30,6 +33,7 @@ impl fmt::Display for PeKind {
             PeKind::Cpu => f.write_str("CPU"),
             PeKind::Gpu => f.write_str("GPU"),
             PeKind::Dla => f.write_str("DLA"),
+            PeKind::Dataflow => f.write_str("DF"),
         }
     }
 }
@@ -330,6 +334,51 @@ impl Platform {
         platform
     }
 
+    /// An FPGA-like composable-dataflow platform: a host CPU plus two
+    /// reconfigurable fabric partitions whose spatial pipelines stream
+    /// sparse event data directly (EvGNN-style accelerators). Peak
+    /// throughput sits well below the Jetson GPUs, but the fabric
+    /// converts almost all input sparsity into skipped work
+    /// (`sparse_efficiency` 0.9) and pays no per-kernel launch cost —
+    /// so data-dependent workloads (graph networks, corner frontends)
+    /// invert the usual PE ranking and stress the mapper's choices.
+    pub fn composable_dataflow() -> Platform {
+        let cpu = ProcessingElement {
+            name: "cpu".to_string(),
+            kind: PeKind::Cpu,
+            peak_macs: vec![(Precision::Fp32, 24e9), (Precision::Int8, 96e9)],
+            efficiency_max: 0.55,
+            efficiency_single: 0.45,
+            dispatch_overhead_s: 5e-6,
+            sparse_efficiency: 0.95,
+            idle_power_w: 1.2,
+            energy_per_mac: vec![(Precision::Fp32, 55e-12), (Precision::Int8, 22e-12)],
+        };
+        let fabric = |n: usize| ProcessingElement {
+            name: format!("df{n}"),
+            kind: PeKind::Dataflow,
+            peak_macs: vec![(Precision::Fp16, 0.3e12), (Precision::Int8, 0.6e12)],
+            // Spatial pipelines sustain close to peak once configured,
+            // and reconfiguration is amortized across a stream: no
+            // per-kernel dispatch, high single-inference efficiency.
+            efficiency_max: 0.8,
+            efficiency_single: 0.7,
+            dispatch_overhead_s: 2e-6,
+            sparse_efficiency: 0.9,
+            idle_power_w: 0.6,
+            energy_per_mac: vec![(Precision::Fp16, 5e-12), (Precision::Int8, 3e-12)],
+        };
+        let mut platform = Platform::new(
+            "Composable dataflow fabric",
+            vec![cpu, fabric(0), fabric(1)],
+            38e9,
+            10e-6,
+            35e-12,
+        );
+        platform.static_power_w = 5.0;
+        platform
+    }
+
     /// The platform name.
     pub fn name(&self) -> &str {
         &self.name
@@ -471,6 +520,26 @@ mod tests {
         let gpu = nano.element_by_name("gpu").unwrap();
         assert!(!gpu.supports(Precision::Int8));
         assert_eq!(nano.pes_supporting(Precision::Int8).len(), 1); // cpu only
+    }
+
+    #[test]
+    fn composable_dataflow_is_sparse_first() {
+        let p = Platform::composable_dataflow();
+        assert_eq!(p.elements().len(), 3);
+        let df = p.element_by_name("df0").unwrap();
+        assert_eq!(df.kind, PeKind::Dataflow);
+        assert!(!df.supports(Precision::Fp32));
+        // The fabric trades raw peak for sparsity conversion and cheap
+        // dispatch — the inversion the heterogeneous mixes exercise.
+        let gpu = Platform::xavier_agx();
+        let jetson_gpu = gpu.element_by_name("gpu").unwrap();
+        assert!(
+            df.peak_macs_at(Precision::Int8).unwrap()
+                < jetson_gpu.peak_macs_at(Precision::Int8).unwrap()
+        );
+        assert!(df.sparse_efficiency > jetson_gpu.sparse_efficiency);
+        assert!(df.dispatch_overhead_s < jetson_gpu.dispatch_overhead_s);
+        assert_eq!(PeKind::Dataflow.to_string(), "DF");
     }
 
     #[test]

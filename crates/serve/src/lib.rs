@@ -55,7 +55,7 @@ pub mod tenant;
 
 pub use admission::AdmissionController;
 pub use remap::{carry_over_mapping, mix_drift, MappingCache, MappingSource, MixEntry};
-pub use scenario::synthetic_scenario;
+pub use scenario::{corner_frontend_scenario, synthetic_scenario};
 pub use service::{
     run_service, ChurnAction, ChurnEvent, EpochRecord, ServeConfig, ServeOutcome, ServeReport,
     ServeScenario, ServeTotals, TenantReport,

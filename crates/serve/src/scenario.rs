@@ -116,6 +116,93 @@ pub fn synthetic_scenario(
     Ok(ServeScenario { initial, churn })
 }
 
+/// Network rotation for the heterogeneous scenario's initial tenants:
+/// the data-dependent GraphNet leads so every run carries at least one
+/// event-graph workload alongside the classic inference networks.
+const HETERO_ROTATION: [NetworkId; 4] = [
+    NetworkId::GraphNet,
+    NetworkId::Dotie,
+    NetworkId::E2Depth,
+    NetworkId::EvFlowNet,
+];
+
+/// Builds the heterogeneous churn scenario of `serve_sim --corner`:
+/// `tenants` initial streams led by a GraphNet tenant, plus an
+/// always-on corner-detection frontend (`corner-frontend`, running
+/// [`NetworkId::CornerNet`]) that joins at 40% of the window and — being
+/// always-on — never leaves. Periods follow the same near-saturation
+/// sizing as [`synthetic_scenario`], measured against the joined mix,
+/// so the frontend's cheap high-rate stream rides alongside the
+/// heavyweight inference tenants. The join still crosses the
+/// drift-triggered re-tune path; there is no leave epoch.
+///
+/// # Errors
+///
+/// Same contract as [`synthetic_scenario`].
+pub fn corner_frontend_scenario(
+    config: &ServeConfig,
+    tenants: usize,
+    pressure: f64,
+) -> Result<ServeScenario, ServeError> {
+    if tenants == 0 {
+        return Err(ServeError::InvalidConfig {
+            what: "corner-frontend scenario needs at least one tenant".to_string(),
+        });
+    }
+    if tenants + 1 > config.max_tenants {
+        return Err(ServeError::InvalidConfig {
+            what: format!(
+                "corner-frontend scenario needs {} tenant slots, config allows {}",
+                tenants + 1,
+                config.max_tenants
+            ),
+        });
+    }
+    if !pressure.is_finite() || pressure <= 0.0 {
+        return Err(ServeError::InvalidConfig {
+            what: format!("pressure must be finite and positive, got {pressure}"),
+        });
+    }
+
+    let mut networks: Vec<NetworkId> = (0..tenants)
+        .map(|i| HETERO_ROTATION[i % HETERO_ROTATION.len()])
+        .collect();
+    networks.push(NetworkId::CornerNet);
+    let mix = TaskMix::Custom {
+        networks: networks.clone(),
+        delta_scale: 1.0,
+    };
+    let problem = mix.build_problem(config.platform.build(), &config.zoo.config())?;
+    let rr = baseline::rr_network(&problem);
+    let report = FitnessEvaluator::new(&problem, FitnessConfig::default()).evaluate(&rr)?;
+    let periods: Vec<TimeDelta> = near_saturation_periods(&report)
+        .into_iter()
+        .map(|p| scaled_period(p, pressure))
+        .collect::<Result<_, _>>()?;
+
+    let initial = (0..tenants)
+        .map(|i| TenantSpec {
+            name: format!("tenant-{i:02}"),
+            network: networks[i],
+            period: periods[i],
+        })
+        .collect();
+
+    let start = config.window.start();
+    let span = (config.window.end() - start).as_micros();
+    let join_at = start + TimeDelta::from_micros(span * 2 / 5);
+    let churn = vec![ChurnEvent {
+        at: join_at,
+        action: ChurnAction::Join(TenantSpec {
+            name: "corner-frontend".to_string(),
+            network: NetworkId::CornerNet,
+            period: periods[tenants],
+        }),
+    }];
+
+    Ok(ServeScenario { initial, churn })
+}
+
 /// Largest synthetic arrival period: one hour of simulated time. Far
 /// beyond any service window, and small enough that downstream phase
 /// arithmetic (`joined_at + k·period`) stays clear of timestamp
@@ -238,6 +325,41 @@ mod tests {
         );
         // Every cached tuning replays bit for bit from its NmpConfig.
         assert!(outcome.mappings.verify_replays().unwrap());
+    }
+
+    #[test]
+    fn corner_frontend_scenario_is_heterogeneous_and_always_on() {
+        let config = quick_config();
+        let scenario = corner_frontend_scenario(&config, 2, 0.5).unwrap();
+        // The initial mix leads with the data-dependent GraphNet.
+        assert_eq!(scenario.initial[0].network, NetworkId::GraphNet);
+        // One churn event: the corner frontend joins and never leaves.
+        assert_eq!(scenario.churn.len(), 1);
+        let ChurnAction::Join(joiner) = &scenario.churn[0].action else {
+            panic!("expected a join event");
+        };
+        assert_eq!(joiner.name, "corner-frontend");
+        assert_eq!(joiner.network, NetworkId::CornerNet);
+        let outcome = run_service(&scenario, &config).unwrap();
+        let report = &outcome.report;
+        // The join drifts past the threshold → exactly one re-tune and
+        // no post-leave epoch (the frontend stays).
+        assert_eq!(report.totals.retunes, 1);
+        assert_eq!(
+            report.epochs.iter().map(|e| e.mapping).collect::<Vec<_>>(),
+            vec![MappingSource::Tuned, MappingSource::Tuned]
+        );
+        let frontend = report
+            .tenants
+            .iter()
+            .find(|t| t.name == "corner-frontend")
+            .expect("frontend accounted");
+        assert!(frontend.left_at_us.is_none(), "always-on tenant left");
+        assert!(frontend.arrivals > 0);
+        assert!(outcome.mappings.verify_replays().unwrap());
+        // Validation matches the synthetic scenario's contract.
+        assert!(corner_frontend_scenario(&config, 0, 0.5).is_err());
+        assert!(corner_frontend_scenario(&config, 2, f64::NAN).is_err());
     }
 
     #[test]

@@ -103,4 +103,27 @@ proptest! {
             serde_json::from_str(&serial_json).expect("deserialize");
         prop_assert_eq!(back, serial.report);
     }
+
+    /// The heterogeneous corner-frontend scenario — a data-dependent
+    /// GraphNet tenant in the initial mix and an always-on CornerNet
+    /// frontend joining mid-window — keeps the same bar: byte-identical
+    /// reports between `workers = 1` and `workers = 8`, and bit-for-bit
+    /// cached-tuning replays in both runs.
+    #[test]
+    fn corner_frontend_reports_are_byte_identical_across_worker_counts(
+        tenants in 1..3usize,
+        pressure in 0.4f64..1.5,
+    ) {
+        let scenario = ev_serve::corner_frontend_scenario(&quick_config(1), tenants, pressure)
+            .expect("valid scenario");
+        let serial = run_service(&scenario, &quick_config(1)).expect("serial run");
+        let fanned = run_service(&scenario, &quick_config(8)).expect("fanned run");
+        let serial_json = serde_json::to_string_pretty(&serial.report)
+            .expect("serialize serial");
+        let fanned_json = serde_json::to_string_pretty(&fanned.report)
+            .expect("serialize fanned");
+        prop_assert_eq!(serial_json.as_bytes(), fanned_json.as_bytes());
+        prop_assert!(serial.mappings.verify_replays().expect("replay check"));
+        prop_assert!(fanned.mappings.verify_replays().expect("replay check"));
+    }
 }

@@ -39,6 +39,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod encode;
+pub mod graph;
 pub mod opcount;
 
 /// Compute kernels over the tensor types.
@@ -51,6 +52,7 @@ pub mod ops {
 pub use coo::{SparseEntry, SparseTensor};
 pub use csr::CsrMatrix;
 pub use dense::Tensor;
+pub use graph::EventGraph;
 pub use opcount::{OpCount, WorkComparison};
 
 use core::fmt;

@@ -4,6 +4,9 @@
 use ev_sparse::coo::{SparseEntry, SparseTensor};
 use ev_sparse::csr::CsrMatrix;
 use ev_sparse::dense::Tensor;
+use ev_sparse::graph::{
+    active_fraction, dilate_active, gather_mean, grid_adjacency, grid_edge_count, scatter_add,
+};
 use ev_sparse::ops::conv::{conv2d_dense, conv2d_sparse, Conv2dSpec};
 use proptest::prelude::*;
 
@@ -118,6 +121,113 @@ proptest! {
             let fresh = CsrMatrix::from_dense(&dense).expect("rank 2");
             prop_assert_eq!(&reused, &fresh);
         }
+    }
+
+    #[test]
+    fn graph_gather_matches_dense_reference(
+        h in 1usize..6,
+        w in 1usize..6,
+        radius in 0usize..3,
+        f in 1usize..4,
+        values in prop::collection::vec(-3i8..=3, 36 * 3),
+    ) {
+        // The event-graph gather over CSR adjacency must equal the naive
+        // dense aggregation: out[i] = (x[i] + Σ_j A[i][j]·x[j]) / (1 + deg(i)).
+        let nodes = h * w;
+        let adj = grid_adjacency(h, w, radius).expect("valid grid");
+        let data: Vec<f32> = values[..nodes * f].iter().map(|&v| v as f32).collect();
+        let x = Tensor::from_vec(&[nodes, f], data.clone()).expect("shape matches");
+        let (out, work) = gather_mean(&adj, &x).expect("valid gather");
+        let dense = adj.to_dense();
+        for i in 0..nodes {
+            let mut deg = 0usize;
+            let mut acc = vec![0.0f32; f];
+            for j in 0..nodes {
+                let a = dense.get(&[i, j]);
+                if a != 0.0 {
+                    deg += 1;
+                }
+                for k in 0..f {
+                    acc[k] += a * data[j * f + k];
+                }
+            }
+            for k in 0..f {
+                let reference = (data[i * f + k] + acc[k]) / (1.0 + deg as f32);
+                prop_assert!(
+                    (out.get(&[i, k]) - reference).abs() < 1e-4,
+                    "node {} feature {}: {} vs {}",
+                    i, k, out.get(&[i, k]), reference
+                );
+            }
+        }
+        prop_assert!(work.actual.macs <= work.dense_equivalent.macs);
+        prop_assert_eq!(work.actual.macs, (adj.nnz() * f) as u64);
+    }
+
+    #[test]
+    fn graph_scatter_matches_dense_reference(
+        h in 1usize..6,
+        w in 1usize..6,
+        radius in 0usize..3,
+        f in 1usize..4,
+        values in prop::collection::vec(-3i8..=3, 36 * 3),
+    ) {
+        // Scatter is the adjacency-transpose aggregation:
+        // out[j] = Σ_i A[i][j]·x[i], computed naively over the dense matrix.
+        let nodes = h * w;
+        let adj = grid_adjacency(h, w, radius).expect("valid grid");
+        let data: Vec<f32> = values[..nodes * f].iter().map(|&v| v as f32).collect();
+        let x = Tensor::from_vec(&[nodes, f], data.clone()).expect("shape matches");
+        let (out, work) = scatter_add(&adj, &x).expect("valid scatter");
+        let dense = adj.to_dense();
+        for j in 0..nodes {
+            for k in 0..f {
+                let mut reference = 0.0f32;
+                for i in 0..nodes {
+                    reference += dense.get(&[i, j]) * data[i * f + k];
+                }
+                prop_assert!(
+                    (out.get(&[j, k]) - reference).abs() < 1e-4,
+                    "node {} feature {}: {} vs {}",
+                    j, k, out.get(&[j, k]), reference
+                );
+            }
+        }
+        prop_assert!(work.actual.macs <= work.dense_equivalent.macs);
+    }
+
+    #[test]
+    fn graph_dilation_matches_dense_reachability(
+        h in 1usize..6,
+        w in 1usize..6,
+        radius in 0usize..3,
+        bits in prop::collection::vec(any::<bool>(), 36),
+    ) {
+        let nodes = h * w;
+        let adj = grid_adjacency(h, w, radius).expect("valid grid");
+        let active: Vec<bool> = bits[..nodes].to_vec();
+        let (dilated, _) = dilate_active(&adj, &active).expect("valid dilation");
+        let dense = adj.to_dense();
+        for i in 0..nodes {
+            let reference = active[i]
+                || (0..nodes).any(|j| dense.get(&[i, j]) != 0.0 && active[j]);
+            prop_assert_eq!(dilated[i], reference, "node {}", i);
+        }
+        // Dilation is monotone and the fraction never shrinks.
+        prop_assert!(active_fraction(&dilated) >= active_fraction(&active));
+        for i in 0..nodes {
+            prop_assert!(!active[i] || dilated[i]);
+        }
+    }
+
+    #[test]
+    fn grid_edge_count_is_exact(
+        h in 1usize..8,
+        w in 1usize..8,
+        radius in 0usize..4,
+    ) {
+        let adj = grid_adjacency(h, w, radius).expect("valid grid");
+        prop_assert_eq!(adj.nnz() as u64, grid_edge_count(h, w, radius));
     }
 
     #[test]

@@ -67,5 +67,11 @@ cargo run --release --quiet --bin serve_sim -- --quick
 echo "== kick-tires: schedule-optimizing mode smoke (ext_multitask_runtime --mode optimizing) =="
 cargo run --release --quiet --bin ext_multitask_runtime -- --quick --mode optimizing
 
+echo "== kick-tires: heterogeneous-mix smoke (fig9_multi_task --mix gnn-heavy --mode optimizing) =="
+cargo run --release --quiet --bin fig9_multi_task -- --quick --mix gnn-heavy --mode optimizing
+
+echo "== kick-tires: corner-frontend smoke (serve_sim --corner) =="
+cargo run --release --quiet --bin serve_sim -- --quick --corner
+
 echo "== kick-tires: running conformance suite ($budget) =="
 exec cargo run --release --quiet --bin conformance -- "$budget" ${extra[@]+"${extra[@]}"}
